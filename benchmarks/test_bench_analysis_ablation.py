@@ -1,0 +1,72 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Not a paper figure: these quantify the cost/benefit of the implementation
+choices the library exposes as knobs --
+
+* exact carry-in enumeration (Eq. 8) vs. the greedy per-iteration bound;
+* binary (Algorithm 2) vs. linear period search;
+* best-fit vs. first-fit vs. worst-fit RT partitioning.
+"""
+
+import pytest
+
+from repro.core.analysis import CarryInStrategy
+from repro.core.period_selection import SearchMode, select_periods
+from repro.errors import AllocationError
+from repro.generation import TasksetGenerationConfig, TasksetGenerator
+from repro.model import Platform
+from repro.partitioning import FitStrategy, partition_rt_tasks
+
+
+def _sample_taskset(num_cores=2, utilization=0.5, seed=99):
+    config = TasksetGenerationConfig(num_cores=num_cores)
+    return TasksetGenerator(config, seed=seed).generate(utilization * num_cores)
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    platform = Platform.dual_core()
+    taskset = _sample_taskset()
+    allocation = partition_rt_tasks(taskset, platform)
+    return platform, taskset, allocation
+
+
+@pytest.mark.parametrize("strategy", [CarryInStrategy.GREEDY, CarryInStrategy.EXACT])
+def test_bench_carry_in_strategy(benchmark, prepared, strategy):
+    platform, taskset, allocation = prepared
+    result = benchmark(
+        select_periods, taskset, allocation.mapping, platform, strategy
+    )
+    assert result.schedulable
+    benchmark.extra_info["analysis_calls"] = result.analysis_calls
+    benchmark.extra_info["periods"] = result.periods
+
+
+@pytest.mark.parametrize("mode", [SearchMode.BINARY, SearchMode.LINEAR])
+def test_bench_period_search_mode(benchmark, prepared, mode):
+    platform, taskset, allocation = prepared
+    result = benchmark.pedantic(
+        select_periods,
+        args=(taskset, allocation.mapping, platform),
+        kwargs={"search_mode": mode},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.schedulable
+    benchmark.extra_info["analysis_calls"] = result.analysis_calls
+
+
+@pytest.mark.parametrize("strategy", list(FitStrategy))
+def test_bench_rt_partitioning_strategy(benchmark, strategy):
+    platform = Platform.quad_core()
+    taskset = _sample_taskset(num_cores=4, utilization=0.55, seed=123)
+
+    def run():
+        try:
+            return partition_rt_tasks(taskset, platform, strategy)
+        except AllocationError:
+            return None
+
+    allocation = benchmark(run)
+    assert allocation is not None
+    benchmark.extra_info["cores_used"] = len(allocation.used_cores())

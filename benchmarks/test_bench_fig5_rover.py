@@ -1,0 +1,38 @@
+"""Benchmark E-F5: the rover case study (paper Fig. 5a / Fig. 5b).
+
+Regenerates both panels of Fig. 5: mean intrusion-detection latency and mean
+context switches for HYDRA-C and HYDRA, and checks the paper's qualitative
+claims (HYDRA-C detects faster; HYDRA-C pays more context switches).
+"""
+
+import pytest
+
+from repro.experiments.fig5_rover import format_fig5, run_fig5
+
+#: Trials per scheme.  The paper uses 35; 10 keeps the benchmark short while
+#: the averaged latencies are already stable.
+BENCH_TRIALS = 10
+BENCH_HORIZON = 45_000
+
+
+@pytest.fixture(scope="module")
+def fig5_result():
+    return run_fig5(num_trials=BENCH_TRIALS, horizon=BENCH_HORIZON, seed=2020)
+
+
+def test_bench_fig5_detection_and_context_switches(benchmark, fig5_result, figure_report):
+    """Time one full rover trial pair and report the Fig. 5 numbers."""
+
+    def one_trial_pair():
+        return run_fig5(num_trials=1, horizon=BENCH_HORIZON, seed=7)
+
+    benchmark(one_trial_pair)
+
+    figure_report(format_fig5(fig5_result))
+
+    # Fig. 5a: HYDRA-C detects intrusions faster than HYDRA.
+    assert fig5_result.detection_speedup > 0.0
+    # Fig. 5b: migration costs HYDRA-C at least as many context switches.
+    assert fig5_result.context_switch_ratio >= 1.0
+    benchmark.extra_info["detection_speedup"] = fig5_result.detection_speedup
+    benchmark.extra_info["context_switch_ratio"] = fig5_result.context_switch_ratio

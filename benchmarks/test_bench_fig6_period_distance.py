@@ -1,0 +1,44 @@
+"""Benchmark E-F6: period-adaptation distance vs. utilization (paper Fig. 6).
+
+Regenerates the Fig. 6 series (normalized Euclidean distance between the
+adapted and maximum period vectors per utilization group) for the 2- and
+4-core platforms and checks its qualitative shape: large adaptation headroom
+at low utilization, shrinking toward zero as utilization approaches one.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig6_period_distance import compute_fig6, format_fig6
+from repro.experiments.sweep import run_sweep
+
+
+@pytest.mark.parametrize("num_cores", [2, 4])
+def test_bench_fig6_period_distance(
+    benchmark, num_cores, tasksets_per_group, sweep_jobs, figure_report
+):
+    config = ExperimentConfig(
+        num_cores=num_cores,
+        tasksets_per_group=tasksets_per_group,
+        seed=2020 + num_cores,
+        n_jobs=sweep_jobs,
+    )
+    sweep = benchmark.pedantic(run_sweep, args=(config,), rounds=1, iterations=1)
+    result = compute_fig6(sweep)
+
+    figure_report(format_fig6(result))
+
+    valid = [(i, d) for i, d in enumerate(result.mean_distance) if not math.isnan(d)]
+    assert valid, "no schedulable task sets at any utilization"
+    # Shape check: the lowest-utilization group allows (near-)maximal
+    # adaptation, and adaptation at the highest schedulable group is smaller.
+    first_index, first_value = valid[0]
+    last_index, last_value = valid[-1]
+    assert first_value > 0.5
+    assert last_value < first_value
+    benchmark.extra_info["mean_distance"] = {
+        label: value
+        for label, value in zip(result.group_labels, result.mean_distance)
+    }

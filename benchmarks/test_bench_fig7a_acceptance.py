@@ -1,0 +1,45 @@
+"""Benchmark E-F7a: acceptance ratio per scheme (paper Fig. 7a).
+
+Regenerates the acceptance-ratio curves of HYDRA-C, HYDRA, GLOBAL-TMax and
+HYDRA-TMax over the ten utilization groups and checks the paper's
+qualitative orderings: everything is accepted at low utilization, acceptance
+collapses near full utilization, and HYDRA-C dominates the global scheme.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig7a_acceptance import compute_fig7a, format_fig7a
+from repro.experiments.sweep import run_sweep
+
+
+@pytest.mark.parametrize("num_cores", [2, 4])
+def test_bench_fig7a_acceptance(
+    benchmark, num_cores, tasksets_per_group, sweep_jobs, figure_report
+):
+    config = ExperimentConfig(
+        num_cores=num_cores,
+        tasksets_per_group=tasksets_per_group,
+        seed=4040 + num_cores,
+        n_jobs=sweep_jobs,
+    )
+    sweep = benchmark.pedantic(run_sweep, args=(config,), rounds=1, iterations=1)
+    result = compute_fig7a(sweep)
+
+    figure_report(format_fig7a(result))
+
+    hydra_c = result.acceptance["HYDRA-C"]
+    global_tmax = result.acceptance["GLOBAL-TMax"]
+    # Low-utilization groups are universally schedulable.
+    assert all(result.acceptance[scheme][0] == 1.0 for scheme in result.acceptance)
+    # The highest group is (nearly) infeasible: acceptance collapses compared
+    # to the low-utilization end (checked on HYDRA-C and the global scheme,
+    # whose analyses are the two the paper contrasts directly).
+    assert hydra_c[-1] <= 0.5
+    assert global_tmax[-1] <= 0.5
+    # HYDRA-C is never worse than the fully global analysis on any group
+    # (the paper's "binding RT tasks does not hurt schedulability" claim).
+    assert all(hc >= gt for hc, gt in zip(hydra_c, global_tmax))
+    benchmark.extra_info["acceptance"] = {
+        scheme: values for scheme, values in result.acceptance.items()
+    }

@@ -1,0 +1,45 @@
+"""Design-space exploration with synthetic workloads (Figs. 6 and 7).
+
+Generates random task sets per the paper's Table 3, evaluates HYDRA-C and
+the three reference schemes on each, and prints the acceptance-ratio table
+(Fig. 7a), the period-distance series (Fig. 6) and the period-difference
+series (Fig. 7b) for one platform size.
+
+Run with::
+
+    python examples/design_space_exploration.py [cores] [tasksets_per_group] [jobs]
+
+e.g. ``python examples/design_space_exploration.py 2 40 8``.  The paper's
+full scale is 250 task sets per group.
+"""
+
+import sys
+
+from repro.experiments import ExperimentConfig, run_sweep
+from repro.experiments.fig6_period_distance import compute_fig6, format_fig6
+from repro.experiments.fig7a_acceptance import compute_fig7a, format_fig7a
+from repro.experiments.fig7b_period_diff import compute_fig7b, format_fig7b
+
+
+def main() -> None:
+    cores = int(sys.argv[1]) if len(sys.argv) > 1 else 2
+    per_group = int(sys.argv[2]) if len(sys.argv) > 2 else 10
+    jobs = int(sys.argv[3]) if len(sys.argv) > 3 else 4
+
+    config = ExperimentConfig(
+        num_cores=cores, tasksets_per_group=per_group, n_jobs=jobs, seed=2020
+    )
+    print(f"Sweeping {per_group} tasksets x {len(config.utilization_groups)} "
+          f"utilization groups on {cores} cores ({jobs} workers)...")
+    sweep = run_sweep(config)
+    print(f"{len(sweep.evaluations)} task sets evaluated.\n")
+
+    print(format_fig7a(compute_fig7a(sweep)))
+    print()
+    print(format_fig6(compute_fig6(sweep)))
+    print()
+    print(format_fig7b(compute_fig7b(sweep)))
+
+
+if __name__ == "__main__":
+    main()

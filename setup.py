@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on minimal offline environments whose setuptools
+predates PEP 660 editable-install support (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

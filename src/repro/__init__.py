@@ -1,0 +1,70 @@
+"""repro -- reproduction of HYDRA-C (DATE 2020).
+
+HYDRA-C integrates *security monitoring tasks* into legacy, partitioned,
+fixed-priority multicore real-time systems: security tasks run below every
+RT task, may migrate between cores, and their periods are adapted to the
+smallest schedulable values so intrusions are detected as quickly as
+possible.
+
+Quickstart
+----------
+>>> from repro import HydraC, Platform, RealTimeTask, SecurityTask, TaskSet
+>>> taskset = TaskSet.create(
+...     [RealTimeTask(name="control", wcet=2, period=10)],
+...     [SecurityTask(name="ids", wcet=3, max_period=50)],
+... )
+>>> design = HydraC(Platform.dual_core()).design(taskset)
+>>> design.schedulable
+True
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduction of every table and figure in the paper's evaluation.
+"""
+
+from repro.baselines import GlobalTMax, Hydra, HydraTMax
+from repro.core import (
+    CarryInStrategy,
+    HydraC,
+    PeriodSelectionResult,
+    SystemDesign,
+    select_periods,
+)
+from repro.errors import (
+    AllocationError,
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    UnschedulableError,
+)
+from repro.generation import TasksetGenerationConfig, TasksetGenerator, generate_taskset
+from repro.model import Platform, RealTimeTask, SecurityTask, TaskSet
+from repro.partitioning import Allocation, FitStrategy, partition_rt_tasks
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Allocation",
+    "AllocationError",
+    "CarryInStrategy",
+    "ConfigurationError",
+    "FitStrategy",
+    "GlobalTMax",
+    "Hydra",
+    "HydraC",
+    "HydraTMax",
+    "PeriodSelectionResult",
+    "Platform",
+    "RealTimeTask",
+    "ReproError",
+    "SecurityTask",
+    "SimulationError",
+    "SystemDesign",
+    "TaskSet",
+    "TasksetGenerationConfig",
+    "TasksetGenerator",
+    "UnschedulableError",
+    "generate_taskset",
+    "partition_rt_tasks",
+    "select_periods",
+    "__version__",
+]

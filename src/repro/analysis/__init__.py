@@ -1,0 +1,15 @@
+"""Metrics and aggregation helpers (part of system S12 in DESIGN.md)."""
+
+from repro.analysis.metrics import (
+    acceptance_ratio,
+    normalized_period_distance,
+    period_adaptation_gain,
+    summarize,
+)
+
+__all__ = [
+    "acceptance_ratio",
+    "normalized_period_distance",
+    "period_adaptation_gain",
+    "summarize",
+]

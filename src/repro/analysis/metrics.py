@@ -1,0 +1,103 @@
+"""Evaluation metrics used by the paper's figures.
+
+* **Acceptance ratio** (Fig. 7a): fraction of generated task sets a scheme
+  admits.
+* **Normalized period distance** (Fig. 6): Euclidean distance between the
+  adapted period vector and the maximum-period vector, normalized by the
+  norm of the maximum-period vector so the value lies in ``[0, 1)``.  A
+  larger value means the security tasks run further below their maximum
+  periods, i.e. more frequently.
+* **Period adaptation gain** (Fig. 7b): difference between two schemes'
+  normalized period distances for the same task set.  A positive value means
+  the first scheme achieved shorter periods (ran its monitors more often)
+  than the second.
+"""
+
+from __future__ import annotations
+
+import math
+from statistics import mean
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+__all__ = [
+    "acceptance_ratio",
+    "normalized_period_distance",
+    "period_adaptation_gain",
+    "summarize",
+]
+
+
+def acceptance_ratio(outcomes: Iterable[bool]) -> float:
+    """Fraction of ``True`` values in *outcomes* (0.0 for an empty input)."""
+    outcomes = list(outcomes)
+    if not outcomes:
+        return 0.0
+    return sum(1 for outcome in outcomes if outcome) / len(outcomes)
+
+
+def normalized_period_distance(
+    periods: Mapping[str, int], max_periods: Mapping[str, int]
+) -> float:
+    """``||T^max - T|| / ||T^max||`` over the common set of security tasks.
+
+    Raises ``KeyError`` if *periods* contains a task missing from
+    *max_periods*; tasks present only in *max_periods* are treated as
+    unadapted (distance contribution zero), which is what pinning a task to
+    its maximum period means.
+
+    Examples
+    --------
+    >>> normalized_period_distance({"a": 50, "b": 100}, {"a": 100, "b": 100})
+    0.35355339059327373
+    >>> normalized_period_distance({"a": 100}, {"a": 100})
+    0.0
+    """
+    if not max_periods:
+        raise ValueError("max_periods must not be empty")
+    unknown = set(periods) - set(max_periods)
+    if unknown:
+        raise KeyError(f"periods given for unknown tasks: {sorted(unknown)}")
+    numerator = 0.0
+    denominator = 0.0
+    for name, maximum in max_periods.items():
+        if maximum <= 0:
+            raise ValueError(f"maximum period of {name!r} must be positive")
+        assigned = periods.get(name, maximum)
+        if assigned > maximum:
+            raise ValueError(
+                f"assigned period {assigned} of {name!r} exceeds its maximum {maximum}"
+            )
+        numerator += (maximum - assigned) ** 2
+        denominator += maximum**2
+    return math.sqrt(numerator) / math.sqrt(denominator)
+
+
+def period_adaptation_gain(
+    scheme_periods: Mapping[str, int],
+    reference_periods: Mapping[str, int],
+    max_periods: Mapping[str, int],
+) -> float:
+    """Difference in normalized period distance between two schemes.
+
+    Positive values mean *scheme_periods* sits further below the maximum
+    periods (more frequent monitoring) than *reference_periods* -- the
+    quantity plotted in Fig. 7b.  Comparing against a scheme without period
+    adaptation (every period at its maximum) reduces to the scheme's own
+    normalized period distance.
+    """
+    return normalized_period_distance(
+        scheme_periods, max_periods
+    ) - normalized_period_distance(reference_periods, max_periods)
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / min / max / count digest used by experiment reports."""
+    values = list(values)
+    if not values:
+        return {"count": 0, "mean": float("nan"), "min": float("nan"), "max": float("nan")}
+    return {
+        "count": float(len(values)),
+        "mean": float(mean(values)),
+        "min": float(min(values)),
+        "max": float(max(values)),
+    }

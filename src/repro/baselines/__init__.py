@@ -1,0 +1,24 @@
+"""Reference schemes the paper compares HYDRA-C against (system S7).
+
+* :mod:`repro.baselines.hydra` -- HYDRA (prior work, DATE 2018): security
+  tasks are statically partitioned with a greedy best-fit strategy that
+  gives each task, in priority order, the core on which it achieves the
+  highest monitoring frequency (shortest period), without revisiting earlier
+  decisions.
+* :mod:`repro.baselines.hydra_tmax` -- HYDRA-TMax: the same fully
+  partitioned allocation, but with every security period pinned to its
+  maximum (no period adaptation).
+* :mod:`repro.baselines.global_tmax` -- GLOBAL-TMax: every task (RT and
+  security) is scheduled by a global fixed-priority scheduler with security
+  periods at their maxima.
+
+Every baseline returns the same :class:`repro.core.framework.SystemDesign`
+type as HYDRA-C so that simulation, metrics and experiments stay
+scheme-agnostic.
+"""
+
+from repro.baselines.global_tmax import GlobalTMax
+from repro.baselines.hydra import Hydra
+from repro.baselines.hydra_tmax import HydraTMax
+
+__all__ = ["GlobalTMax", "Hydra", "HydraTMax"]

@@ -1,0 +1,404 @@
+"""HYDRA: fully partitioned security-task integration (prior work, ref [26]).
+
+HYDRA statically binds each security task to one core and never migrates it
+(paper Section 5.1.2).  Its allocation is greedy and best-fit: processing
+security tasks from highest to lowest priority, each task is bound to the
+core on which it achieves the shortest worst-case response time (i.e. the
+highest achievable monitoring frequency) without breaking the tasks already
+bound to that core.  Periods are then adapted per core.
+
+The HYDRA-C paper describes HYDRA's period handling only qualitatively
+("minimizes the periods of higher priority tasks first without considering
+the global state"), so this module implements two interpretations and makes
+the choice explicit:
+
+* :attr:`PeriodPolicy.CORE_AWARE` (default) -- after allocation, each core
+  runs a per-core analogue of HYDRA-C's Algorithm 1: tasks are visited in
+  priority order and each period is minimised subject to every
+  lower-priority security task *on the same core* staying schedulable.
+  This is the non-degenerate reading consistent with the original HYDRA
+  formulation (an optimisation with schedulability constraints) and is what
+  the experiments use.
+* :attr:`PeriodPolicy.GREEDY_MIN` -- the literal reading: each task's period
+  is set to its own response time on the chosen core, ignoring any task that
+  might be allocated later.  On lightly loaded cores this drives a core's
+  utilization to one and starves every subsequently allocated task; it is
+  retained as an ablation (see ``benchmarks/test_bench_ablation.py``) and to
+  document why the literal reading cannot be what the original system did.
+
+Acceptance (Fig. 7a) is decided by the allocation phase: a task set is
+schedulable under HYDRA iff every security task finds a core where its
+response time stays within its maximum period.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.framework import SchedulingPolicy, SystemDesign
+from repro.errors import UnschedulableError
+from repro.model.platform import Platform
+from repro.model.tasks import RealTimeTask, SecurityTask
+from repro.model.taskset import TaskSet
+from repro.partitioning.allocation import Allocation
+from repro.partitioning.heuristics import FitStrategy, partition_rt_tasks
+from repro.schedulability.partitioned import partitioned_rt_schedulable
+from repro.schedulability.uniprocessor import (
+    UniprocessorTask,
+    uniprocessor_response_time,
+)
+
+__all__ = ["Hydra", "PeriodPolicy", "best_core_for_security_task"]
+
+
+class PeriodPolicy(str, enum.Enum):
+    """How HYDRA assigns periods after allocating a security task."""
+
+    CORE_AWARE = "core-aware"
+    GREEDY_MIN = "greedy-min"
+    TMAX = "tmax"
+
+
+def _rt_view(task: RealTimeTask) -> UniprocessorTask:
+    return UniprocessorTask(
+        name=task.name, wcet=task.wcet, period=task.period, deadline=task.deadline
+    )
+
+
+def _security_view(task: SecurityTask, period: int) -> UniprocessorTask:
+    return UniprocessorTask(
+        name=task.name, wcet=task.wcet, period=period, deadline=period
+    )
+
+
+def best_core_for_security_task(
+    task: SecurityTask,
+    rt_by_core: Mapping[int, Sequence[RealTimeTask]],
+    security_by_core: Mapping[int, Sequence[Tuple[SecurityTask, int]]],
+    num_cores: int,
+) -> Optional[Tuple[int, int]]:
+    """Best-fit core choice for one security task.
+
+    Among the cores on which the task's uniprocessor response time stays
+    within ``T^max`` (given the RT tasks bound there and the already-bound
+    higher-priority security tasks at their assumed periods), the classic
+    best-fit rule picks the *fullest* core -- the one with the highest
+    current utilization -- keeping the remaining cores' slack available for
+    later, possibly larger, tasks.  Ties are broken by the smaller response
+    time, then by core index, for determinism.
+
+    Parameters
+    ----------
+    security_by_core:
+        Already-bound higher-priority security tasks per core, as
+        ``(task, period)`` pairs (the period each is currently assumed to
+        run at).
+
+    Returns
+    -------
+    ``(core_index, response_time)`` for the chosen core, or ``None`` if the
+    task's response time exceeds ``T^max`` on every core.
+    """
+    best: Optional[Tuple[float, int, int, int]] = None  # (-util, response, core, resp)
+    for core_index in range(num_cores):
+        rt_views = [_rt_view(rt) for rt in rt_by_core.get(core_index, ())]
+        security_views = [
+            _security_view(sec, period)
+            for sec, period in security_by_core.get(core_index, ())
+        ]
+        higher = rt_views + security_views
+        response = uniprocessor_response_time(
+            task.wcet, higher, limit=task.max_period
+        )
+        if response is None:
+            continue
+        utilization = sum(view.utilization for view in higher)
+        key = (-utilization, response, core_index)
+        if best is None or key < best[:3]:
+            best = (*key, response)
+    if best is None:
+        return None
+    return best[2], best[3]
+
+
+class Hydra:
+    """The HYDRA baseline (fully partitioned security tasks).
+
+    Parameters
+    ----------
+    platform:
+        Target multicore platform.
+    rt_partition_strategy:
+        Used only when the caller does not supply the legacy RT allocation.
+    period_policy:
+        Period-assignment interpretation; see :class:`PeriodPolicy`.
+    """
+
+    scheme_name = "HYDRA"
+
+    def __init__(
+        self,
+        platform: Platform,
+        rt_partition_strategy: FitStrategy = FitStrategy.BEST_FIT,
+        period_policy: PeriodPolicy = PeriodPolicy.CORE_AWARE,
+    ) -> None:
+        self._platform = platform
+        self._rt_partition_strategy = rt_partition_strategy
+        self._period_policy = period_policy
+
+    @property
+    def platform(self) -> Platform:
+        return self._platform
+
+    @property
+    def period_policy(self) -> PeriodPolicy:
+        return self._period_policy
+
+    # -- main entry point ------------------------------------------------------
+
+    def design(
+        self,
+        taskset: TaskSet,
+        rt_allocation: Optional[Mapping[str, int]] = None,
+    ) -> SystemDesign:
+        """Allocate the security tasks, adapt their periods, build the design."""
+        allocation = self._resolve_rt_allocation(taskset, rt_allocation)
+        rt_check = partitioned_rt_schedulable(
+            taskset, allocation.mapping, self._platform
+        )
+        if not rt_check.schedulable:
+            raise UnschedulableError(
+                "legacy RT tasks are not schedulable under the given partition: "
+                f"{rt_check.unschedulable_tasks}"
+            )
+
+        rt_by_core: Dict[int, List[RealTimeTask]] = {
+            core.index: [] for core in self._platform.cores
+        }
+        for rt_task in taskset.rt_tasks:
+            rt_by_core[allocation.core_of(rt_task.name)].append(rt_task)
+        for tasks in rt_by_core.values():
+            tasks.sort(key=lambda t: (t.priority, t.name))
+
+        response_times: Dict[str, Optional[int]] = dict(rt_check.response_times)
+
+        security_mapping, alloc_responses, failed_task = self._allocate_security(
+            taskset, rt_by_core
+        )
+        response_times.update(alloc_responses)
+
+        if failed_task is not None:
+            return SystemDesign(
+                scheme=self.scheme_name,
+                policy=SchedulingPolicy.PARTITIONED,
+                taskset=taskset,
+                platform=self._platform,
+                rt_allocation=allocation,
+                security_allocation=Allocation(security_mapping),
+                schedulable=False,
+                response_times=response_times,
+                metadata={
+                    "unschedulable_task": failed_task,
+                    "period_policy": self._period_policy.value,
+                },
+            )
+
+        periods, final_responses = self._assign_periods(
+            taskset, rt_by_core, security_mapping
+        )
+        response_times.update(final_responses)
+
+        adapted = taskset.with_security_periods(periods)
+        return SystemDesign(
+            scheme=self.scheme_name,
+            policy=SchedulingPolicy.PARTITIONED,
+            taskset=adapted,
+            platform=self._platform,
+            rt_allocation=allocation,
+            security_allocation=Allocation(security_mapping),
+            schedulable=True,
+            response_times=response_times,
+            metadata={"period_policy": self._period_policy.value},
+        )
+
+    def is_schedulable(
+        self,
+        taskset: TaskSet,
+        rt_allocation: Optional[Mapping[str, int]] = None,
+    ) -> bool:
+        """Acceptance test used by the Fig. 7a experiment."""
+        try:
+            return self.design(taskset, rt_allocation).schedulable
+        except UnschedulableError:
+            return False
+
+    # -- allocation phase -----------------------------------------------------------
+
+    def _allocate_security(
+        self,
+        taskset: TaskSet,
+        rt_by_core: Mapping[int, Sequence[RealTimeTask]],
+    ) -> Tuple[Dict[str, int], Dict[str, Optional[int]], Optional[str]]:
+        """Greedy best-fit allocation at the maximum periods.
+
+        Returns the core mapping, the per-task response times observed during
+        allocation, and the name of the first task that fit nowhere (or
+        ``None``).
+        """
+        security_by_core: Dict[int, List[Tuple[SecurityTask, int]]] = {
+            core.index: [] for core in self._platform.cores
+        }
+        mapping: Dict[str, int] = {}
+        responses: Dict[str, Optional[int]] = {}
+        greedy = self._period_policy is PeriodPolicy.GREEDY_MIN
+
+        for task in taskset.security_by_priority():
+            choice = best_core_for_security_task(
+                task, rt_by_core, security_by_core, self._platform.num_cores
+            )
+            if choice is None:
+                responses[task.name] = None
+                return mapping, responses, task.name
+            core_index, response = choice
+            mapping[task.name] = core_index
+            responses[task.name] = response
+            # Under the literal greedy policy the task immediately claims the
+            # shortest period it can; otherwise it occupies the core at its
+            # maximum period until the per-core minimisation pass.
+            assumed_period = response if greedy else task.max_period
+            security_by_core[core_index].append((task, assumed_period))
+
+        return mapping, responses, None
+
+    # -- period assignment phase -------------------------------------------------------
+
+    def _assign_periods(
+        self,
+        taskset: TaskSet,
+        rt_by_core: Mapping[int, Sequence[RealTimeTask]],
+        security_mapping: Mapping[str, int],
+    ) -> Tuple[Dict[str, int], Dict[str, Optional[int]]]:
+        """Assign periods per the configured policy and report final WCRTs."""
+        periods: Dict[str, int] = {}
+        responses: Dict[str, Optional[int]] = {}
+
+        for core_index in range(self._platform.num_cores):
+            core_tasks = [
+                task
+                for task in taskset.security_by_priority()
+                if security_mapping.get(task.name) == core_index
+            ]
+            if not core_tasks:
+                continue
+            rt_views = [_rt_view(rt) for rt in rt_by_core.get(core_index, ())]
+            core_periods, core_responses = self._assign_periods_on_core(
+                core_tasks, rt_views
+            )
+            periods.update(core_periods)
+            responses.update(core_responses)
+
+        return periods, responses
+
+    def _assign_periods_on_core(
+        self,
+        core_tasks: Sequence[SecurityTask],
+        rt_views: Sequence[UniprocessorTask],
+    ) -> Tuple[Dict[str, int], Dict[str, Optional[int]]]:
+        """Period assignment for the security tasks bound to a single core."""
+        periods: Dict[str, int] = {task.name: task.max_period for task in core_tasks}
+
+        if self._period_policy is PeriodPolicy.TMAX:
+            pass  # keep maxima
+        elif self._period_policy is PeriodPolicy.GREEDY_MIN:
+            for position, task in enumerate(core_tasks):
+                higher = list(rt_views) + [
+                    _security_view(hp, periods[hp.name])
+                    for hp in core_tasks[:position]
+                ]
+                response = uniprocessor_response_time(
+                    task.wcet, higher, limit=task.max_period
+                )
+                periods[task.name] = (
+                    response if response is not None else task.max_period
+                )
+        else:  # CORE_AWARE
+            for position, task in enumerate(core_tasks):
+                periods[task.name] = self._core_aware_minimum_period(
+                    position, core_tasks, periods, rt_views
+                )
+
+        responses = self._core_response_times(core_tasks, periods, rt_views)
+        return periods, responses
+
+    def _core_aware_minimum_period(
+        self,
+        position: int,
+        core_tasks: Sequence[SecurityTask],
+        periods: Mapping[str, int],
+        rt_views: Sequence[UniprocessorTask],
+    ) -> int:
+        """Smallest period for ``core_tasks[position]`` keeping the core's
+        lower-priority security tasks schedulable (per-core Algorithm 2)."""
+        task = core_tasks[position]
+        higher = list(rt_views) + [
+            _security_view(hp, periods[hp.name]) for hp in core_tasks[:position]
+        ]
+        own_response = uniprocessor_response_time(
+            task.wcet, higher, limit=task.max_period
+        )
+        if own_response is None:  # pragma: no cover - allocation guarantees feasibility
+            return task.max_period
+
+        def lower_priority_ok(candidate: int) -> bool:
+            trial = dict(periods)
+            trial[task.name] = candidate
+            for lower_position in range(position + 1, len(core_tasks)):
+                lower = core_tasks[lower_position]
+                interference = list(rt_views) + [
+                    _security_view(hp, trial[hp.name])
+                    for hp in core_tasks[:lower_position]
+                ]
+                response = uniprocessor_response_time(
+                    lower.wcet, interference, limit=lower.max_period
+                )
+                if response is None:
+                    return False
+            return True
+
+        low, high, best = own_response, task.max_period, task.max_period
+        while low <= high:
+            mid = (low + high) // 2
+            if lower_priority_ok(mid):
+                best = mid
+                high = mid - 1
+            else:
+                low = mid + 1
+        return best
+
+    def _core_response_times(
+        self,
+        core_tasks: Sequence[SecurityTask],
+        periods: Mapping[str, int],
+        rt_views: Sequence[UniprocessorTask],
+    ) -> Dict[str, Optional[int]]:
+        responses: Dict[str, Optional[int]] = {}
+        for position, task in enumerate(core_tasks):
+            higher = list(rt_views) + [
+                _security_view(hp, periods[hp.name]) for hp in core_tasks[:position]
+            ]
+            responses[task.name] = uniprocessor_response_time(
+                task.wcet, higher, limit=task.max_period
+            )
+        return responses
+
+    # -- helpers ------------------------------------------------------------------------
+
+    def _resolve_rt_allocation(
+        self, taskset: TaskSet, rt_allocation: Optional[Mapping[str, int]]
+    ) -> Allocation:
+        if rt_allocation is not None:
+            return Allocation(dict(rt_allocation))
+        return partition_rt_tasks(
+            taskset, self._platform, strategy=self._rt_partition_strategy
+        )

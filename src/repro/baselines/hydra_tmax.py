@@ -1,0 +1,35 @@
+"""HYDRA-TMax: fully partitioned security tasks without period adaptation.
+
+Identical to :class:`repro.baselines.hydra.Hydra` except that every security
+task keeps its maximum period ``T^max_s`` (paper Section 5.2.3).  The scheme
+exists to isolate the effect of *period adaptation* from the effect of
+*partitioned vs. migrating* execution: comparing HYDRA-C against HYDRA-TMax
+in Fig. 7b shows how much monitoring frequency the adaptation buys, while
+Fig. 7a shows that pinning the periods to their maxima also changes which
+task sets are admitted at all.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.hydra import Hydra, PeriodPolicy
+from repro.model.platform import Platform
+from repro.partitioning.heuristics import FitStrategy
+
+__all__ = ["HydraTMax"]
+
+
+class HydraTMax(Hydra):
+    """HYDRA allocation with security periods pinned to their maxima."""
+
+    scheme_name = "HYDRA-TMax"
+
+    def __init__(
+        self,
+        platform: Platform,
+        rt_partition_strategy: FitStrategy = FitStrategy.BEST_FIT,
+    ) -> None:
+        super().__init__(
+            platform,
+            rt_partition_strategy=rt_partition_strategy,
+            period_policy=PeriodPolicy.TMAX,
+        )

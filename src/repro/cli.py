@@ -1,0 +1,91 @@
+"""Command-line entry point: regenerate the paper's figures as text tables.
+
+Usage (installed as the ``hydra-c`` console script, also runnable as
+``python -m repro``)::
+
+    hydra-c fig5                 # rover case study (Fig. 5a/5b)
+    hydra-c fig6  --cores 2      # period distance vs utilization (Fig. 6)
+    hydra-c fig7a --cores 4      # acceptance ratio (Fig. 7a)
+    hydra-c fig7b --cores 2      # period-vector differences (Fig. 7b)
+
+The synthetic sweeps accept ``--tasksets-per-group`` (paper value: 250) and
+``--jobs`` for parallel evaluation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig5_rover import format_fig5, run_fig5
+from repro.experiments.fig6_period_distance import format_fig6, run_fig6
+from repro.experiments.fig7a_acceptance import format_fig7a, run_fig7a
+from repro.experiments.fig7b_period_diff import format_fig7b, run_fig7b
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="hydra-c",
+        description="Reproduce the HYDRA-C (DATE 2020) evaluation figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    fig5 = subparsers.add_parser("fig5", help="rover case study (Fig. 5a/5b)")
+    fig5.add_argument("--trials", type=int, default=35, help="trials per scheme")
+    fig5.add_argument(
+        "--horizon", type=int, default=45_000, help="observation window [ms]"
+    )
+    fig5.add_argument("--seed", type=int, default=2020)
+
+    for name, help_text in (
+        ("fig6", "period distance vs utilization (Fig. 6)"),
+        ("fig7a", "acceptance ratio per scheme (Fig. 7a)"),
+        ("fig7b", "period-vector differences (Fig. 7b)"),
+    ):
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument("--cores", type=int, default=2, choices=(2, 4))
+        sub.add_argument(
+            "--tasksets-per-group",
+            type=int,
+            default=40,
+            help="task sets per utilization group (paper: 250)",
+        )
+        sub.add_argument("--jobs", type=int, default=1, help="worker processes")
+        sub.add_argument("--seed", type=int, default=2020)
+
+    return parser
+
+
+def _sweep_config(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        num_cores=args.cores,
+        tasksets_per_group=args.tasksets_per_group,
+        seed=args.seed,
+        n_jobs=args.jobs,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "fig5":
+        result = run_fig5(num_trials=args.trials, horizon=args.horizon, seed=args.seed)
+        print(format_fig5(result))
+    elif args.command == "fig6":
+        print(format_fig6(run_fig6(_sweep_config(args))))
+    elif args.command == "fig7a":
+        print(format_fig7a(run_fig7a(_sweep_config(args))))
+    elif args.command == "fig7b":
+        print(format_fig7b(run_fig7b(_sweep_config(args))))
+    else:  # pragma: no cover - argparse enforces choices
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

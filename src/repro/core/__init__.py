@@ -1,0 +1,47 @@
+"""HYDRA-C: the paper's primary contribution (systems S5 and S6 in DESIGN.md).
+
+* :mod:`repro.core.analysis` -- the semi-partitioned worst-case response
+  time analysis for migrating security tasks (paper Section 4.1-4.4,
+  Eq. 2-8): RT tasks interfere as statically partitioned per-core workloads,
+  higher-priority security tasks interfere as global carry-in /
+  non-carry-in sources, and the response time is the fixed point of the
+  busy-window recurrence.
+* :mod:`repro.core.period_selection` -- Algorithm 1 (priority-ordered period
+  assignment) and Algorithm 2 (binary search for the minimum feasible
+  period).
+* :mod:`repro.core.framework` -- the :class:`~repro.core.framework.HydraC`
+  facade that a system designer would actually call: partition the RT
+  tasks, verify the legacy system, adapt the security periods and hand back
+  a complete, simulatable system design.
+"""
+
+from repro.core.analysis import (
+    CarryInStrategy,
+    SecurityTaskState,
+    analyze_security_tasks,
+    hydra_c_taskset_schedulable,
+    rt_interference,
+    security_response_time,
+)
+from repro.core.framework import HydraC, SystemDesign
+from repro.core.period_selection import (
+    PeriodSelectionResult,
+    PeriodSelector,
+    minimum_feasible_period,
+    select_periods,
+)
+
+__all__ = [
+    "CarryInStrategy",
+    "HydraC",
+    "PeriodSelectionResult",
+    "PeriodSelector",
+    "SecurityTaskState",
+    "SystemDesign",
+    "analyze_security_tasks",
+    "hydra_c_taskset_schedulable",
+    "minimum_feasible_period",
+    "rt_interference",
+    "security_response_time",
+    "select_periods",
+]

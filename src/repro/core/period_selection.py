@@ -1,0 +1,365 @@
+"""Period adaptation for security tasks (paper Algorithms 1 and 2).
+
+Given a task set whose RT tasks are already partitioned, HYDRA-C chooses the
+*minimum* period for every security task -- maximising monitoring frequency
+-- while keeping every security task schedulable within its designer-given
+maximum period ``T^max_s``:
+
+* **Algorithm 1** walks the security tasks from highest to lowest priority.
+  It first verifies that the task set is schedulable with every period at
+  its maximum (otherwise no adaptation can help and the set is rejected).
+  It then fixes, for each task in turn, the smallest period that keeps all
+  *lower-priority* security tasks schedulable, and propagates the updated
+  interference to those tasks' response times.
+* **Algorithm 2** performs the per-task search: a logarithmic (binary)
+  search over the integer range ``[R_s, T^max_s]``.  Feasibility is monotone
+  in the period (a longer period can only reduce the interference a task
+  imposes), which is what makes binary search sound; a linear search mode is
+  kept for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import UnschedulableError
+from repro.model.platform import Platform
+from repro.model.tasks import RealTimeTask, SecurityTask
+from repro.model.taskset import TaskSet
+from repro.core.analysis import (
+    CarryInStrategy,
+    RtWorkloadCache,
+    SecurityTaskState,
+    security_response_time,
+)
+
+__all__ = [
+    "SearchMode",
+    "PeriodSelectionResult",
+    "PeriodSelector",
+    "select_periods",
+    "minimum_feasible_period",
+]
+
+
+class SearchMode(str, enum.Enum):
+    """How Algorithm 2 scans the candidate period range."""
+
+    BINARY = "binary"
+    LINEAR = "linear"
+
+
+@dataclass(frozen=True)
+class PeriodSelectionResult:
+    """Outcome of running Algorithm 1 on a task set.
+
+    Attributes
+    ----------
+    schedulable:
+        True if a period assignment within the designer bounds exists.
+    periods:
+        Selected period ``T*_s`` for every security task (empty when
+        unschedulable).
+    response_times:
+        WCRT of every security task under the selected periods (or under the
+        maximum periods, up to the first failing task, when unschedulable).
+    unschedulable_task:
+        Name of the first security task whose WCRT exceeded its maximum
+        period, if any.
+    analysis_calls:
+        Number of WCRT computations performed -- exposed for the
+        binary-vs-linear search ablation benchmark.
+    """
+
+    schedulable: bool
+    periods: Dict[str, int] = field(default_factory=dict)
+    response_times: Dict[str, Optional[int]] = field(default_factory=dict)
+    unschedulable_task: Optional[str] = None
+    analysis_calls: int = 0
+
+    def apply(self, taskset: TaskSet) -> TaskSet:
+        """Return *taskset* with the selected periods assigned.
+
+        Raises :class:`~repro.errors.UnschedulableError` when no feasible
+        assignment was found.
+        """
+        if not self.schedulable:
+            raise UnschedulableError(
+                "cannot apply periods: the task set is unschedulable "
+                f"(first failure: {self.unschedulable_task!r})"
+            )
+        return taskset.with_security_periods(self.periods)
+
+
+class PeriodSelector:
+    """Stateful implementation of Algorithms 1 and 2.
+
+    The selector pre-groups the partitioned RT tasks by core and keeps the
+    security tasks in priority order; :meth:`select` then runs Algorithm 1.
+    A fresh selector is cheap to build, so callers normally use the
+    module-level :func:`select_periods` convenience function.
+    """
+
+    def __init__(
+        self,
+        taskset: TaskSet,
+        rt_allocation: Mapping[str, int],
+        platform: Platform,
+        strategy: CarryInStrategy = CarryInStrategy.AUTO,
+        search_mode: SearchMode = SearchMode.BINARY,
+    ) -> None:
+        self._taskset = taskset
+        self._platform = platform
+        self._strategy = strategy
+        self._search_mode = search_mode
+        self._security: List[SecurityTask] = taskset.security_by_priority()
+        self._rt_by_core: Dict[int, List[RealTimeTask]] = {
+            core.index: [] for core in platform.cores
+        }
+        for task in taskset.rt_tasks:
+            if task.name not in rt_allocation:
+                raise KeyError(f"RT task {task.name!r} has no core allocation")
+            core_index = rt_allocation[task.name]
+            if core_index not in self._rt_by_core:
+                raise ValueError(
+                    f"RT task {task.name!r} allocated to core {core_index} outside "
+                    f"the {platform.num_cores}-core platform"
+                )
+            self._rt_by_core[core_index].append(task)
+        self._rt_cache = RtWorkloadCache(self._rt_by_core)
+        self._analysis_calls = 0
+
+    # -- low-level response-time plumbing -------------------------------------
+
+    def _states_above(
+        self,
+        index: int,
+        periods: Mapping[str, int],
+        response_times: Mapping[str, int],
+    ) -> List[SecurityTaskState]:
+        """Build the higher-priority states for the task at *index*."""
+        states: List[SecurityTaskState] = []
+        for task in self._security[:index]:
+            states.append(
+                SecurityTaskState(
+                    name=task.name,
+                    wcet=task.wcet,
+                    period=periods[task.name],
+                    response_time=response_times[task.name],
+                )
+            )
+        return states
+
+    def _response_time(
+        self,
+        index: int,
+        periods: Mapping[str, int],
+        response_times: Mapping[str, int],
+    ) -> Optional[int]:
+        """WCRT of the security task at *index* (limit = its ``T^max``)."""
+        task = self._security[index]
+        self._analysis_calls += 1
+        return security_response_time(
+            security_wcet=task.wcet,
+            limit=task.max_period,
+            rt_tasks_by_core=self._rt_by_core,
+            higher_security=self._states_above(index, periods, response_times),
+            num_cores=self._platform.num_cores,
+            strategy=self._strategy,
+            rt_cache=self._rt_cache,
+        )
+
+    def _lower_priority_schedulable(
+        self,
+        index: int,
+        periods: Mapping[str, int],
+        response_times: Mapping[str, int],
+    ) -> bool:
+        """Check ``R_j <= T^max_j`` for every task below *index*.
+
+        ``periods`` must already contain the candidate period of the task at
+        *index*.  Response times of tasks between *index* and *j* are
+        recomputed on the fly (they depend on the candidate period), using a
+        scratch copy so the caller's bookkeeping is untouched.
+        """
+        scratch: Dict[str, int] = dict(response_times)
+        for j in range(index + 1, len(self._security)):
+            response = self._response_time(j, periods, scratch)
+            if response is None:
+                return False
+            scratch[self._security[j].name] = response
+        return True
+
+    # -- Algorithm 2 ------------------------------------------------------------
+
+    def _minimum_feasible_period(
+        self,
+        index: int,
+        periods: Dict[str, int],
+        response_times: Mapping[str, int],
+        own_response: int,
+    ) -> int:
+        """Algorithm 2: smallest ``T_s`` in ``[R_s, T^max_s]`` keeping every
+        lower-priority security task schedulable.
+
+        ``T^max_s`` is always feasible (guaranteed by Algorithm 1 line 1), so
+        the search never fails.
+        """
+        task = self._security[index]
+        low = own_response
+        high = task.max_period
+        best = task.max_period
+
+        def feasible(candidate: int) -> bool:
+            trial = dict(periods)
+            trial[task.name] = candidate
+            return self._lower_priority_schedulable(index, trial, response_times)
+
+        if self._search_mode is SearchMode.LINEAR:
+            for candidate in range(low, high + 1):
+                if feasible(candidate):
+                    return candidate
+            return best
+
+        while low <= high:
+            mid = (low + high) // 2
+            if feasible(mid):
+                best = mid
+                high = mid - 1
+            else:
+                low = mid + 1
+        return best
+
+    # -- Algorithm 1 ------------------------------------------------------------
+
+    def select(self) -> PeriodSelectionResult:
+        """Run Algorithm 1 and return the selected periods."""
+        self._analysis_calls = 0
+        periods: Dict[str, int] = {
+            task.name: task.max_period for task in self._security
+        }
+        response_times: Dict[str, int] = {}
+        reported: Dict[str, Optional[int]] = {}
+
+        # Line 1-4: all tasks at T^max must be schedulable.
+        for index, task in enumerate(self._security):
+            response = self._response_time(index, periods, response_times)
+            reported[task.name] = response
+            if response is None:
+                return PeriodSelectionResult(
+                    schedulable=False,
+                    response_times=reported,
+                    unschedulable_task=task.name,
+                    analysis_calls=self._analysis_calls,
+                )
+            response_times[task.name] = response
+
+        # Lines 5-9: fix periods from highest to lowest priority.
+        for index, task in enumerate(self._security):
+            chosen = self._minimum_feasible_period(
+                index, periods, response_times, own_response=response_times[task.name]
+            )
+            periods[task.name] = chosen
+            # Line 8: refresh the response times of all lower-priority tasks
+            # under the newly fixed interference.
+            for j in range(index + 1, len(self._security)):
+                lower = self._security[j]
+                response = self._response_time(j, periods, response_times)
+                if response is None:  # pragma: no cover - guarded by Algorithm 2
+                    raise UnschedulableError(
+                        f"internal inconsistency: {lower.name!r} became "
+                        "unschedulable after a feasible period was selected"
+                    )
+                response_times[lower.name] = response
+                reported[lower.name] = response
+
+        return PeriodSelectionResult(
+            schedulable=True,
+            periods=periods,
+            response_times=dict(response_times),
+            analysis_calls=self._analysis_calls,
+        )
+
+
+def select_periods(
+    taskset: TaskSet,
+    rt_allocation: Mapping[str, int],
+    platform: Platform,
+    strategy: CarryInStrategy = CarryInStrategy.AUTO,
+    search_mode: SearchMode = SearchMode.BINARY,
+) -> PeriodSelectionResult:
+    """Run HYDRA-C period adaptation (Algorithm 1) on a task set.
+
+    Parameters
+    ----------
+    taskset:
+        The combined RT + security task set.  Any already-assigned security
+        periods are ignored; the algorithm starts from the maximum periods.
+    rt_allocation:
+        Mapping from RT task name to core index (the legacy partition).
+    platform:
+        The multicore platform.
+    strategy:
+        Carry-in exploration strategy for the underlying WCRT analysis.
+    search_mode:
+        Binary (default, Algorithm 2) or linear period search.
+
+    Examples
+    --------
+    >>> from repro.model import Platform, RealTimeTask, SecurityTask, TaskSet
+    >>> taskset = TaskSet.create(
+    ...     [RealTimeTask(name="rt", wcet=2, period=10)],
+    ...     [SecurityTask(name="ids", wcet=3, max_period=50)],
+    ... )
+    >>> result = select_periods(taskset, {"rt": 0}, Platform(num_cores=2))
+    >>> result.schedulable, result.periods["ids"]
+    (True, 3)
+    """
+    selector = PeriodSelector(
+        taskset, rt_allocation, platform, strategy=strategy, search_mode=search_mode
+    )
+    return selector.select()
+
+
+def minimum_feasible_period(
+    taskset: TaskSet,
+    rt_allocation: Mapping[str, int],
+    platform: Platform,
+    task_name: str,
+    strategy: CarryInStrategy = CarryInStrategy.AUTO,
+) -> Optional[int]:
+    """Algorithm 2 for a single named security task.
+
+    Higher-priority security tasks use their *effective* periods (assigned
+    period if present, otherwise the maximum); lower-priority tasks are
+    required to remain schedulable at their maximum periods.  Returns the
+    minimum feasible period, or ``None`` when the task set is unschedulable
+    even with every period at its maximum.
+    """
+    selector = PeriodSelector(taskset, rt_allocation, platform, strategy=strategy)
+    order = selector._security
+    names = [task.name for task in order]
+    if task_name not in names:
+        raise KeyError(f"no security task named {task_name!r}")
+    target_index = names.index(task_name)
+
+    periods: Dict[str, int] = {}
+    response_times: Dict[str, int] = {}
+    for index, task in enumerate(order):
+        periods[task.name] = (
+            task.effective_period if index < target_index else task.max_period
+        )
+    for index, task in enumerate(order):
+        response = selector._response_time(index, periods, response_times)
+        if response is None:
+            return None
+        response_times[task.name] = response
+
+    return selector._minimum_feasible_period(
+        target_index,
+        periods,
+        response_times,
+        own_response=response_times[task_name],
+    )

@@ -1,0 +1,44 @@
+"""Experiment harness reproducing the paper's evaluation (system S12).
+
+One module per paper artifact:
+
+* :mod:`repro.experiments.fig5_rover` -- Fig. 5a/5b, the rover case study.
+* :mod:`repro.experiments.fig6_period_distance` -- Fig. 6, achievable period
+  distance vs. utilization.
+* :mod:`repro.experiments.fig7a_acceptance` -- Fig. 7a, acceptance ratio per
+  scheme.
+* :mod:`repro.experiments.fig7b_period_diff` -- Fig. 7b, period-vector
+  differences between HYDRA-C and the other schemes.
+
+plus :mod:`repro.experiments.config` (the Table-3 parameter space) and
+:mod:`repro.experiments.sweep` (the shared synthetic design-space sweep all
+of Figs. 6-7 are derived from).
+"""
+
+from repro.experiments.config import (
+    TABLE3_PARAMETERS,
+    UTILIZATION_GROUPS,
+    ExperimentConfig,
+)
+from repro.experiments.fig5_rover import Fig5Result, run_fig5
+from repro.experiments.fig6_period_distance import Fig6Result, run_fig6
+from repro.experiments.fig7a_acceptance import Fig7aResult, run_fig7a
+from repro.experiments.fig7b_period_diff import Fig7bResult, run_fig7b
+from repro.experiments.sweep import SweepResult, TasksetEvaluation, run_sweep
+
+__all__ = [
+    "ExperimentConfig",
+    "Fig5Result",
+    "Fig6Result",
+    "Fig7aResult",
+    "Fig7bResult",
+    "SweepResult",
+    "TABLE3_PARAMETERS",
+    "TasksetEvaluation",
+    "UTILIZATION_GROUPS",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7a",
+    "run_fig7b",
+    "run_sweep",
+]

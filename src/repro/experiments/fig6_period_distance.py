@@ -1,0 +1,74 @@
+"""Experiment E-F6: achievable period distance vs. utilization (paper Fig. 6).
+
+For every utilization group, the mean normalized Euclidean distance between
+HYDRA-C's adapted period vector and the maximum-period vector, over the task
+sets HYDRA-C admits.  Larger values mean the security tasks run more
+frequently relative to the designer bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import List, Optional
+
+from repro.analysis.metrics import normalized_period_distance
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sweep import SweepResult, run_sweep
+
+__all__ = ["Fig6Result", "run_fig6", "format_fig6"]
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """One distance value per utilization group (one subplot per core count)."""
+
+    config: ExperimentConfig
+    group_labels: List[str]
+    mean_distance: List[float]
+    samples_per_group: List[int]
+
+
+def compute_fig6(sweep: SweepResult) -> Fig6Result:
+    """Derive the Fig. 6 series from an existing sweep result."""
+    labels = sweep.config.group_labels()
+    means: List[float] = []
+    counts: List[int] = []
+    for _index, evaluations in sorted(sweep.by_group().items()):
+        distances: List[float] = []
+        for evaluation in evaluations:
+            periods = evaluation.periods.get("HYDRA-C")
+            if periods is None:
+                continue
+            distances.append(
+                normalized_period_distance(periods, evaluation.max_periods)
+            )
+        counts.append(len(distances))
+        means.append(mean(distances) if distances else float("nan"))
+    return Fig6Result(
+        config=sweep.config,
+        group_labels=labels,
+        mean_distance=means,
+        samples_per_group=counts,
+    )
+
+
+def run_fig6(config: Optional[ExperimentConfig] = None) -> Fig6Result:
+    """Run the sweep (if needed) and compute the Fig. 6 series."""
+    config = config or ExperimentConfig()
+    return compute_fig6(run_sweep(config))
+
+
+def format_fig6(result: Fig6Result) -> str:
+    """Render the Fig. 6 series as a text table."""
+    lines = [
+        f"Fig. 6 -- normalized distance from maximum periods "
+        f"({result.config.num_cores} cores, "
+        f"{result.config.tasksets_per_group} tasksets/group)",
+        f"{'utilization group':<20} {'mean distance':>14} {'schedulable':>12}",
+    ]
+    for label, distance, count in zip(
+        result.group_labels, result.mean_distance, result.samples_per_group
+    ):
+        lines.append(f"{label:<20} {distance:>14.3f} {count:>12d}")
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Experiment E-F7a: acceptance ratio per scheme (paper Fig. 7a).
+
+For every utilization group, the fraction of task sets each scheme admits
+(``R_s <= T^max_s`` for every security task, and RT deadlines met).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sweep import SCHEME_NAMES, SweepResult, run_sweep
+
+__all__ = ["Fig7aResult", "run_fig7a", "format_fig7a", "compute_fig7a"]
+
+
+@dataclass(frozen=True)
+class Fig7aResult:
+    """Acceptance-ratio curves, one per scheme."""
+
+    config: ExperimentConfig
+    group_labels: List[str]
+    acceptance: Dict[str, List[float]]
+    samples_per_group: List[int]
+
+
+def compute_fig7a(sweep: SweepResult) -> Fig7aResult:
+    """Derive the Fig. 7a curves from an existing sweep result."""
+    counts = [
+        len(evaluations) for _index, evaluations in sorted(sweep.by_group().items())
+    ]
+    acceptance = {
+        scheme: sweep.acceptance_by_group(scheme) for scheme in SCHEME_NAMES
+    }
+    return Fig7aResult(
+        config=sweep.config,
+        group_labels=sweep.config.group_labels(),
+        acceptance=acceptance,
+        samples_per_group=counts,
+    )
+
+
+def run_fig7a(config: Optional[ExperimentConfig] = None) -> Fig7aResult:
+    """Run the sweep (if needed) and compute the Fig. 7a curves."""
+    config = config or ExperimentConfig()
+    return compute_fig7a(run_sweep(config))
+
+
+def format_fig7a(result: Fig7aResult) -> str:
+    """Render the Fig. 7a curves as a text table (ratios in percent)."""
+    header = f"{'utilization group':<20}" + "".join(
+        f"{scheme:>14}" for scheme in result.acceptance
+    )
+    lines = [
+        f"Fig. 7a -- acceptance ratio ({result.config.num_cores} cores, "
+        f"{result.config.tasksets_per_group} tasksets/group)",
+        header,
+    ]
+    for row_index, label in enumerate(result.group_labels):
+        cells = "".join(
+            f"{100 * result.acceptance[scheme][row_index]:>13.1f}%"
+            for scheme in result.acceptance
+        )
+        lines.append(f"{label:<20}{cells}")
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Experiment E-F7b: period-vector differences (paper Fig. 7b).
+
+For every utilization group, the mean difference between HYDRA-C's
+normalized period distance and that of (a) HYDRA and (b) the schemes
+without period adaptation (GLOBAL-TMax / HYDRA-TMax, whose periods equal
+the maxima, so the difference reduces to HYDRA-C's own distance).  Positive
+values mean HYDRA-C runs its monitors more frequently than the reference
+scheme on the same task sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import List, Optional
+
+from repro.analysis.metrics import period_adaptation_gain
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sweep import SweepResult, run_sweep
+
+__all__ = ["Fig7bResult", "run_fig7b", "format_fig7b", "compute_fig7b"]
+
+
+@dataclass(frozen=True)
+class Fig7bResult:
+    """The two Fig. 7b series."""
+
+    config: ExperimentConfig
+    group_labels: List[str]
+    gain_vs_hydra: List[float]
+    gain_vs_no_adaptation: List[float]
+    samples_vs_hydra: List[int]
+    samples_vs_no_adaptation: List[int]
+
+
+def compute_fig7b(sweep: SweepResult) -> Fig7bResult:
+    """Derive the Fig. 7b series from an existing sweep result."""
+    labels = sweep.config.group_labels()
+    gain_hydra: List[float] = []
+    gain_none: List[float] = []
+    count_hydra: List[int] = []
+    count_none: List[int] = []
+
+    for _index, evaluations in sorted(sweep.by_group().items()):
+        versus_hydra: List[float] = []
+        versus_none: List[float] = []
+        for evaluation in evaluations:
+            hc_periods = evaluation.periods.get("HYDRA-C")
+            if hc_periods is None:
+                continue
+            # Against schemes without period adaptation the reference period
+            # vector is simply the maximum-period vector.
+            versus_none.append(
+                period_adaptation_gain(
+                    hc_periods, evaluation.max_periods, evaluation.max_periods
+                )
+            )
+            hydra_periods = evaluation.periods.get("HYDRA")
+            if hydra_periods is not None:
+                versus_hydra.append(
+                    period_adaptation_gain(
+                        hc_periods, hydra_periods, evaluation.max_periods
+                    )
+                )
+        gain_hydra.append(mean(versus_hydra) if versus_hydra else float("nan"))
+        gain_none.append(mean(versus_none) if versus_none else float("nan"))
+        count_hydra.append(len(versus_hydra))
+        count_none.append(len(versus_none))
+
+    return Fig7bResult(
+        config=sweep.config,
+        group_labels=labels,
+        gain_vs_hydra=gain_hydra,
+        gain_vs_no_adaptation=gain_none,
+        samples_vs_hydra=count_hydra,
+        samples_vs_no_adaptation=count_none,
+    )
+
+
+def run_fig7b(config: Optional[ExperimentConfig] = None) -> Fig7bResult:
+    """Run the sweep (if needed) and compute the Fig. 7b series."""
+    config = config or ExperimentConfig()
+    return compute_fig7b(run_sweep(config))
+
+
+def format_fig7b(result: Fig7bResult) -> str:
+    """Render the Fig. 7b series as a text table."""
+    lines = [
+        f"Fig. 7b -- period-vector difference ({result.config.num_cores} cores, "
+        f"{result.config.tasksets_per_group} tasksets/group)",
+        f"{'utilization group':<20} {'vs HYDRA':>12} {'vs w/o adaptation':>20}",
+    ]
+    for label, versus_hydra, versus_none in zip(
+        result.group_labels, result.gain_vs_hydra, result.gain_vs_no_adaptation
+    ):
+        lines.append(f"{label:<20} {versus_hydra:>12.3f} {versus_none:>20.3f}")
+    return "\n".join(lines)

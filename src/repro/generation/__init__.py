@@ -1,0 +1,28 @@
+"""Synthetic workload generation (system S8 in DESIGN.md).
+
+Implements the taskset-generation recipe of the paper's Table 3:
+
+* per-task utilizations drawn with the **Randfixedsum** algorithm
+  (Emberson, Stafford & Davis, WATERS 2010) so that a group of tasks hits an
+  exact total utilization with an unbiased distribution;
+* **log-uniform periods** for RT tasks (10-1000 ms) and maximum periods for
+  security tasks (1500-3000 ms);
+* the utilization-group structure (10 groups of normalized utilization,
+  250 tasksets per group) used by Figs. 6 and 7.
+"""
+
+from repro.generation.periods import log_uniform_periods
+from repro.generation.randfixedsum import randfixedsum
+from repro.generation.taskset_generator import (
+    TasksetGenerationConfig,
+    TasksetGenerator,
+    generate_taskset,
+)
+
+__all__ = [
+    "TasksetGenerationConfig",
+    "TasksetGenerator",
+    "generate_taskset",
+    "log_uniform_periods",
+    "randfixedsum",
+]

@@ -1,0 +1,122 @@
+"""Randfixedsum: unbiased utilization vectors with a fixed total.
+
+The paper (Table 3, citing Emberson, Stafford & Davis, WATERS 2010) draws
+per-task utilizations with the Randfixedsum algorithm: ``n`` values, each in
+``[0, 1]``, that sum *exactly* to a target ``u`` and are uniformly
+distributed over that simplex slice.  Compared to the naive
+"draw-and-normalise" approach this avoids biasing individual utilizations
+toward ``u / n``.
+
+This is a NumPy implementation of Roger Stafford's original MATLAB
+``randfixedsum`` restricted to the unit interval (which is all the taskset
+generator needs), following the structure of Paul Emberson's Python port.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["randfixedsum"]
+
+
+def randfixedsum(
+    num_values: int,
+    total: float,
+    num_sets: int = 1,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Draw ``num_sets`` vectors of ``num_values`` values in [0, 1] summing to ``total``.
+
+    Parameters
+    ----------
+    num_values:
+        Number of values per vector (``n >= 1``).
+    total:
+        Required sum ``u`` with ``0 <= u <= n``.
+    num_sets:
+        Number of independent vectors to draw.
+    rng:
+        NumPy random generator; a fresh default generator is used when
+        omitted (pass one explicitly for reproducibility).
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(num_sets, num_values)``; every row sums to
+        ``total`` (up to floating-point rounding) and every entry lies in
+        ``[0, 1]``.
+
+    Examples
+    --------
+    >>> values = randfixedsum(4, 1.5, num_sets=3, rng=np.random.default_rng(1))
+    >>> values.shape
+    (3, 4)
+    >>> bool(np.allclose(values.sum(axis=1), 1.5))
+    True
+    """
+    if num_values < 1:
+        raise ValueError(f"num_values must be >= 1, got {num_values}")
+    if num_sets < 1:
+        raise ValueError(f"num_sets must be >= 1, got {num_sets}")
+    if not 0.0 <= total <= num_values:
+        raise ValueError(
+            f"total={total} must lie in [0, {num_values}] for values bounded by [0, 1]"
+        )
+    if rng is None:
+        rng = np.random.default_rng()
+
+    n = num_values
+    if n == 1:
+        return np.full((num_sets, 1), float(total))
+
+    # --- build the transition-probability table -------------------------------
+    k = int(np.floor(total))
+    k = min(max(k, 0), n - 1)
+    s = float(total)
+    s1 = s - np.arange(k, k - n, -1, dtype=float)
+    s2 = np.arange(k + n, k, -1, dtype=float) - s
+
+    tiny = np.finfo(float).tiny
+    huge = np.finfo(float).max
+
+    w = np.zeros((n, n + 1))
+    w[0, 1] = huge
+    t = np.zeros((n - 1, n))
+
+    for i in range(2, n + 1):
+        tmp1 = w[i - 2, 1 : i + 1] * s1[:i] / float(i)
+        tmp2 = w[i - 2, 0:i] * s2[n - i : n] / float(i)
+        w[i - 1, 1 : i + 1] = tmp1 + tmp2
+        tmp3 = w[i - 1, 1 : i + 1] + tiny
+        tmp4 = s2[n - i : n] > s1[:i]
+        t[i - 2, 0:i] = (tmp2 / tmp3) * tmp4 + (1 - tmp1 / tmp3) * (~tmp4)
+
+    # --- walk the table to produce the samples ----------------------------------
+    x = np.zeros((n, num_sets))
+    rt = rng.uniform(size=(n - 1, num_sets))  # for transition decisions
+    rs = rng.uniform(size=(n - 1, num_sets))  # for simplex coordinates
+    s_vec = np.full(num_sets, s)
+    j_vec = np.full(num_sets, k + 1, dtype=int)
+    sm = np.zeros(num_sets)
+    pr = np.ones(num_sets)
+
+    for i in range(n - 1, 0, -1):
+        e = (rt[n - i - 1, :] <= t[i - 1, j_vec - 1]).astype(int)
+        sx = rs[n - i - 1, :] ** (1.0 / i)
+        sm = sm + (1.0 - sx) * pr * s_vec / (i + 1)
+        pr = sx * pr
+        x[n - i - 1, :] = sm + pr * e
+        s_vec = s_vec - e
+        j_vec = j_vec - e
+
+    x[n - 1, :] = sm + pr * s_vec
+
+    # The walk fills dimensions in a fixed order; shuffle each column so the
+    # marginal distribution is exchangeable across positions.
+    for column in range(num_sets):
+        x[:, column] = x[rng.permutation(n), column]
+
+    result = x.T
+    # Guard against tiny negative values / overshoots from rounding.
+    np.clip(result, 0.0, 1.0, out=result)
+    return result

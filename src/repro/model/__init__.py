@@ -1,0 +1,52 @@
+"""Task, platform and priority models (system S1 in DESIGN.md).
+
+This subpackage defines the vocabulary used by every other part of the
+library:
+
+* :class:`~repro.model.tasks.RealTimeTask` -- a legacy, statically
+  partitioned real-time task (known period, WCET and deadline).
+* :class:`~repro.model.tasks.SecurityTask` -- a security-monitoring task
+  whose period is *unknown* at design time; the paper's contribution is to
+  choose it (bounded above by ``max_period``).
+* :class:`~repro.model.taskset.TaskSet` -- an immutable container holding
+  both populations with consistency checks and priority-ordering helpers.
+* :class:`~repro.model.platform.Platform` -- an identical-multicore platform
+  description.
+* :mod:`~repro.model.priority` -- rate-monotonic assignment and ordering
+  helpers.
+
+All temporal quantities are *integers* (clock ticks), matching the paper's
+assumption that "all events in the system happen with the precision of
+integer clock ticks" (Section 2.1).
+"""
+
+from repro.model.platform import Core, Platform
+from repro.model.priority import (
+    assign_rate_monotonic_priorities,
+    assign_security_priorities_by_index,
+    higher_priority,
+    lower_priority,
+    sort_by_priority,
+)
+from repro.model.tasks import Job, RealTimeTask, SecurityTask, Task
+from repro.model.taskset import TaskSet
+from repro.model.time_utils import hyperperiod, lcm, ms_to_ticks, ticks_to_ms
+
+__all__ = [
+    "Core",
+    "Job",
+    "Platform",
+    "RealTimeTask",
+    "SecurityTask",
+    "Task",
+    "TaskSet",
+    "assign_rate_monotonic_priorities",
+    "assign_security_priorities_by_index",
+    "higher_priority",
+    "hyperperiod",
+    "lcm",
+    "lower_priority",
+    "ms_to_ticks",
+    "sort_by_priority",
+    "ticks_to_ms",
+]

@@ -1,0 +1,96 @@
+"""Multicore platform description.
+
+The paper assumes ``M`` *identical* cores (Section 2.1).  We keep the
+platform model deliberately small -- a core count plus optional naming --
+because the analysis only ever needs ``M`` and the simulator only needs a
+stable indexing of cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence, Tuple
+
+__all__ = ["Core", "Platform"]
+
+
+@dataclass(frozen=True)
+class Core:
+    """A single processor core.
+
+    Parameters
+    ----------
+    index:
+        Zero-based position of the core on the platform.
+    name:
+        Optional descriptive name (defaults to ``"core<index>"``).
+    """
+
+    index: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"core index must be non-negative, got {self.index}")
+        if not self.name:
+            object.__setattr__(self, "name", f"core{self.index}")
+
+
+@dataclass(frozen=True)
+class Platform:
+    """An identical-multicore platform with ``M`` cores.
+
+    Examples
+    --------
+    >>> platform = Platform(num_cores=2, name="rpi3-dual")
+    >>> platform.num_cores
+    2
+    >>> [core.name for core in platform]
+    ['core0', 'core1']
+    """
+
+    num_cores: int
+    name: str = "platform"
+    tick_duration_ms: float = 1.0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.num_cores, bool) or not isinstance(self.num_cores, int):
+            raise TypeError("num_cores must be an int")
+        if self.num_cores <= 0:
+            raise ValueError(f"num_cores must be positive, got {self.num_cores}")
+        if self.tick_duration_ms <= 0:
+            raise ValueError("tick_duration_ms must be positive")
+
+    # -- core access ---------------------------------------------------------
+
+    @property
+    def cores(self) -> Tuple[Core, ...]:
+        """The cores of the platform, indexed ``0 .. M-1``."""
+        return tuple(Core(index=i) for i in range(self.num_cores))
+
+    def core(self, index: int) -> Core:
+        """Return the core with the given index."""
+        if not 0 <= index < self.num_cores:
+            raise IndexError(
+                f"core index {index} out of range for platform with "
+                f"{self.num_cores} cores"
+            )
+        return Core(index=index)
+
+    def __iter__(self) -> Iterator[Core]:
+        return iter(self.cores)
+
+    def __len__(self) -> int:
+        return self.num_cores
+
+    # -- convenience constructors --------------------------------------------
+
+    @classmethod
+    def dual_core(cls, name: str = "dual-core") -> "Platform":
+        """A two-core platform (the paper's rover configuration)."""
+        return cls(num_cores=2, name=name)
+
+    @classmethod
+    def quad_core(cls, name: str = "quad-core") -> "Platform":
+        """A four-core platform (the paper's second synthetic configuration)."""
+        return cls(num_cores=4, name=name)

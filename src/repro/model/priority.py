@@ -1,0 +1,101 @@
+"""Priority assignment and ordering helpers.
+
+Conventions used throughout the library (documented once, here):
+
+* A priority is a non-negative integer; **smaller value = higher priority**.
+* Every RT task has a priority strictly higher than every security task.
+  To keep the two populations disjoint numerically, RT tasks are assigned
+  priorities ``0 .. N_R - 1`` and security tasks are assigned priorities
+  ``RT_PRIORITY_BAND + 0 .. RT_PRIORITY_BAND + N_S - 1``.
+* RT priorities follow rate-monotonic (RM) order: shorter period means
+  higher priority (paper Section 2.1).  Ties are broken by name for
+  determinism.
+* Security-task priorities are "distinct and specified by the designers"
+  (Section 3); :func:`assign_security_priorities_by_index` provides the
+  default used by the paper's evaluation (listed order = priority order).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, TypeVar
+
+from repro.model.tasks import RealTimeTask, SecurityTask, Task
+
+__all__ = [
+    "RT_PRIORITY_BAND",
+    "assign_rate_monotonic_priorities",
+    "assign_security_priorities_by_index",
+    "higher_priority",
+    "lower_priority",
+    "sort_by_priority",
+]
+
+#: Offset applied to security-task priorities so that any RT task outranks
+#: any security task regardless of how many RT tasks exist.
+RT_PRIORITY_BAND = 1_000_000
+
+TaskT = TypeVar("TaskT", bound=Task)
+
+
+def assign_rate_monotonic_priorities(tasks: Sequence[RealTimeTask]) -> List[RealTimeTask]:
+    """Assign rate-monotonic priorities to *tasks*.
+
+    Shorter period gets a (numerically) smaller priority value, i.e. a higher
+    priority.  Ties are broken by task name so the assignment is
+    deterministic.  The returned list preserves the input ordering; only the
+    ``priority`` fields change.
+
+    Examples
+    --------
+    >>> nav = RealTimeTask(name="nav", wcet=240, period=500)
+    >>> cam = RealTimeTask(name="camera", wcet=1120, period=5000)
+    >>> [t.priority for t in assign_rate_monotonic_priorities([cam, nav])]
+    [1, 0]
+    """
+    names = [task.name for task in tasks]
+    if len(set(names)) != len(names):
+        raise ValueError("task names must be unique for priority assignment")
+    order = sorted(tasks, key=lambda task: (task.period, task.name))
+    priority_of = {task.name: rank for rank, task in enumerate(order)}
+    return [task.with_priority(priority_of[task.name]) for task in tasks]
+
+
+def assign_security_priorities_by_index(
+    tasks: Sequence[SecurityTask],
+) -> List[SecurityTask]:
+    """Assign security-task priorities by list position.
+
+    The first task in the sequence becomes the highest-priority security
+    task.  All resulting priorities sit above :data:`RT_PRIORITY_BAND` so
+    that RT tasks always outrank security tasks.
+    """
+    names = [task.name for task in tasks]
+    if len(set(names)) != len(names):
+        raise ValueError("task names must be unique for priority assignment")
+    return [
+        task.with_priority(RT_PRIORITY_BAND + rank) for rank, task in enumerate(tasks)
+    ]
+
+
+def _require_assigned(task: Task) -> int:
+    if task.priority is None:
+        raise ValueError(f"task {task.name!r} has no priority assigned")
+    return task.priority
+
+
+def higher_priority(task: Task, reference: Task) -> bool:
+    """True when *task* has strictly higher priority than *reference*."""
+    return _require_assigned(task) < _require_assigned(reference)
+
+
+def lower_priority(task: Task, reference: Task) -> bool:
+    """True when *task* has strictly lower priority than *reference*."""
+    return _require_assigned(task) > _require_assigned(reference)
+
+
+def sort_by_priority(tasks: Iterable[TaskT]) -> List[TaskT]:
+    """Return *tasks* sorted from highest to lowest priority."""
+    tasks = list(tasks)
+    for task in tasks:
+        _require_assigned(task)
+    return sorted(tasks, key=lambda task: (task.priority, task.name))

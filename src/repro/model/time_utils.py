@@ -1,0 +1,94 @@
+"""Time arithmetic helpers shared by analysis, generation and simulation.
+
+All analysis code works on integer clock ticks.  These helpers convert
+between milliseconds (the unit the paper reports) and ticks, and compute
+hyperperiods for simulation horizons.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = ["lcm", "hyperperiod", "ms_to_ticks", "ticks_to_ms", "ceil_div"]
+
+
+def lcm(values: Iterable[int]) -> int:
+    """Least common multiple of a collection of positive integers.
+
+    >>> lcm([4, 6])
+    12
+    """
+    result = 1
+    count = 0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"lcm requires positive integers, got {value}")
+        result = result * value // math.gcd(result, value)
+        count += 1
+    if count == 0:
+        raise ValueError("lcm of an empty collection is undefined")
+    return result
+
+
+def hyperperiod(periods: Sequence[int], cap: int | None = None) -> int:
+    """Hyperperiod (LCM of periods), optionally capped.
+
+    The simulator uses the hyperperiod as a natural horizon; synthetic
+    tasksets with co-prime periods can have astronomically large
+    hyperperiods, so ``cap`` bounds the result (the simulator then simply
+    runs for ``cap`` ticks instead).
+
+    >>> hyperperiod([500, 5000])
+    5000
+    >>> hyperperiod([7, 11, 13], cap=100)
+    100
+    """
+    value = lcm(periods)
+    if cap is not None:
+        if cap <= 0:
+            raise ValueError("cap must be positive")
+        return min(value, cap)
+    return value
+
+
+def ms_to_ticks(milliseconds: float, tick_duration_ms: float = 1.0) -> int:
+    """Convert a duration in milliseconds to integer ticks (rounding up).
+
+    Rounding up is the safe direction for WCETs (never under-estimate work)
+    and is what the paper's integer-tick assumption implies for measured
+    values.
+    """
+    if milliseconds < 0:
+        raise ValueError("duration must be non-negative")
+    if tick_duration_ms <= 0:
+        raise ValueError("tick_duration_ms must be positive")
+    return int(math.ceil(milliseconds / tick_duration_ms))
+
+
+def ticks_to_ms(ticks: int, tick_duration_ms: float = 1.0) -> float:
+    """Convert integer ticks back to milliseconds."""
+    if ticks < 0:
+        raise ValueError("ticks must be non-negative")
+    if tick_duration_ms <= 0:
+        raise ValueError("tick_duration_ms must be positive")
+    return ticks * tick_duration_ms
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division ``ceil(numerator / denominator)``.
+
+    Used pervasively in response-time analysis (e.g. ``ceil(t / T_i)`` in
+    Eq. 1) where floating-point ``math.ceil`` would risk rounding errors for
+    large tick counts.
+
+    >>> ceil_div(7, 3)
+    3
+    >>> ceil_div(6, 3)
+    2
+    """
+    if denominator <= 0:
+        raise ValueError("denominator must be positive")
+    if numerator < 0:
+        raise ValueError("numerator must be non-negative")
+    return -(-numerator // denominator)

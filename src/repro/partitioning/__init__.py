@@ -1,0 +1,27 @@
+"""Task-to-core allocation (system S3 in DESIGN.md).
+
+The paper's evaluation partitions RT tasks with a best-fit heuristic
+(Table 3) and the HYDRA baseline partitions *security* tasks with a greedy
+best-fit strategy.  This subpackage provides:
+
+* :class:`~repro.partitioning.allocation.Allocation` -- an immutable mapping
+  from task names to core indices with per-core utilization bookkeeping.
+* :mod:`~repro.partitioning.heuristics` -- first-fit / best-fit / worst-fit
+  bin-packing drivers whose "does it fit?" predicate is the exact
+  response-time analysis (not just a utilization cap), matching how the
+  paper's task sets are screened for RT schedulability.
+"""
+
+from repro.partitioning.allocation import Allocation
+from repro.partitioning.heuristics import (
+    FitStrategy,
+    partition_rt_tasks,
+    partition_utilizations,
+)
+
+__all__ = [
+    "Allocation",
+    "FitStrategy",
+    "partition_rt_tasks",
+    "partition_utilizations",
+]

@@ -1,0 +1,113 @@
+"""The :class:`Allocation` value object: which task lives on which core."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.model.platform import Platform
+from repro.model.tasks import Task
+from repro.model.taskset import TaskSet
+
+__all__ = ["Allocation"]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """An immutable mapping from task names to core indices.
+
+    Only *statically partitioned* tasks appear in an allocation.  Under
+    HYDRA-C that means the RT tasks; under the HYDRA / HYDRA-TMax baselines
+    the security tasks are partitioned as well and therefore also appear.
+
+    Examples
+    --------
+    >>> allocation = Allocation({"nav": 0, "camera": 1})
+    >>> allocation.core_of("nav")
+    0
+    >>> allocation.tasks_on_core(1)
+    ('camera',)
+    """
+
+    mapping: Mapping[str, int]
+
+    def __post_init__(self) -> None:
+        frozen: Dict[str, int] = {}
+        for name, core in dict(self.mapping).items():
+            if not name:
+                raise ValueError("task names must be non-empty")
+            if isinstance(core, bool) or not isinstance(core, int):
+                raise TypeError(f"core index for {name!r} must be an int")
+            if core < 0:
+                raise ValueError(f"core index for {name!r} must be non-negative")
+            frozen[name] = core
+        object.__setattr__(self, "mapping", MappingProxyType(frozen))
+
+    # -- queries ---------------------------------------------------------------
+
+    def core_of(self, task_name: str) -> int:
+        """Core index the named task is bound to."""
+        try:
+            return self.mapping[task_name]
+        except KeyError as exc:
+            raise KeyError(f"task {task_name!r} is not allocated") from exc
+
+    def __contains__(self, task_name: str) -> bool:
+        return task_name in self.mapping
+
+    def __len__(self) -> int:
+        return len(self.mapping)
+
+    def tasks_on_core(self, core_index: int) -> Tuple[str, ...]:
+        """Names of the tasks bound to *core_index*, sorted for determinism."""
+        return tuple(
+            sorted(name for name, core in self.mapping.items() if core == core_index)
+        )
+
+    def used_cores(self) -> Tuple[int, ...]:
+        """Sorted indices of cores that host at least one task."""
+        return tuple(sorted(set(self.mapping.values())))
+
+    def core_utilizations(self, taskset: TaskSet, platform: Platform) -> List[float]:
+        """Utilization bound to each core (index = core index).
+
+        Security tasks that are not yet assigned a period contribute their
+        minimum utilization (``C / T^max``).
+        """
+        utilizations = [0.0] * platform.num_cores
+        for name, core in self.mapping.items():
+            if core >= platform.num_cores:
+                raise ValueError(
+                    f"task {name!r} allocated to core {core}, but the platform "
+                    f"has only {platform.num_cores} cores"
+                )
+            utilizations[core] += taskset.task(name).utilization
+        return utilizations
+
+    # -- derivation --------------------------------------------------------------
+
+    def merged_with(self, other: Mapping[str, int]) -> "Allocation":
+        """Return a new allocation extended with *other* (no overlaps allowed)."""
+        overlap = set(self.mapping) & set(other)
+        if overlap:
+            raise ValueError(f"tasks already allocated: {sorted(overlap)}")
+        combined = dict(self.mapping)
+        combined.update(other)
+        return Allocation(combined)
+
+    def restricted_to(self, task_names: Iterable[str]) -> "Allocation":
+        """Return a new allocation containing only the given tasks."""
+        wanted = set(task_names)
+        return Allocation(
+            {name: core for name, core in self.mapping.items() if name in wanted}
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        """A plain mutable copy of the mapping."""
+        return dict(self.mapping)
+
+    @classmethod
+    def empty(cls) -> "Allocation":
+        """An allocation with no tasks."""
+        return cls({})

@@ -1,0 +1,30 @@
+"""The paper's rover case study (system S11 in DESIGN.md).
+
+Section 5.1 of the paper integrates two security tasks (Tripwire and a
+kernel-module checker) into a two-core Raspberry-Pi-3 rover running a
+navigation task and a camera task, then compares HYDRA-C against HYDRA on
+intrusion-detection time (Fig. 5a) and context switches (Fig. 5b).
+
+This subpackage reproduces that study on the simulated substrate with the
+exact task parameters reported in Section 5.1.2.
+"""
+
+from repro.rover.case_study import (
+    ROVER_HORIZON_TICKS,
+    RoverCaseStudy,
+    RoverComparisonResult,
+    RoverTrialResult,
+    rover_monitors,
+    rover_rt_allocation,
+    rover_taskset,
+)
+
+__all__ = [
+    "ROVER_HORIZON_TICKS",
+    "RoverCaseStudy",
+    "RoverComparisonResult",
+    "RoverTrialResult",
+    "rover_monitors",
+    "rover_rt_allocation",
+    "rover_taskset",
+]

@@ -1,0 +1,54 @@
+"""Schedulability-analysis substrates (systems S2 and S4 in DESIGN.md).
+
+* :mod:`repro.schedulability.workload` -- the workload / interference
+  primitives of the paper (Eq. 2-5) shared by every analysis.
+* :mod:`repro.schedulability.uniprocessor` -- classic single-core
+  fixed-priority response-time analysis (paper Eq. 1).  Used to validate RT
+  partitions and as the engine behind the fully-partitioned HYDRA /
+  HYDRA-TMax baselines.
+* :mod:`repro.schedulability.global_rta` -- global fixed-priority multicore
+  response-time analysis in the style of Guan et al. (the paper's refs
+  [37-39]).  Used by the GLOBAL-TMax baseline.
+* :mod:`repro.schedulability.partitioned` -- whole-system checks for
+  partitioned RT tasks (Eq. 1 applied per core).
+"""
+
+from repro.schedulability.global_rta import (
+    GlobalAnalysisResult,
+    global_response_time,
+    global_taskset_schedulable,
+)
+from repro.schedulability.partitioned import (
+    PartitionedAnalysisResult,
+    partitioned_rt_schedulable,
+    rt_response_times,
+)
+from repro.schedulability.uniprocessor import (
+    UniprocessorTask,
+    core_is_schedulable,
+    response_time_upper_bound,
+    uniprocessor_response_time,
+)
+from repro.schedulability.workload import (
+    carry_in_workload,
+    interference_bound,
+    non_carry_in_workload,
+    periodic_workload,
+)
+
+__all__ = [
+    "GlobalAnalysisResult",
+    "PartitionedAnalysisResult",
+    "UniprocessorTask",
+    "carry_in_workload",
+    "core_is_schedulable",
+    "global_response_time",
+    "global_taskset_schedulable",
+    "interference_bound",
+    "non_carry_in_workload",
+    "partitioned_rt_schedulable",
+    "periodic_workload",
+    "response_time_upper_bound",
+    "rt_response_times",
+    "uniprocessor_response_time",
+]

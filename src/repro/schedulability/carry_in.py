@@ -1,0 +1,121 @@
+"""Carry-in set selection utilities (paper Lemma 2 / Eq. 8).
+
+In a global (or semi-partitioned) busy window, at most ``M - 1`` of the
+higher-priority *migrating* tasks can be carry-in tasks (Lemma 2).  Both the
+GLOBAL-TMax baseline analysis and the HYDRA-C analysis therefore need to
+answer the question:
+
+    given, for every higher-priority task, its interference when treated as
+    non-carry-in (``I^NC``) and when treated as carry-in (``I^CI``), what is
+    the worst (largest) total interference over all admissible partitions of
+    the tasks into a carry-in set of size at most ``M - 1`` and a
+    non-carry-in set?
+
+Because the total is a sum of independent per-task choices, the maximum is
+reached by taking every task's ``I^NC`` and upgrading the (at most)
+``M - 1`` tasks with the largest positive ``I^CI - I^NC`` difference --
+:func:`greedy_worst_case_interference`.  The exhaustive enumeration of
+partitions (:func:`enumerate_carry_in_sets`, paper Eq. 8) is retained both
+as a correctness oracle for tests and because HYDRA-C's *outer* max over
+partitions of per-partition fixed points is, strictly, the paper's stated
+algorithm; see :mod:`repro.core.analysis` for where each is used.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Iterator, List, Sequence, Set, Tuple
+
+__all__ = [
+    "greedy_worst_case_interference",
+    "enumerate_carry_in_sets",
+    "count_carry_in_sets",
+]
+
+
+def greedy_worst_case_interference(
+    non_carry_in: Sequence[int],
+    carry_in: Sequence[int],
+    max_carry_in: int,
+) -> Tuple[int, Tuple[int, ...]]:
+    """Worst-case total interference under the ``|CI| <= M - 1`` constraint.
+
+    Parameters
+    ----------
+    non_carry_in, carry_in:
+        Per-task interference values ``I^NC_i`` and ``I^CI_i`` (already
+        clamped by :func:`repro.schedulability.workload.interference_bound`).
+        Must have equal length.
+    max_carry_in:
+        Maximum number of carry-in tasks (``M - 1``; may be 0 on a
+        single-core platform, in which case no task is carry-in).
+
+    Returns
+    -------
+    (total, chosen):
+        ``total`` is the maximal interference sum; ``chosen`` is the tuple of
+        indices selected as carry-in tasks (sorted ascending) -- useful for
+        diagnostics and tests.
+
+    Examples
+    --------
+    >>> greedy_worst_case_interference([1, 2, 3], [5, 2, 4], max_carry_in=1)
+    (10, (0,))
+    >>> greedy_worst_case_interference([1, 2, 3], [5, 2, 4], max_carry_in=0)
+    (6, ())
+    """
+    if len(non_carry_in) != len(carry_in):
+        raise ValueError("non_carry_in and carry_in must have equal length")
+    if max_carry_in < 0:
+        raise ValueError("max_carry_in must be non-negative")
+    for value in list(non_carry_in) + list(carry_in):
+        if value < 0:
+            raise ValueError("interference values must be non-negative")
+
+    base = sum(non_carry_in)
+    deltas = [
+        (carry_in[i] - non_carry_in[i], i) for i in range(len(non_carry_in))
+    ]
+    positive = sorted((d for d in deltas if d[0] > 0), reverse=True)
+    chosen = tuple(sorted(index for _, index in positive[:max_carry_in]))
+    total = base + sum(delta for delta, _ in positive[:max_carry_in])
+    return total, chosen
+
+
+def enumerate_carry_in_sets(
+    num_tasks: int, max_carry_in: int
+) -> Iterator[Tuple[int, ...]]:
+    """Yield every admissible carry-in index set (including the empty set).
+
+    This is the set ``Z`` of Eq. 8: all subsets of ``{0, .., num_tasks-1}``
+    with cardinality at most ``max_carry_in``.
+
+    >>> sorted(enumerate_carry_in_sets(3, 1))
+    [(), (0,), (1,), (2,)]
+    """
+    if num_tasks < 0:
+        raise ValueError("num_tasks must be non-negative")
+    if max_carry_in < 0:
+        raise ValueError("max_carry_in must be non-negative")
+    limit = min(max_carry_in, num_tasks)
+    for size in range(limit + 1):
+        yield from combinations(range(num_tasks), size)
+
+
+def count_carry_in_sets(num_tasks: int, max_carry_in: int) -> int:
+    """Number of sets :func:`enumerate_carry_in_sets` would yield.
+
+    Used to decide whether exact enumeration is affordable before falling
+    back to the greedy selection.
+
+    >>> count_carry_in_sets(5, 2)
+    16
+    """
+    if num_tasks < 0:
+        raise ValueError("num_tasks must be non-negative")
+    if max_carry_in < 0:
+        raise ValueError("max_carry_in must be non-negative")
+    from math import comb
+
+    limit = min(max_carry_in, num_tasks)
+    return sum(comb(num_tasks, size) for size in range(limit + 1))

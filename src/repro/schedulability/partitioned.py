@@ -1,0 +1,111 @@
+"""Whole-system schedulability checks for partitioned RT tasks.
+
+The paper assumes (Section 2.1) that the legacy RT tasks are already
+partitioned and schedulable on their cores; these helpers verify that
+assumption (Eq. 1 applied per core) and expose the per-task response times
+that downstream analyses and reports use.
+
+To avoid coupling this module to the allocation heuristics, the partition is
+passed as a plain mapping ``task name -> core index``
+(:class:`repro.partitioning.Allocation` exposes exactly that via its
+``mapping`` attribute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.model.platform import Platform
+from repro.model.tasks import RealTimeTask
+from repro.model.taskset import TaskSet
+from repro.schedulability.uniprocessor import (
+    UniprocessorTask,
+    uniprocessor_response_time,
+)
+
+__all__ = [
+    "PartitionedAnalysisResult",
+    "rt_response_times",
+    "partitioned_rt_schedulable",
+    "rt_tasks_by_core",
+]
+
+
+@dataclass(frozen=True)
+class PartitionedAnalysisResult:
+    """Outcome of :func:`partitioned_rt_schedulable`."""
+
+    schedulable: bool
+    response_times: Dict[str, Optional[int]] = field(default_factory=dict)
+    unschedulable_tasks: tuple = ()
+
+    def response_time(self, name: str) -> Optional[int]:
+        return self.response_times.get(name)
+
+
+def rt_tasks_by_core(
+    taskset: TaskSet, allocation: Mapping[str, int], platform: Platform
+) -> Dict[int, List[RealTimeTask]]:
+    """Group the RT tasks of *taskset* by their allocated core.
+
+    Raises ``KeyError`` if any RT task is missing from the allocation and
+    ``ValueError`` if an allocation points at a core outside the platform.
+    """
+    groups: Dict[int, List[RealTimeTask]] = {
+        core.index: [] for core in platform.cores
+    }
+    for task in taskset.rt_tasks:
+        if task.name not in allocation:
+            raise KeyError(f"RT task {task.name!r} is not allocated to any core")
+        core_index = allocation[task.name]
+        if core_index not in groups:
+            raise ValueError(
+                f"RT task {task.name!r} allocated to core {core_index}, but the "
+                f"platform only has {platform.num_cores} cores"
+            )
+        groups[core_index].append(task)
+    for core_index in groups:
+        groups[core_index].sort(key=lambda t: (t.priority, t.name))
+    return groups
+
+
+def _as_uniprocessor(task: RealTimeTask) -> UniprocessorTask:
+    return UniprocessorTask(
+        name=task.name, wcet=task.wcet, period=task.period, deadline=task.deadline
+    )
+
+
+def rt_response_times(
+    taskset: TaskSet, allocation: Mapping[str, int], platform: Platform
+) -> Dict[str, Optional[int]]:
+    """Exact WCRT of every RT task under the given partition.
+
+    Security tasks never interfere with RT tasks (they run at strictly lower
+    priority), so the per-core analysis only sees the RT tasks mapped to that
+    core.
+    """
+    groups = rt_tasks_by_core(taskset, allocation, platform)
+    results: Dict[str, Optional[int]] = {}
+    for _core_index, tasks in groups.items():
+        for position, task in enumerate(tasks):
+            higher = [_as_uniprocessor(t) for t in tasks[:position]]
+            results[task.name] = uniprocessor_response_time(
+                task.wcet, higher, limit=task.deadline
+            )
+    return results
+
+
+def partitioned_rt_schedulable(
+    taskset: TaskSet, allocation: Mapping[str, int], platform: Platform
+) -> PartitionedAnalysisResult:
+    """Check Eq. 1 for every RT task under the given partition."""
+    response_times = rt_response_times(taskset, allocation, platform)
+    failed = tuple(
+        sorted(name for name, response in response_times.items() if response is None)
+    )
+    return PartitionedAnalysisResult(
+        schedulable=not failed,
+        response_times=response_times,
+        unschedulable_tasks=failed,
+    )

@@ -1,0 +1,169 @@
+"""Single-core fixed-priority preemptive response-time analysis.
+
+This is the classic exact analysis (Joseph & Pandya / Audsley) that the
+paper uses as its schedulability condition for partitioned RT tasks
+(Eq. 1)::
+
+    exists t, 0 < t <= D_r :  C_r + sum_{i in hp(r, core)} ceil(t / T_i) C_i <= t
+
+and that the fully-partitioned baselines (HYDRA, HYDRA-TMax) use to analyse
+security tasks bound to a single core.
+
+The module works on a deliberately tiny task view
+(:class:`UniprocessorTask`) so it can be reused for RT tasks, security
+tasks pinned to a core, or any ad-hoc interference source without dragging
+in the full model classes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.model.time_utils import ceil_div
+
+__all__ = [
+    "UniprocessorTask",
+    "uniprocessor_response_time",
+    "response_time_upper_bound",
+    "core_is_schedulable",
+    "liu_layland_bound",
+]
+
+
+@dataclass(frozen=True)
+class UniprocessorTask:
+    """A minimal (name, wcet, period, deadline) view used by this analysis."""
+
+    name: str
+    wcet: int
+    period: int
+    deadline: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.wcet <= 0:
+            raise ValueError(f"wcet must be positive, got {self.wcet}")
+        if self.period <= 0:
+            raise ValueError(f"period must be positive, got {self.period}")
+        if self.deadline is None:
+            object.__setattr__(self, "deadline", self.period)
+        if self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline}")
+
+    @property
+    def utilization(self) -> float:
+        return self.wcet / self.period
+
+
+def uniprocessor_response_time(
+    wcet: int,
+    higher_priority: Sequence[UniprocessorTask],
+    limit: int,
+) -> Optional[int]:
+    """Exact WCRT of a task with the given higher-priority interference.
+
+    Solves the fixed point ``R = C + sum_i ceil(R / T_i) * C_i`` by
+    iteration starting from ``R = C``.
+
+    Parameters
+    ----------
+    wcet:
+        WCET of the task under analysis.
+    higher_priority:
+        Tasks with higher priority that run on the same core.
+    limit:
+        Abort threshold: if the iterate exceeds ``limit`` (typically the
+        deadline or the maximum period) the task is declared unschedulable.
+
+    Returns
+    -------
+    The worst-case response time, or ``None`` if it exceeds ``limit``.
+
+    Examples
+    --------
+    >>> hp = [UniprocessorTask("a", wcet=1, period=4)]
+    >>> uniprocessor_response_time(2, hp, limit=10)
+    3
+    >>> uniprocessor_response_time(4, hp, limit=4)  # needs 5 > limit
+    """
+    if wcet <= 0:
+        raise ValueError(f"wcet must be positive, got {wcet}")
+    if limit <= 0:
+        raise ValueError(f"limit must be positive, got {limit}")
+    if wcet > limit:
+        return None
+
+    response = wcet
+    while True:
+        demand = wcet + sum(
+            ceil_div(response, task.period) * task.wcet for task in higher_priority
+        )
+        if demand == response:
+            return response
+        if demand > limit:
+            return None
+        response = demand
+
+
+def response_time_upper_bound(
+    wcet: int, higher_priority: Sequence[UniprocessorTask]
+) -> Optional[float]:
+    """A closed-form (Bini-style) upper bound on the uniprocessor WCRT.
+
+    ::
+
+        R_ub = (C + sum_i C_i * (1 - U_i)) / (1 - sum_i U_i)
+
+    Returns ``None`` when the higher-priority utilization is >= 1 (the bound
+    diverges).  Useful as a cheap pre-check and as a property-test oracle:
+    the exact WCRT from :func:`uniprocessor_response_time` never exceeds
+    this bound.
+    """
+    if wcet <= 0:
+        raise ValueError(f"wcet must be positive, got {wcet}")
+    hp_utilization = sum(task.utilization for task in higher_priority)
+    if hp_utilization >= 1.0:
+        return None
+    numerator = wcet + sum(
+        task.wcet * (1.0 - task.utilization) for task in higher_priority
+    )
+    return numerator / (1.0 - hp_utilization)
+
+
+def core_is_schedulable(tasks: Sequence[UniprocessorTask]) -> bool:
+    """Exact schedulability of a priority-ordered task list on one core.
+
+    ``tasks`` must be sorted from highest to lowest priority.  Each task is
+    schedulable iff its exact WCRT is no larger than its deadline
+    (paper Eq. 1).
+
+    Examples
+    --------
+    >>> core_is_schedulable([
+    ...     UniprocessorTask("hi", wcet=2, period=5),
+    ...     UniprocessorTask("lo", wcet=2, period=10),
+    ... ])
+    True
+    """
+    for position, task in enumerate(tasks):
+        higher = tasks[:position]
+        response = uniprocessor_response_time(task.wcet, higher, limit=task.deadline)
+        if response is None:
+            return False
+    return True
+
+
+def liu_layland_bound(num_tasks: int) -> float:
+    """The Liu & Layland RM utilization bound ``n (2^(1/n) - 1)``.
+
+    A *sufficient* (not necessary) test: any RM task set with total
+    utilization below this bound is schedulable on one core.  Exposed for
+    tests and quick feasibility screens.
+
+    >>> round(liu_layland_bound(1), 3)
+    1.0
+    """
+    if num_tasks <= 0:
+        raise ValueError("num_tasks must be positive")
+    return num_tasks * (2.0 ** (1.0 / num_tasks) - 1.0)

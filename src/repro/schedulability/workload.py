@@ -1,0 +1,150 @@
+"""Workload and interference primitives (paper Eq. 2-5).
+
+These functions are the arithmetic core shared by every response-time
+analysis in the library: the uniprocessor analysis (Eq. 1), the global
+analysis used by GLOBAL-TMax, and the HYDRA-C semi-partitioned analysis
+(Section 4 of the paper).
+
+Terminology (paper Definitions 1-4):
+
+* The **workload** ``W_i(x)`` of a task in a window of length ``x`` is the
+  accumulated execution it can perform inside the window.
+* A **carry-in** task has a job released *before* the window that still
+  executes inside it; a **non-carry-in** task does not.
+* The **interference** a higher-priority task causes on the job under
+  analysis is its workload clamped to ``x - C_k + 1`` (the job under
+  analysis needs ``C_k`` units for itself; the ``+1`` keeps the fixed-point
+  iteration from terminating prematurely -- see the discussion after Eq. 3).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "periodic_workload",
+    "non_carry_in_workload",
+    "carry_in_workload",
+    "interference_bound",
+]
+
+
+def periodic_workload(wcet: int, period: int, window: int) -> int:
+    """Workload of a synchronously released periodic task in a window.
+
+    Implements Eq. 2 of the paper::
+
+        W(x) = floor(x / T) * C + min(x mod T, C)
+
+    which is the maximum execution a task with WCET ``wcet`` and period
+    ``period`` can perform in any window of length ``window`` when it is
+    released at the window start and every job runs as early as possible.
+
+    Parameters
+    ----------
+    wcet, period:
+        Task parameters in ticks (``wcet <= period`` is *not* required here;
+        callers enforce their own invariants).
+    window:
+        Window length ``x >= 0`` in ticks.
+
+    Examples
+    --------
+    >>> periodic_workload(2, 5, 12)   # two full jobs + 2 ticks of a third
+    6
+    >>> periodic_workload(2, 5, 11)   # two full jobs + 1 tick of a third
+    5
+    >>> periodic_workload(2, 5, 0)
+    0
+    """
+    if wcet <= 0:
+        raise ValueError(f"wcet must be positive, got {wcet}")
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    if window < 0:
+        raise ValueError(f"window must be non-negative, got {window}")
+    full_jobs = window // period
+    remainder = window % period
+    return full_jobs * wcet + min(remainder, wcet)
+
+
+def non_carry_in_workload(wcet: int, period: int, window: int) -> int:
+    """Workload bound for a *non-carry-in* higher-priority task.
+
+    A non-carry-in task's workload is maximised when it is released exactly
+    at the start of the busy window, which is the synchronous-release pattern
+    of Eq. 2; hence ``W^NC(x)`` coincides with :func:`periodic_workload`.
+    """
+    return periodic_workload(wcet, period, window)
+
+
+def carry_in_workload(wcet: int, period: int, response_time: int, window: int) -> int:
+    """Workload bound for a *carry-in* higher-priority task (paper Eq. 4).
+
+    ::
+
+        W^CI(x) = W^NC(max(x - xbar, 0)) + min(x, C - 1)
+        xbar    = C - 1 + T - R
+
+    The carried-in job contributes at most ``C - 1`` ticks (it must have
+    started no later than one tick before the extended busy window began,
+    because some core was idle of higher-priority work at that instant), and
+    the remaining jobs behave like a synchronous release shifted by
+    ``xbar``.
+
+    Parameters
+    ----------
+    response_time:
+        Worst-case response time ``R`` of the carry-in task.  The analysis
+        of Section 4.5 guarantees it is known for all higher-priority
+        security tasks before it is needed here.
+
+    Examples
+    --------
+    >>> carry_in_workload(wcet=3, period=10, response_time=3, window=10)
+    5
+    >>> carry_in_workload(wcet=1, period=10, response_time=1, window=5)
+    0
+    """
+    if wcet <= 0:
+        raise ValueError(f"wcet must be positive, got {wcet}")
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    if response_time < wcet:
+        raise ValueError(
+            f"response_time={response_time} cannot be smaller than wcet={wcet}"
+        )
+    if window < 0:
+        raise ValueError(f"window must be non-negative, got {window}")
+    shift = wcet - 1 + period - response_time
+    body = non_carry_in_workload(wcet, period, max(window - shift, 0))
+    carried = min(window, wcet - 1)
+    return body + carried
+
+
+def interference_bound(workload: int, window: int, wcet_under_analysis: int) -> int:
+    """Clamp a workload to the interference it can cause (paper Eq. 3 / Eq. 5).
+
+    ::
+
+        I = min(W, x - C_k + 1)
+
+    The job under analysis needs ``C_k`` ticks of the window for itself, so
+    no single source (task or per-core task group) can interfere for more
+    than ``x - C_k``; the ``+1`` term is the standard correction that keeps
+    the fixed-point search from converging to an incorrect value when it is
+    seeded with ``x = C_k`` (see the paper's discussion after Eq. 3 and
+    Bertogna & Cirinei's analysis).
+
+    The result is never negative.
+    """
+    if workload < 0:
+        raise ValueError(f"workload must be non-negative, got {workload}")
+    if window < 0:
+        raise ValueError(f"window must be non-negative, got {window}")
+    if wcet_under_analysis <= 0:
+        raise ValueError(
+            f"wcet_under_analysis must be positive, got {wcet_under_analysis}"
+        )
+    cap = window - wcet_under_analysis + 1
+    if cap <= 0:
+        return 0
+    return min(workload, cap)

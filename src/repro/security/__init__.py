@@ -1,0 +1,45 @@
+"""Security monitoring and attack simulation (system S10 in DESIGN.md).
+
+The paper evaluates HYDRA-C with two concrete intrusion-detection tasks --
+Tripwire (file-system integrity checking of the rover's image data store)
+and a custom kernel-module checker -- and measures how quickly each detects
+an attack injected at a random time.  This subpackage provides the synthetic
+equivalents used by the reproduction:
+
+* :class:`~repro.security.monitors.SecurityMonitor` models a periodic
+  scanner that sweeps a fixed number of *coverage units* (files, kernel
+  modules, ...) in order during each job;
+* :mod:`~repro.security.attacks` injects attacks that compromise one unit of
+  one monitor's scan space at a chosen time;
+* :mod:`~repro.security.detection` replays a
+  :class:`~repro.sim.trace.SimulationTrace` against the attacks and reports
+  the exact tick at which the responsible monitor's scan swept over the
+  compromised unit -- the intrusion-detection latency of Fig. 5a.
+
+The substitution argument (DESIGN.md Section 4): detection latency in the
+paper is a property of *when and how uninterruptedly* the monitoring task
+executes, not of the specific hash or signature it computes; the synthetic
+scanners preserve exactly that dependency.
+"""
+
+from repro.security.attacks import Attack, AttackScenario, generate_attacks
+from repro.security.dependency import MonitorChain, ReactiveMonitorPolicy
+from repro.security.detection import DetectionResult, evaluate_detection
+from repro.security.monitors import (
+    FileIntegrityMonitor,
+    KernelModuleChecker,
+    SecurityMonitor,
+)
+
+__all__ = [
+    "Attack",
+    "AttackScenario",
+    "DetectionResult",
+    "FileIntegrityMonitor",
+    "KernelModuleChecker",
+    "MonitorChain",
+    "ReactiveMonitorPolicy",
+    "SecurityMonitor",
+    "evaluate_detection",
+    "generate_attacks",
+]

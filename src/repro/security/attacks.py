@@ -1,0 +1,121 @@
+"""Attack injection models.
+
+The paper launches two concrete attacks at random times during each rover
+trial: an ARM shellcode that tampers with the image data store (detected by
+Tripwire) and a rootkit that loads a malicious kernel module (detected by
+the custom checker).  For the reproduction only two properties of an attack
+matter: *when* it lands and *where in the responsible monitor's scan space*
+its artefact sits.  :class:`Attack` captures exactly that, and
+:func:`generate_attacks` reproduces the paper's "random point during program
+execution" injection policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.security.monitors import SecurityMonitor
+
+__all__ = ["Attack", "AttackScenario", "generate_attacks"]
+
+
+@dataclass(frozen=True)
+class Attack:
+    """A single intrusion event.
+
+    Attributes
+    ----------
+    name:
+        Identifier, e.g. ``"shellcode"`` or ``"rootkit"``.
+    monitor_task:
+        Name of the security task whose scan can observe this attack.
+    inject_time:
+        Tick at which the attack lands (the compromised object changes
+        state at this instant).
+    compromised_unit:
+        Index of the scan object the attack leaves its artefact in
+        (``0 <= compromised_unit < coverage_units`` of the monitor).
+    """
+
+    name: str
+    monitor_task: str
+    inject_time: int
+    compromised_unit: int
+
+    def __post_init__(self) -> None:
+        if self.inject_time < 0:
+            raise ValueError("inject_time must be non-negative")
+        if self.compromised_unit < 0:
+            raise ValueError("compromised_unit must be non-negative")
+
+
+@dataclass(frozen=True)
+class AttackScenario:
+    """A set of attacks injected during one simulation trial."""
+
+    attacks: Sequence[Attack]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "attacks", tuple(self.attacks))
+
+    def __iter__(self):
+        return iter(self.attacks)
+
+    def __len__(self) -> int:
+        return len(self.attacks)
+
+    def for_monitor(self, monitor_task: str) -> List[Attack]:
+        """Attacks observable by the named monitor."""
+        return [attack for attack in self.attacks if attack.monitor_task == monitor_task]
+
+
+def generate_attacks(
+    monitors: Sequence[SecurityMonitor],
+    horizon: int,
+    rng: Optional[np.random.Generator] = None,
+    latest_injection_fraction: float = 0.5,
+    name_prefix: str = "attack",
+) -> AttackScenario:
+    """Draw one random attack per monitor (the paper's rover trial setup).
+
+    Each attack is injected at a uniformly random tick in
+    ``[0, latest_injection_fraction * horizon)`` -- keeping injections away
+    from the very end of the observation window so that detection is
+    possible within the trial, exactly as launching attacks "at random
+    points during program execution" does in a trial that is long relative
+    to the monitoring periods -- and compromises a uniformly random unit of
+    the monitor's scan space.
+
+    Parameters
+    ----------
+    monitors:
+        The monitors to target (one attack each).
+    horizon:
+        Length of the simulation window in ticks.
+    latest_injection_fraction:
+        Fraction of the horizon after which no attack is injected.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    if not 0.0 < latest_injection_fraction <= 1.0:
+        raise ValueError("latest_injection_fraction must be in (0, 1]")
+    if rng is None:
+        rng = np.random.default_rng()
+
+    latest = max(1, int(horizon * latest_injection_fraction))
+    attacks: List[Attack] = []
+    for index, monitor in enumerate(monitors):
+        inject_time = int(rng.integers(0, latest))
+        unit = int(rng.integers(0, monitor.coverage_units))
+        attacks.append(
+            Attack(
+                name=f"{name_prefix}-{index}-{monitor.task_name}",
+                monitor_task=monitor.task_name,
+                inject_time=inject_time,
+                compromised_unit=unit,
+            )
+        )
+    return AttackScenario(attacks=attacks)

@@ -1,0 +1,133 @@
+"""Dependent (reactive) security checks -- the paper's Section 6 extension.
+
+The paper sketches, as future work, monitors whose follow-up checks depend
+on what an earlier check observed: if job ``j`` of a monitor sees an anomaly
+in action ``a0``, job ``j+1`` additionally performs action ``a1`` (e.g.
+inspect the system-call list).  This module provides a minimal, simulatable
+version of that idea so the extension can be exercised and benchmarked:
+
+* a :class:`MonitorChain` declares an ordered list of follow-up monitors
+  that are triggered once the head monitor detects something;
+* :class:`ReactiveMonitorPolicy` computes, from a base detection result,
+  when each follow-up check would complete if it is released immediately
+  after the triggering detection and runs at its own monitor's period.
+
+The follow-up latency model is intentionally analytical (period-based)
+rather than re-simulated: the point of the extension benchmark is to compare
+how much sooner a *chain* completes under HYDRA-C's shorter periods than
+under a baseline's longer ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.security.detection import DetectionResult
+from repro.security.monitors import SecurityMonitor
+
+__all__ = ["MonitorChain", "ReactiveMonitorPolicy", "ChainCompletion"]
+
+
+@dataclass(frozen=True)
+class MonitorChain:
+    """An ordered dependency between a head monitor and follow-up monitors."""
+
+    head: str
+    followers: Sequence[str]
+
+    def __post_init__(self) -> None:
+        if not self.head:
+            raise ValueError("head monitor name must be non-empty")
+        object.__setattr__(self, "followers", tuple(self.followers))
+        if self.head in self.followers:
+            raise ValueError("a monitor cannot follow itself")
+
+
+@dataclass(frozen=True)
+class ChainCompletion:
+    """When each stage of a reactive chain completes after a detection."""
+
+    head: str
+    trigger_time: int
+    stage_completion_times: Dict[str, int]
+
+    @property
+    def chain_latency(self) -> int:
+        """Ticks from the triggering detection to the last stage completing."""
+        if not self.stage_completion_times:
+            return 0
+        return max(self.stage_completion_times.values()) - self.trigger_time
+
+
+class ReactiveMonitorPolicy:
+    """Evaluate reactive chains on top of base detection results.
+
+    Parameters
+    ----------
+    chains:
+        The dependency declarations.
+    periods:
+        Assigned period of every security task (ticks); follow-up stage ``i``
+        (1-based) of a chain is assumed to complete within ``i`` periods of
+        its monitor after the trigger -- the first invocation that starts
+        after the trigger plus its own execution window.
+    """
+
+    def __init__(
+        self,
+        chains: Sequence[MonitorChain],
+        periods: Mapping[str, int],
+    ) -> None:
+        self._chains = tuple(chains)
+        self._periods = dict(periods)
+        for chain in self._chains:
+            for name in (chain.head, *chain.followers):
+                if name not in self._periods:
+                    raise KeyError(f"no period known for monitor {name!r}")
+
+    @property
+    def chains(self) -> Sequence[MonitorChain]:
+        return self._chains
+
+    def completions(
+        self, detections: Sequence[DetectionResult]
+    ) -> List[ChainCompletion]:
+        """Chain completions triggered by the given detection results."""
+        detected_at: Dict[str, int] = {
+            result.attack.monitor_task: result.detection_time
+            for result in detections
+            if result.detected and result.detection_time is not None
+        }
+        completions: List[ChainCompletion] = []
+        for chain in self._chains:
+            trigger = detected_at.get(chain.head)
+            if trigger is None:
+                continue
+            stage_times: Dict[str, int] = {}
+            previous = trigger
+            for follower in chain.followers:
+                period = self._periods[follower]
+                # The follower's next release after `previous` is at most one
+                # period away; it then needs one full period to be guaranteed
+                # complete (implicit deadline).
+                completion = previous + 2 * period
+                stage_times[follower] = completion
+                previous = completion
+            completions.append(
+                ChainCompletion(
+                    head=chain.head,
+                    trigger_time=trigger,
+                    stage_completion_times=stage_times,
+                )
+            )
+        return completions
+
+    def worst_chain_latency(
+        self, detections: Sequence[DetectionResult]
+    ) -> Optional[int]:
+        """The largest chain latency triggered by *detections* (or ``None``)."""
+        completions = self.completions(detections)
+        if not completions:
+            return None
+        return max(completion.chain_latency for completion in completions)

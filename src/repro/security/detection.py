@@ -1,0 +1,141 @@
+"""Detection-latency evaluation: replaying attacks against a schedule trace.
+
+Given a :class:`~repro.sim.trace.SimulationTrace`, the monitors, and the
+attacks of a trial, this module computes -- exactly, at tick granularity --
+the instant each attack is detected: the first time after the injection at
+which a job of the responsible monitor sweeps over the compromised unit.
+
+The mechanics mirror how an interrupted Tripwire run behaves on the rover:
+a scan that already passed the tampered file before the attack landed will
+not flag it; the *next* pass (or the remainder of a pass that had not yet
+reached the file) does.  Preemptions and migrations shift when that happens,
+which is exactly the effect Fig. 5a quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.security.attacks import Attack, AttackScenario
+from repro.security.monitors import SecurityMonitor
+from repro.sim.trace import ExecutionSlice, SimulationTrace
+
+__all__ = ["DetectionResult", "evaluate_detection", "detection_time_for_attack"]
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Outcome of one attack in one trial."""
+
+    attack: Attack
+    detected: bool
+    detection_time: Optional[int] = None
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Ticks from injection to detection (``None`` if undetected)."""
+        if self.detection_time is None:
+            return None
+        return self.detection_time - self.attack.inject_time
+
+
+def _slice_detection_time(
+    piece: ExecutionSlice, required_progress: int
+) -> Optional[int]:
+    """Tick at which the job's cumulative progress reaches ``required_progress``
+    within this slice, or ``None`` if the slice ends earlier."""
+    if piece.progress_after < required_progress:
+        return None
+    if piece.progress_before >= required_progress:
+        # Already reached before this slice started (caller filters this
+        # case out when it matters).
+        return piece.start
+    return piece.start + (required_progress - piece.progress_before)
+
+
+def detection_time_for_attack(
+    trace: SimulationTrace,
+    monitor: SecurityMonitor,
+    attack: Attack,
+) -> Optional[int]:
+    """The tick at which *attack* is detected in *trace*, or ``None``.
+
+    Detection requires a job of the monitor's task to reach scan progress
+    ``ticks_to_scan(compromised_unit + 1)`` at a time strictly after the
+    injection, **and** the portion of the scan that covers the compromised
+    unit must itself start no earlier than the injection (a sweep that
+    already hashed the object before it was tampered with cannot flag it).
+    """
+    if attack.monitor_task != monitor.task_name:
+        raise ValueError(
+            f"attack {attack.name!r} targets {attack.monitor_task!r}, not "
+            f"monitor {monitor.task_name!r}"
+        )
+    if attack.compromised_unit >= monitor.coverage_units:
+        raise ValueError(
+            f"attack {attack.name!r} compromises unit {attack.compromised_unit} "
+            f"but the monitor only scans {monitor.coverage_units} units"
+        )
+
+    # Progress thresholds: the scan of the compromised unit occupies the
+    # execution interval (start_progress, detect_progress] of each job.
+    start_progress = monitor.ticks_to_scan(attack.compromised_unit)
+    detect_progress = monitor.ticks_to_scan(attack.compromised_unit + 1)
+
+    # Group slices per job, in execution order.
+    slices_by_job: Dict[str, List[ExecutionSlice]] = {}
+    for piece in trace.slices_for_task(monitor.task_name):
+        slices_by_job.setdefault(piece.job_id, []).append(piece)
+
+    best: Optional[int] = None
+    for job_id, pieces in slices_by_job.items():
+        pieces.sort(key=lambda s: s.start)
+        # Wall-clock time at which this job begins scanning the compromised
+        # unit (i.e. reaches start_progress).  If that happens before the
+        # injection, this job's sweep misses the artefact.
+        unit_scan_start: Optional[int] = None
+        detection: Optional[int] = None
+        for piece in pieces:
+            if unit_scan_start is None:
+                candidate = _slice_detection_time(piece, start_progress)
+                if candidate is not None:
+                    unit_scan_start = max(candidate, piece.start)
+            if detection is None:
+                candidate = _slice_detection_time(piece, detect_progress)
+                if candidate is not None:
+                    detection = candidate
+            if unit_scan_start is not None and detection is not None:
+                break
+        if detection is None or unit_scan_start is None:
+            continue
+        if unit_scan_start < attack.inject_time:
+            # This job already swept (or was sweeping) the unit before the
+            # attack landed; it cannot detect the tampering.
+            continue
+        if detection <= attack.inject_time:
+            continue
+        if best is None or detection < best:
+            best = detection
+    return best
+
+
+def evaluate_detection(
+    trace: SimulationTrace,
+    monitors: Sequence[SecurityMonitor],
+    scenario: AttackScenario,
+) -> List[DetectionResult]:
+    """Evaluate every attack of a scenario against a simulation trace."""
+    by_task: Dict[str, SecurityMonitor] = {m.task_name: m for m in monitors}
+    results: List[DetectionResult] = []
+    for attack in scenario:
+        monitor = by_task.get(attack.monitor_task)
+        if monitor is None:
+            raise KeyError(
+                f"no monitor registered for security task {attack.monitor_task!r}"
+            )
+        time = detection_time_for_attack(trace, monitor, attack)
+        results.append(
+            DetectionResult(attack=attack, detected=time is not None, detection_time=time)
+        )
+    return results

@@ -1,0 +1,124 @@
+"""Synthetic security monitors.
+
+A monitor is the runtime persona of a :class:`~repro.model.tasks.SecurityTask`:
+every job of the task performs one *scan pass* over ``coverage_units``
+objects (filesystem entries for a Tripwire-like checker, loaded kernel
+modules for a rootkit checker), visiting them in a fixed order and spending
+an equal share of the job's WCET on each.  An intrusion planted in object
+``k`` at time ``t`` is detected at the first instant after ``t`` at which
+some job's scan position sweeps past ``k``.
+
+This is deliberately the *only* behavioural assumption the evaluation needs:
+the faster and the less interrupted the monitor runs, the earlier the sweep
+reaches the compromised object -- which is precisely the effect HYDRA-C's
+period adaptation and migration are designed to improve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.model.tasks import SecurityTask
+
+__all__ = ["SecurityMonitor", "FileIntegrityMonitor", "KernelModuleChecker"]
+
+
+@dataclass(frozen=True)
+class SecurityMonitor:
+    """A periodic scanner bound to a security task.
+
+    Parameters
+    ----------
+    task_name:
+        Name of the :class:`~repro.model.tasks.SecurityTask` that executes
+        this monitor.
+    coverage_units:
+        Number of objects one scan pass covers.
+    wcet:
+        WCET of one scan pass in ticks (equals the task's WCET).
+    description:
+        Human-readable description, used in reports.
+    """
+
+    task_name: str
+    coverage_units: int
+    wcet: int
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.coverage_units <= 0:
+            raise ValueError("coverage_units must be positive")
+        if self.wcet <= 0:
+            raise ValueError("wcet must be positive")
+
+    # -- scan geometry --------------------------------------------------------------
+
+    def unit_scanned_at(self, executed_ticks: int) -> int:
+        """Index of the last unit fully scanned after ``executed_ticks`` of work.
+
+        Units are scanned in order ``0 .. coverage_units - 1``; unit ``k`` is
+        considered scanned once the job's cumulative execution reaches
+        ``ticks_to_scan(k + 1)``.  Returns ``-1`` when no unit is complete
+        yet.
+
+        Examples
+        --------
+        >>> monitor = FileIntegrityMonitor("tw", coverage_units=4, wcet=10)
+        >>> [monitor.unit_scanned_at(t) for t in (0, 2, 3, 5, 10)]
+        [-1, -1, 0, 1, 3]
+        """
+        if executed_ticks < 0:
+            raise ValueError("executed_ticks must be non-negative")
+        if executed_ticks >= self.wcet:
+            return self.coverage_units - 1
+        # The largest (k + 1) with ceil((k+1) * wcet / units) <= executed,
+        # i.e. (k+1) * wcet <= executed * units.
+        return executed_ticks * self.coverage_units // self.wcet - 1
+
+    def ticks_to_scan(self, units: int) -> int:
+        """Execution ticks needed to finish scanning the first ``units`` objects.
+
+        The per-unit cost is ``wcet / coverage_units``; costs are rounded up
+        cumulatively so that a full pass takes exactly ``wcet`` ticks.
+
+        Examples
+        --------
+        >>> FileIntegrityMonitor("tw", coverage_units=4, wcet=10).ticks_to_scan(2)
+        5
+        """
+        if units < 0:
+            raise ValueError("units must be non-negative")
+        if units == 0:
+            return 0
+        units = min(units, self.coverage_units)
+        return -(-units * self.wcet // self.coverage_units)
+
+    @classmethod
+    def for_task(cls, task: SecurityTask, description: str = "") -> "SecurityMonitor":
+        """Build a monitor matching a security task's WCET and coverage."""
+        return cls(
+            task_name=task.name,
+            coverage_units=task.coverage_units,
+            wcet=task.wcet,
+            description=description or f"monitor for {task.name}",
+        )
+
+
+class FileIntegrityMonitor(SecurityMonitor):
+    """A Tripwire-like data-store integrity checker.
+
+    In the paper's rover this task hashes the captured-image data store and
+    compares against a known-good manifest; an ARM-shellcode attack that
+    tampers with a stored image is detected on the next sweep over that
+    image.
+    """
+
+
+class KernelModuleChecker(SecurityMonitor):
+    """The paper's custom kernel-module / rootkit checker.
+
+    Walks the list of loaded kernel modules and compares it with an expected
+    profile; a rootkit that inserts a malicious module is detected when the
+    sweep reaches that module's slot.
+    """

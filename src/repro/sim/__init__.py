@@ -1,0 +1,43 @@
+"""Multicore runtime scheduler simulation (system S9 in DESIGN.md).
+
+The paper's rover experiment (Section 5.1) measures two runtime quantities
+-- intrusion-detection time and context-switch counts -- on a Raspberry
+Pi 3.  This subpackage provides the simulated substrate those measurements
+run on in the reproduction: a tick-accurate multicore scheduler that
+executes a :class:`~repro.core.framework.SystemDesign` under the scheme's
+runtime policy:
+
+* partitioned fixed-priority preemptive scheduling for RT tasks (always);
+* security tasks either bound to cores (HYDRA / HYDRA-TMax), free to migrate
+  to any idle core (HYDRA-C), or fully global (GLOBAL-TMax);
+* security tasks always run at a priority below every RT task.
+
+The simulator produces a :class:`~repro.sim.trace.SimulationTrace` holding
+per-job execution slices, completion times, deadline misses, context-switch
+and migration counts -- everything the security evaluation
+(:mod:`repro.security`) and the Fig. 5 experiment need.
+"""
+
+from repro.sim.engine import SimulationConfig, Simulator, simulate_design
+from repro.sim.schedulers import (
+    GlobalFixedPriorityScheduler,
+    PartitionedScheduler,
+    SchedulerPolicy,
+    SemiPartitionedScheduler,
+    make_scheduler,
+)
+from repro.sim.trace import ExecutionSlice, JobRecord, SimulationTrace
+
+__all__ = [
+    "ExecutionSlice",
+    "GlobalFixedPriorityScheduler",
+    "JobRecord",
+    "PartitionedScheduler",
+    "SchedulerPolicy",
+    "SemiPartitionedScheduler",
+    "SimulationConfig",
+    "SimulationTrace",
+    "Simulator",
+    "make_scheduler",
+    "simulate_design",
+]

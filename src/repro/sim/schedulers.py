@@ -1,0 +1,194 @@
+"""Runtime scheduling policies for the tick-accurate simulator.
+
+Each policy answers a single question every tick: *which ready job runs on
+which core?*  The three policies mirror the schemes of the paper's
+evaluation:
+
+* :class:`PartitionedScheduler` -- every task (RT and security) is bound to
+  one core; each core independently runs its highest-priority ready job
+  (HYDRA, HYDRA-TMax).
+* :class:`SemiPartitionedScheduler` -- RT tasks stay bound to their cores
+  and always outrank security tasks; ready security jobs are placed, in
+  priority order, on whatever cores are left idle, migrating freely
+  (HYDRA-C).
+* :class:`GlobalFixedPriorityScheduler` -- the ``M`` highest-priority ready
+  jobs run, wherever there is room (GLOBAL-TMax).
+
+All policies prefer keeping a job on the core it last used when that core is
+available ("affinity"), which is how a real OS scheduler (and the paper's
+Linux testbed) behaves and keeps migration counts meaningful.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = [
+    "SchedulerPolicy",
+    "ReadyJob",
+    "PartitionedScheduler",
+    "SemiPartitionedScheduler",
+    "GlobalFixedPriorityScheduler",
+    "make_scheduler",
+]
+
+
+class SchedulerPolicy(str, enum.Enum):
+    """Identifier of the runtime policy used by a simulation."""
+
+    PARTITIONED = "partitioned"
+    SEMI_PARTITIONED = "semi-partitioned"
+    GLOBAL = "global"
+
+
+@dataclass(frozen=True)
+class ReadyJob:
+    """The scheduler-facing view of a ready (released, unfinished) job.
+
+    ``bound_core`` is ``None`` for jobs that may run on any core.
+    ``last_core`` is the core the job most recently executed on (``None`` if
+    it has not run yet); schedulers use it for affinity.
+    """
+
+    job_id: str
+    task_name: str
+    priority: int
+    is_security: bool
+    bound_core: Optional[int]
+    last_core: Optional[int]
+    release_time: int
+
+    @property
+    def sort_key(self):
+        """Priority order with deterministic tie-breaking."""
+        return (self.priority, self.release_time, self.job_id)
+
+
+class _BaseScheduler:
+    """Shared affinity-aware placement helper."""
+
+    policy: SchedulerPolicy
+
+    def __init__(self, num_cores: int) -> None:
+        if num_cores <= 0:
+            raise ValueError("num_cores must be positive")
+        self._num_cores = num_cores
+
+    @property
+    def num_cores(self) -> int:
+        return self._num_cores
+
+    def assign(self, ready: Sequence[ReadyJob]) -> Dict[int, Optional[str]]:
+        """Return the core -> job_id assignment for this tick."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _place_with_affinity(
+        jobs: Sequence[ReadyJob],
+        free_cores: List[int],
+        assignment: Dict[int, Optional[str]],
+    ) -> None:
+        """Place *jobs* (already priority-ordered) onto *free_cores*.
+
+        Jobs that last ran on a still-free core keep it; the rest fill the
+        remaining cores in index order.  ``free_cores`` is consumed in place.
+        """
+        selected = list(jobs[: len(free_cores)])
+        pending: List[ReadyJob] = []
+        for job in selected:
+            if job.last_core is not None and job.last_core in free_cores:
+                assignment[job.last_core] = job.job_id
+                free_cores.remove(job.last_core)
+            else:
+                pending.append(job)
+        for job in pending:
+            core = free_cores.pop(0)
+            assignment[core] = job.job_id
+
+
+class PartitionedScheduler(_BaseScheduler):
+    """Fully partitioned fixed-priority preemptive scheduling."""
+
+    policy = SchedulerPolicy.PARTITIONED
+
+    def assign(self, ready: Sequence[ReadyJob]) -> Dict[int, Optional[str]]:
+        assignment: Dict[int, Optional[str]] = {
+            core: None for core in range(self._num_cores)
+        }
+        for job in sorted(ready, key=lambda j: j.sort_key):
+            if job.bound_core is None:
+                raise ValueError(
+                    f"job {job.job_id} has no core binding under partitioned "
+                    "scheduling"
+                )
+            if assignment[job.bound_core] is None:
+                assignment[job.bound_core] = job.job_id
+        return assignment
+
+
+class SemiPartitionedScheduler(_BaseScheduler):
+    """HYDRA-C's runtime policy: partitioned RT tasks, migrating security tasks.
+
+    RT jobs are dispatched first, each on its bound core (highest priority
+    wins).  Security jobs -- all of which rank below every RT job -- then
+    fill the remaining idle cores in security-priority order, migrating to
+    whichever core is free.
+    """
+
+    policy = SchedulerPolicy.SEMI_PARTITIONED
+
+    def assign(self, ready: Sequence[ReadyJob]) -> Dict[int, Optional[str]]:
+        assignment: Dict[int, Optional[str]] = {
+            core: None for core in range(self._num_cores)
+        }
+        rt_jobs = [job for job in ready if not job.is_security]
+        for job in sorted(rt_jobs, key=lambda j: j.sort_key):
+            if job.bound_core is None:
+                raise ValueError(
+                    f"RT job {job.job_id} has no core binding under "
+                    "semi-partitioned scheduling"
+                )
+            if assignment[job.bound_core] is None:
+                assignment[job.bound_core] = job.job_id
+
+        free_cores = [core for core, job in assignment.items() if job is None]
+        security_jobs = sorted(
+            (job for job in ready if job.is_security), key=lambda j: j.sort_key
+        )
+        self._place_with_affinity(security_jobs, free_cores, assignment)
+        return assignment
+
+
+class GlobalFixedPriorityScheduler(_BaseScheduler):
+    """Global fixed-priority scheduling: the M highest-priority jobs run."""
+
+    policy = SchedulerPolicy.GLOBAL
+
+    def assign(self, ready: Sequence[ReadyJob]) -> Dict[int, Optional[str]]:
+        assignment: Dict[int, Optional[str]] = {
+            core: None for core in range(self._num_cores)
+        }
+        ordered = sorted(ready, key=lambda j: j.sort_key)
+        free_cores = list(range(self._num_cores))
+        self._place_with_affinity(ordered, free_cores, assignment)
+        return assignment
+
+
+def make_scheduler(
+    policy: SchedulerPolicy | str, num_cores: int
+) -> _BaseScheduler:
+    """Instantiate the scheduler implementing *policy*.
+
+    Accepts either a :class:`SchedulerPolicy` member or its string value
+    (which matches :class:`repro.core.framework.SchedulingPolicy` values, so
+    a :class:`~repro.core.framework.SystemDesign`'s policy can be passed
+    straight through).
+    """
+    resolved = SchedulerPolicy(policy)
+    if resolved is SchedulerPolicy.PARTITIONED:
+        return PartitionedScheduler(num_cores)
+    if resolved is SchedulerPolicy.SEMI_PARTITIONED:
+        return SemiPartitionedScheduler(num_cores)
+    return GlobalFixedPriorityScheduler(num_cores)

@@ -1,0 +1,166 @@
+"""Simulation trace data structures.
+
+A trace is the simulator's complete account of a run: which job occupied
+which core during which interval, when each job completed, how many context
+switches and migrations occurred, and whether any RT deadline was missed.
+Traces are plain data -- the security evaluation and the experiments consume
+them without needing the simulator itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ExecutionSlice", "JobRecord", "SimulationTrace"]
+
+
+@dataclass(frozen=True)
+class ExecutionSlice:
+    """A maximal interval during which one job ran uninterrupted on one core.
+
+    ``start`` is inclusive, ``end`` exclusive (ticks).  ``progress_before``
+    is the amount of execution the job had already accumulated when the
+    slice began; the slice advances it to ``progress_before + (end - start)``.
+    """
+
+    job_id: str
+    task_name: str
+    core: int
+    start: int
+    end: int
+    progress_before: int
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"slice must have positive length: {self}")
+        if self.progress_before < 0:
+            raise ValueError("progress_before must be non-negative")
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+    @property
+    def progress_after(self) -> int:
+        return self.progress_before + self.duration
+
+
+@dataclass
+class JobRecord:
+    """Lifecycle summary of a single job."""
+
+    job_id: str
+    task_name: str
+    is_security: bool
+    release_time: int
+    wcet: int
+    absolute_deadline: Optional[int] = None
+    completion_time: Optional[int] = None
+    executed: int = 0
+
+    @property
+    def completed(self) -> bool:
+        return self.completion_time is not None
+
+    @property
+    def response_time(self) -> Optional[int]:
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.release_time
+
+    @property
+    def missed_deadline(self) -> bool:
+        if self.absolute_deadline is None:
+            return False
+        if self.completion_time is None:
+            return True
+        return self.completion_time > self.absolute_deadline
+
+
+@dataclass
+class SimulationTrace:
+    """Everything a simulation run produced."""
+
+    horizon: int
+    num_cores: int
+    slices: List[ExecutionSlice] = field(default_factory=list)
+    jobs: Dict[str, JobRecord] = field(default_factory=dict)
+    context_switches: int = 0
+    migrations: int = 0
+    preemptions: int = 0
+
+    # -- convenience accessors ---------------------------------------------------
+
+    def slices_for_task(self, task_name: str) -> List[ExecutionSlice]:
+        """Execution slices of all jobs of a task, in time order."""
+        return sorted(
+            (s for s in self.slices if s.task_name == task_name),
+            key=lambda s: (s.start, s.core),
+        )
+
+    def jobs_for_task(self, task_name: str) -> List[JobRecord]:
+        """Job records of a task, ordered by release time."""
+        return sorted(
+            (job for job in self.jobs.values() if job.task_name == task_name),
+            key=lambda job: job.release_time,
+        )
+
+    def completed_jobs(self, task_name: Optional[str] = None) -> List[JobRecord]:
+        """Completed jobs, optionally restricted to one task."""
+        jobs = self.jobs.values()
+        return sorted(
+            (
+                job
+                for job in jobs
+                if job.completed and (task_name is None or job.task_name == task_name)
+            ),
+            key=lambda job: job.completion_time,
+        )
+
+    def deadline_misses(self) -> List[JobRecord]:
+        """Jobs that observably missed their deadline.
+
+        Only jobs whose absolute deadline falls within the simulated horizon
+        are considered: a job released near the end of the window whose
+        deadline lies beyond it had no chance to complete and says nothing
+        about schedulability.
+        """
+        return [
+            job
+            for job in self.jobs.values()
+            if job.missed_deadline
+            and job.absolute_deadline is not None
+            and job.absolute_deadline <= self.horizon
+        ]
+
+    def observed_response_times(self, task_name: str) -> List[int]:
+        """Response times of the completed jobs of a task."""
+        return [
+            job.response_time
+            for job in self.jobs_for_task(task_name)
+            if job.response_time is not None
+        ]
+
+    def busy_time_per_core(self) -> List[int]:
+        """Total executed ticks on each core."""
+        busy = [0] * self.num_cores
+        for piece in self.slices:
+            busy[piece.core] += piece.duration
+        return busy
+
+    def utilization_per_core(self) -> List[float]:
+        """Fraction of the horizon each core spent executing."""
+        if self.horizon == 0:
+            return [0.0] * self.num_cores
+        return [busy / self.horizon for busy in self.busy_time_per_core()]
+
+    def summary(self) -> str:
+        """Short human-readable digest of the run."""
+        misses = len(self.deadline_misses())
+        return (
+            f"SimulationTrace(horizon={self.horizon}, cores={self.num_cores}, "
+            f"jobs={len(self.jobs)}, context_switches={self.context_switches}, "
+            f"migrations={self.migrations}, preemptions={self.preemptions}, "
+            f"deadline_misses={misses})"
+        )

@@ -1,0 +1,105 @@
+"""Unit and property tests for the evaluation metrics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import (
+    acceptance_ratio,
+    normalized_period_distance,
+    period_adaptation_gain,
+    summarize,
+)
+
+
+class TestAcceptanceRatio:
+    def test_basic(self):
+        assert acceptance_ratio([True, True, False, False]) == 0.5
+
+    def test_empty(self):
+        assert acceptance_ratio([]) == 0.0
+
+    def test_all_accepted(self):
+        assert acceptance_ratio([True] * 7) == 1.0
+
+
+class TestNormalizedPeriodDistance:
+    def test_zero_when_unadapted(self):
+        assert normalized_period_distance({"a": 100}, {"a": 100}) == 0.0
+
+    def test_known_value(self):
+        assert normalized_period_distance(
+            {"a": 50, "b": 100}, {"a": 100, "b": 100}
+        ) == pytest.approx(50 / math.sqrt(2 * 100**2))
+
+    def test_missing_tasks_treated_as_unadapted(self):
+        assert normalized_period_distance({}, {"a": 100}) == 0.0
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(KeyError):
+            normalized_period_distance({"ghost": 1}, {"a": 100})
+
+    def test_period_above_max_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_period_distance({"a": 200}, {"a": 100})
+
+    def test_empty_max_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_period_distance({}, {})
+
+    @given(
+        maxima=st.lists(st.integers(10, 1000), min_size=1, max_size=6),
+        fractions=st.lists(st.floats(0.01, 1.0), min_size=6, max_size=6),
+    )
+    @settings(max_examples=150)
+    def test_bounded_between_zero_and_one(self, maxima, fractions):
+        max_periods = {f"t{i}": m for i, m in enumerate(maxima)}
+        periods = {
+            f"t{i}": max(1, int(m * fractions[i])) for i, m in enumerate(maxima)
+        }
+        value = normalized_period_distance(periods, max_periods)
+        assert 0.0 <= value < 1.0
+
+    @given(maxima=st.lists(st.integers(10, 1000), min_size=1, max_size=6))
+    @settings(max_examples=100)
+    def test_shorter_periods_increase_distance(self, maxima):
+        max_periods = {f"t{i}": m for i, m in enumerate(maxima)}
+        half = {name: max(1, m // 2) for name, m in max_periods.items()}
+        quarter = {name: max(1, m // 4) for name, m in max_periods.items()}
+        assert normalized_period_distance(quarter, max_periods) >= (
+            normalized_period_distance(half, max_periods)
+        )
+
+
+class TestPeriodAdaptationGain:
+    def test_positive_when_scheme_has_shorter_periods(self):
+        gain = period_adaptation_gain(
+            {"a": 20}, {"a": 80}, {"a": 100}
+        )
+        assert gain > 0
+
+    def test_zero_for_identical_periods(self):
+        assert period_adaptation_gain({"a": 50}, {"a": 50}, {"a": 100}) == 0.0
+
+    def test_reduces_to_distance_against_unadapted_reference(self):
+        periods = {"a": 40, "b": 70}
+        maxima = {"a": 100, "b": 100}
+        assert period_adaptation_gain(periods, maxima, maxima) == pytest.approx(
+            normalized_period_distance(periods, maxima)
+        )
+
+
+class TestSummarize:
+    def test_basic(self):
+        digest = summarize([1.0, 2.0, 3.0])
+        assert digest["count"] == 3
+        assert digest["mean"] == pytest.approx(2.0)
+        assert digest["min"] == 1.0
+        assert digest["max"] == 3.0
+
+    def test_empty(self):
+        digest = summarize([])
+        assert digest["count"] == 0
+        assert math.isnan(digest["mean"])

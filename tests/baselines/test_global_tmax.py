@@ -1,0 +1,37 @@
+"""Unit tests for the GLOBAL-TMax baseline."""
+
+import pytest
+
+from repro.baselines.global_tmax import GlobalTMax
+from repro.core.framework import SchedulingPolicy
+from repro.model import Platform, RealTimeTask, SecurityTask, TaskSet
+
+
+class TestGlobalTMax:
+    def test_rover_is_schedulable_globally(self, rover, dual_core):
+        design = GlobalTMax(dual_core).design(rover)
+        assert design.schedulable
+        assert design.policy is SchedulingPolicy.GLOBAL
+        assert design.rt_allocation is None
+        assert design.security_allocation is None
+
+    def test_periods_pinned_to_maximum(self, rover, dual_core):
+        design = GlobalTMax(dual_core).design(rover)
+        assert set(design.security_periods().values()) == {10_000}
+
+    def test_rt_allocation_argument_ignored(self, rover, rover_allocation, dual_core):
+        with_alloc = GlobalTMax(dual_core).design(rover, rover_allocation)
+        without = GlobalTMax(dual_core).design(rover)
+        assert with_alloc.schedulable == without.schedulable
+
+    def test_overload_rejected(self, dual_core):
+        taskset = TaskSet.create(
+            [RealTimeTask(name=f"rt{i}", wcet=9, period=10) for i in range(3)],
+            [SecurityTask(name="ids", wcet=5, max_period=100)],
+        )
+        design = GlobalTMax(dual_core).design(taskset)
+        assert not design.schedulable
+        assert "unschedulable_task" in design.metadata
+
+    def test_is_schedulable(self, rover, dual_core):
+        assert GlobalTMax(dual_core).is_schedulable(rover)

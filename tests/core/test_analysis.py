@@ -1,0 +1,183 @@
+"""Unit and property tests for the HYDRA-C response-time analysis (Eq. 2-8)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import (
+    CarryInStrategy,
+    RtWorkloadCache,
+    SecurityTaskState,
+    analyze_security_tasks,
+    hydra_c_taskset_schedulable,
+    rt_interference,
+    security_response_time,
+)
+from repro.model import Platform, RealTimeTask, SecurityTask, TaskSet
+from repro.schedulability.uniprocessor import (
+    UniprocessorTask,
+    uniprocessor_response_time,
+)
+
+
+def rt(name, wcet, period):
+    return RealTimeTask(name=name, wcet=wcet, period=period)
+
+
+class TestRtInterference:
+    def test_matches_manual_sum(self):
+        by_core = {0: [rt("a", 2, 10)], 1: [rt("b", 3, 12)]}
+        # window 12, wcet 4: core0 workload = 2 + min(2,2) = 4; core1 = 3 + 0 = 3
+        # cap = 12-4+1 = 9 -> no clamping
+        assert rt_interference(by_core, 12, 4) == 4 + 3
+
+    def test_per_core_clamping(self):
+        by_core = {0: [rt("a", 9, 10)], 1: [rt("b", 1, 100)]}
+        # window 10, wcet 8: cap = 3; core0 workload 9 -> 3, core1 1 -> 1
+        assert rt_interference(by_core, 10, 8) == 4
+
+    def test_cache_agrees_with_direct_computation(self):
+        by_core = {0: [rt("a", 2, 7), rt("b", 3, 11)], 1: [rt("c", 5, 13)]}
+        cache = RtWorkloadCache(by_core)
+        for window in range(0, 60, 7):
+            for wcet in (1, 4, 9):
+                assert cache.interference(window, wcet) == rt_interference(
+                    by_core, window, wcet
+                )
+
+    def test_empty_platform(self):
+        assert rt_interference({0: [], 1: []}, 50, 5) == 0
+
+
+class TestSecurityResponseTime:
+    def test_no_interference_equals_wcet(self):
+        assert (
+            security_response_time(
+                5, 100, {0: [], 1: []}, [], num_cores=2
+            )
+            == 5
+        )
+
+    def test_single_core_reduces_to_uniprocessor(self):
+        """On one core with only RT interference the semi-partitioned analysis
+        must agree with the classic uniprocessor analysis."""
+        rts = [rt("a", 2, 10), rt("b", 3, 14)]
+        expected = uniprocessor_response_time(
+            4,
+            [UniprocessorTask(t.name, t.wcet, t.period) for t in rts],
+            limit=1000,
+        )
+        observed = security_response_time(4, 1000, {0: rts}, [], num_cores=1)
+        assert observed == expected
+
+    def test_rover_tripwire_value(self):
+        by_core = {0: [rt("navigation", 240, 500)], 1: [rt("camera", 1120, 5000)]}
+        assert (
+            security_response_time(5342, 10_000, by_core, [], num_cores=2) == 7582
+        )
+
+    def test_unschedulable_returns_none(self):
+        by_core = {0: [rt("a", 9, 10)], 1: [rt("b", 9, 10)]}
+        assert security_response_time(50, 200, by_core, [], num_cores=2) is None
+
+    def test_wcet_above_limit_returns_none(self):
+        assert security_response_time(10, 5, {0: []}, [], num_cores=1) is None
+
+    def test_higher_priority_security_interference_increases_response(self):
+        by_core = {0: [rt("a", 2, 10)], 1: []}
+        alone = security_response_time(4, 500, by_core, [], num_cores=2)
+        hp = [SecurityTaskState(name="hp", wcet=6, period=20, response_time=8)]
+        with_hp = security_response_time(4, 500, by_core, hp, num_cores=2)
+        assert with_hp >= alone
+
+    def test_greedy_never_below_exact(self):
+        by_core = {0: [rt("a", 3, 9)], 1: [rt("b", 4, 15)]}
+        hp = [
+            SecurityTaskState(name="h1", wcet=2, period=30, response_time=5),
+            SecurityTaskState(name="h2", wcet=4, period=40, response_time=9),
+            SecurityTaskState(name="h3", wcet=3, period=50, response_time=11),
+        ]
+        exact = security_response_time(
+            5, 1000, by_core, hp, 2, strategy=CarryInStrategy.EXACT
+        )
+        greedy = security_response_time(
+            5, 1000, by_core, hp, 2, strategy=CarryInStrategy.GREEDY
+        )
+        assert greedy >= exact
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            security_response_time(0, 10, {0: []}, [], 1)
+        with pytest.raises(ValueError):
+            security_response_time(1, 0, {0: []}, [], 1)
+        with pytest.raises(ValueError):
+            security_response_time(1, 10, {0: []}, [], 0)
+
+    @given(
+        rt_wcet=st.integers(1, 5),
+        rt_gap=st.integers(1, 20),
+        sec_wcet=st.integers(1, 10),
+        cores=st.integers(1, 4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_response_at_least_wcet(self, rt_wcet, rt_gap, sec_wcet, cores):
+        by_core = {i: [rt(f"r{i}", rt_wcet, rt_wcet + rt_gap)] for i in range(cores)}
+        response = security_response_time(sec_wcet, 10_000, by_core, [], cores)
+        if response is not None:
+            assert response >= sec_wcet
+
+    @given(extra_period=st.integers(0, 50))
+    @settings(max_examples=60, deadline=None)
+    def test_longer_hp_period_never_increases_response(self, extra_period):
+        """Monotonicity that period selection's binary search relies on."""
+        by_core = {0: [rt("a", 2, 10)], 1: [rt("b", 3, 12)]}
+        base = SecurityTaskState(name="hp", wcet=5, period=20, response_time=9)
+        longer = SecurityTaskState(
+            name="hp", wcet=5, period=20 + extra_period, response_time=9
+        )
+        r_base = security_response_time(4, 2000, by_core, [base], 2)
+        r_longer = security_response_time(4, 2000, by_core, [longer], 2)
+        assert r_longer <= r_base
+
+
+class TestSecurityTaskState:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SecurityTaskState(name="x", wcet=0, period=10, response_time=1)
+        with pytest.raises(ValueError):
+            SecurityTaskState(name="x", wcet=5, period=10, response_time=4)
+
+
+class TestTasksetLevelHelpers:
+    def test_analyze_security_tasks_order_and_values(self, simple_taskset, dual_core):
+        allocation = {"rt-fast": 0, "rt-slow": 1}
+        responses = analyze_security_tasks(simple_taskset, allocation, dual_core)
+        assert set(responses) == {"ids-a", "ids-b"}
+        assert all(value is not None for value in responses.values())
+        # The lower-priority task suffers at least as much interference.
+        assert responses["ids-b"] >= simple_taskset.security_task("ids-b").wcet
+
+    def test_analyze_with_period_overrides(self, simple_taskset, dual_core):
+        allocation = {"rt-fast": 0, "rt-slow": 1}
+        base = analyze_security_tasks(simple_taskset, allocation, dual_core)
+        shorter = analyze_security_tasks(
+            simple_taskset, allocation, dual_core, periods={"ids-a": 6}
+        )
+        # A shorter period for the higher-priority task cannot help ids-b.
+        assert shorter["ids-b"] >= base["ids-b"]
+
+    def test_missing_allocation_rejected(self, simple_taskset, dual_core):
+        with pytest.raises(KeyError):
+            analyze_security_tasks(simple_taskset, {"rt-fast": 0}, dual_core)
+
+    def test_hydra_c_schedulable_on_simple_taskset(self, simple_taskset, dual_core):
+        assert hydra_c_taskset_schedulable(
+            simple_taskset, {"rt-fast": 0, "rt-slow": 1}, dual_core
+        )
+
+    def test_hydra_c_rejects_overload(self, dual_core):
+        taskset = TaskSet.create(
+            [rt("a", 9, 10), rt("b", 9, 10)],
+            [SecurityTask(name="ids", wcet=50, max_period=100)],
+        )
+        assert not hydra_c_taskset_schedulable(taskset, {"a": 0, "b": 1}, dual_core)

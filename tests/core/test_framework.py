@@ -1,0 +1,63 @@
+"""Unit tests for the HydraC facade and SystemDesign."""
+
+import pytest
+
+from repro.core.framework import HydraC, SchedulingPolicy, SystemDesign
+from repro.errors import UnschedulableError
+from repro.model import Platform, RealTimeTask, SecurityTask, TaskSet
+
+
+class TestHydraCDesign:
+    def test_rover_design(self, rover, rover_allocation, dual_core):
+        design = HydraC(dual_core).design(rover, rover_allocation)
+        assert design.schedulable
+        assert design.scheme == "HYDRA-C"
+        assert design.policy is SchedulingPolicy.SEMI_PARTITIONED
+        assert design.security_allocation is None
+        assert design.security_periods() == {"tripwire": 7582, "kmod-checker": 2783}
+        assert design.rt_allocation.as_dict() == rover_allocation
+
+    def test_auto_rt_partitioning(self, rover, dual_core):
+        design = HydraC(dual_core).design(rover)
+        assert design.schedulable
+        assert set(design.rt_allocation.as_dict()) == {"navigation", "camera"}
+
+    def test_rt_response_times_reported(self, rover, rover_allocation, dual_core):
+        design = HydraC(dual_core).design(rover, rover_allocation)
+        assert design.response_times["navigation"] == 240
+        assert design.response_times["camera"] == 1120
+
+    def test_unschedulable_design(self, dual_core):
+        taskset = TaskSet.create(
+            [RealTimeTask(name="a", wcet=9, period=10), RealTimeTask(name="b", wcet=9, period=10)],
+            [SecurityTask(name="ids", wcet=80, max_period=100)],
+        )
+        design = HydraC(dual_core).design(taskset, {"a": 0, "b": 1})
+        assert not design.schedulable
+        assert design.metadata["unschedulable_task"] == "ids"
+        with pytest.raises(UnschedulableError):
+            design.require_schedulable()
+
+    def test_broken_legacy_partition_raises(self, dual_core):
+        taskset = TaskSet.create(
+            [RealTimeTask(name="a", wcet=9, period=10), RealTimeTask(name="b", wcet=9, period=10)],
+            [],
+        )
+        with pytest.raises(UnschedulableError, match="legacy RT tasks"):
+            HydraC(dual_core).design(taskset, {"a": 0, "b": 0})
+
+    def test_is_schedulable(self, rover, rover_allocation, dual_core):
+        assert HydraC(dual_core).is_schedulable(rover, rover_allocation)
+
+    def test_is_schedulable_false_for_broken_partition(self, dual_core):
+        taskset = TaskSet.create(
+            [RealTimeTask(name="a", wcet=9, period=10), RealTimeTask(name="b", wcet=9, period=10)],
+            [],
+        )
+        assert not HydraC(dual_core).is_schedulable(taskset, {"a": 0, "b": 0})
+
+
+class TestSystemDesign:
+    def test_require_schedulable_returns_self(self, rover, rover_allocation, dual_core):
+        design = HydraC(dual_core).design(rover, rover_allocation)
+        assert design.require_schedulable() is design

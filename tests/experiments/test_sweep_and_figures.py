@@ -1,0 +1,81 @@
+"""Integration tests for the design-space sweep and figure computations.
+
+These use a deliberately tiny sweep (few task sets per group, few groups) so
+the whole module runs in seconds while still exercising the full path:
+generation -> partitioning -> all four schemes -> metrics -> tables.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig6_period_distance import compute_fig6, format_fig6
+from repro.experiments.fig7a_acceptance import compute_fig7a, format_fig7a
+from repro.experiments.fig7b_period_diff import compute_fig7b, format_fig7b
+from repro.experiments.sweep import SCHEME_NAMES, run_sweep
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    config = ExperimentConfig(
+        num_cores=2,
+        tasksets_per_group=3,
+        utilization_groups=((0.05, 0.15), (0.35, 0.45), (0.65, 0.75)),
+        seed=123,
+        n_jobs=1,
+    )
+    return run_sweep(config)
+
+
+class TestSweep:
+    def test_every_slot_evaluated(self, small_sweep):
+        assert len(small_sweep.evaluations) == 9
+
+    def test_every_scheme_reported(self, small_sweep):
+        for evaluation in small_sweep.evaluations:
+            assert set(evaluation.schedulable) == set(SCHEME_NAMES)
+            assert set(evaluation.periods) == set(SCHEME_NAMES)
+
+    def test_accepted_schemes_provide_periods_within_bounds(self, small_sweep):
+        for evaluation in small_sweep.evaluations:
+            for scheme in SCHEME_NAMES:
+                if not evaluation.accepted(scheme):
+                    assert evaluation.periods[scheme] is None
+                    continue
+                periods = evaluation.periods[scheme]
+                assert periods is not None
+                for task, period in periods.items():
+                    assert 0 < period <= evaluation.max_periods[task]
+
+    def test_low_utilization_group_fully_accepted(self, small_sweep):
+        by_group = small_sweep.by_group()
+        assert all(e.accepted("HYDRA-C") for e in by_group[0])
+
+    def test_acceptance_by_group_shape(self, small_sweep):
+        ratios = small_sweep.acceptance_by_group("HYDRA-C")
+        assert len(ratios) == 3
+        assert all(0.0 <= r <= 1.0 for r in ratios)
+
+
+class TestFigureComputations:
+    def test_fig6_distances_bounded_and_decreasing_overall(self, small_sweep):
+        result = compute_fig6(small_sweep)
+        valid = [d for d in result.mean_distance if not math.isnan(d)]
+        assert all(0.0 <= d < 1.0 for d in valid)
+        # Low-utilization group achieves more adaptation than the highest one.
+        assert result.mean_distance[0] >= valid[-1]
+        assert "Fig. 6" in format_fig6(result)
+
+    def test_fig7a_table(self, small_sweep):
+        result = compute_fig7a(small_sweep)
+        assert set(result.acceptance) == set(SCHEME_NAMES)
+        assert all(len(v) == 3 for v in result.acceptance.values())
+        text = format_fig7a(result)
+        assert "HYDRA-C" in text and "%" in text
+
+    def test_fig7b_gain_vs_no_adaptation_positive(self, small_sweep):
+        result = compute_fig7b(small_sweep)
+        valid = [g for g in result.gain_vs_no_adaptation if not math.isnan(g)]
+        assert valid and all(g >= 0.0 for g in valid)
+        assert "Fig. 7b" in format_fig7b(result)

@@ -1,0 +1,57 @@
+"""Unit and property tests for log-uniform period generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generation.periods import log_uniform_periods
+
+
+class TestLogUniformPeriods:
+    def test_count_and_bounds(self):
+        periods = log_uniform_periods(100, 10, 1000, rng=np.random.default_rng(0))
+        assert len(periods) == 100
+        assert all(10 <= p <= 1000 for p in periods)
+        assert all(isinstance(p, int) for p in periods)
+
+    def test_zero_count(self):
+        assert log_uniform_periods(0, 10, 100) == []
+
+    def test_degenerate_range(self):
+        assert log_uniform_periods(5, 42, 42, rng=np.random.default_rng(1)) == [42] * 5
+
+    def test_granularity(self):
+        periods = log_uniform_periods(
+            50, 100, 1000, rng=np.random.default_rng(2), granularity=10
+        )
+        assert all(p % 10 == 0 for p in periods)
+
+    def test_log_spread(self):
+        """A log-uniform draw puts roughly half the mass below the geometric mean."""
+        periods = log_uniform_periods(4000, 10, 1000, rng=np.random.default_rng(3))
+        below = sum(1 for p in periods if p < 100)
+        assert 0.4 < below / len(periods) < 0.6
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            log_uniform_periods(-1, 10, 100)
+        with pytest.raises(ValueError):
+            log_uniform_periods(1, 0, 100)
+        with pytest.raises(ValueError):
+            log_uniform_periods(1, 100, 10)
+        with pytest.raises(ValueError):
+            log_uniform_periods(1, 10, 100, granularity=0)
+
+    @given(
+        count=st.integers(1, 50),
+        low=st.integers(1, 500),
+        span=st.integers(0, 2000),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bounds_always_respected(self, count, low, span, seed):
+        high = low + span
+        periods = log_uniform_periods(count, low, high, rng=np.random.default_rng(seed))
+        assert len(periods) == count
+        assert all(low <= p <= high for p in periods)

@@ -1,0 +1,67 @@
+"""Unit and property tests for the Randfixedsum implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generation.randfixedsum import randfixedsum
+
+
+class TestRandfixedsum:
+    def test_shape(self):
+        values = randfixedsum(5, 2.0, num_sets=7, rng=np.random.default_rng(0))
+        assert values.shape == (7, 5)
+
+    def test_rows_sum_to_target(self):
+        values = randfixedsum(6, 2.5, num_sets=20, rng=np.random.default_rng(1))
+        assert np.allclose(values.sum(axis=1), 2.5)
+
+    def test_values_in_unit_interval(self):
+        values = randfixedsum(6, 2.5, num_sets=50, rng=np.random.default_rng(2))
+        assert values.min() >= 0.0
+        assert values.max() <= 1.0
+
+    def test_single_value(self):
+        values = randfixedsum(1, 0.7, num_sets=3, rng=np.random.default_rng(3))
+        assert np.allclose(values, 0.7)
+
+    def test_extreme_totals(self):
+        zero = randfixedsum(4, 0.0, rng=np.random.default_rng(4))
+        assert np.allclose(zero, 0.0)
+        full = randfixedsum(4, 4.0, rng=np.random.default_rng(5))
+        assert np.allclose(full, 1.0)
+
+    def test_determinism_with_seeded_generator(self):
+        a = randfixedsum(5, 1.5, num_sets=4, rng=np.random.default_rng(42))
+        b = randfixedsum(5, 1.5, num_sets=4, rng=np.random.default_rng(42))
+        assert np.array_equal(a, b)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            randfixedsum(0, 0.5)
+        with pytest.raises(ValueError):
+            randfixedsum(3, -0.1)
+        with pytest.raises(ValueError):
+            randfixedsum(3, 3.5)
+        with pytest.raises(ValueError):
+            randfixedsum(3, 1.0, num_sets=0)
+
+    @given(
+        n=st.integers(2, 12),
+        fraction=st.floats(0.05, 0.95),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_invariants_hold_for_random_parameters(self, n, fraction, seed):
+        total = fraction * n
+        values = randfixedsum(n, total, num_sets=3, rng=np.random.default_rng(seed))
+        assert values.shape == (3, n)
+        assert np.all(values >= 0.0)
+        assert np.all(values <= 1.0)
+        assert np.allclose(values.sum(axis=1), total, atol=1e-8)
+
+    def test_distribution_is_not_degenerate(self):
+        """Values should vary across positions, not collapse to total / n."""
+        values = randfixedsum(8, 2.0, num_sets=200, rng=np.random.default_rng(7))
+        assert values.std() > 0.05

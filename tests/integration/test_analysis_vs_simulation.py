@@ -1,0 +1,79 @@
+"""Cross-validation: the analysis and the simulator must agree.
+
+For randomly generated task sets that HYDRA-C declares schedulable, the
+simulator (which knows nothing about the analysis) must never observe an RT
+deadline miss, and every observed security response time must stay within
+the analytical WCRT bound.  This is the strongest end-to-end invariant the
+library offers.
+"""
+
+import pytest
+
+from repro.core.framework import HydraC
+from repro.errors import AllocationError
+from repro.generation import TasksetGenerationConfig, TasksetGenerator
+from repro.model import Platform
+from repro.partitioning import partition_rt_tasks
+from repro.sim.engine import simulate_design
+
+
+def _designs(num_cores, seeds, utilization):
+    platform = Platform(num_cores=num_cores)
+    config = TasksetGenerationConfig(
+        num_cores=num_cores,
+        rt_tasks_per_core=(2, 4),
+        security_tasks_per_core=(1, 2),
+        rt_period_range=(10, 100),
+        security_max_period_range=(150, 300),
+    )
+    for seed in seeds:
+        generator = TasksetGenerator(config, seed=seed)
+        taskset = generator.generate(utilization * num_cores)
+        try:
+            allocation = partition_rt_tasks(taskset, platform)
+        except AllocationError:
+            continue
+        design = HydraC(platform).design(taskset, allocation.mapping)
+        if design.schedulable:
+            yield design
+
+
+@pytest.mark.parametrize("num_cores", [2, 4])
+def test_schedulable_designs_meet_deadlines_in_simulation(num_cores):
+    checked = 0
+    for design in _designs(num_cores, seeds=range(6), utilization=0.5):
+        # simulate_design raises SimulationError on any RT deadline miss.
+        trace = simulate_design(design, horizon=2_000)
+        assert not trace.deadline_misses()
+        checked += 1
+    assert checked > 0
+
+
+@pytest.mark.parametrize("num_cores", [2])
+def test_observed_security_response_times_within_analysis_bound(num_cores):
+    checked = 0
+    for design in _designs(num_cores, seeds=range(6, 12), utilization=0.4):
+        trace = simulate_design(design, horizon=2_000)
+        for task in design.taskset.security_tasks:
+            bound = design.response_times[task.name]
+            for observed in trace.observed_response_times(task.name):
+                assert observed <= bound
+        checked += 1
+    assert checked > 0
+
+
+def test_rover_synchronous_release_response_matches_analysis_exactly():
+    """Under a synchronous release with WCET execution, the first tripwire
+    job experiences close to the analytical worst case under HYDRA."""
+    from repro.baselines.hydra import Hydra
+    from repro.rover.case_study import rover_rt_allocation, rover_taskset
+
+    platform = Platform.dual_core()
+    design = Hydra(platform).design(rover_taskset(), rover_rt_allocation())
+    trace = simulate_design(design, horizon=20_000)
+    first_tripwire = trace.jobs_for_task("tripwire")[0]
+    bound = design.response_times["tripwire"]
+    assert first_tripwire.response_time <= bound
+    # The synchronous release is the worst case for partitioned scheduling,
+    # so the first job should actually be close to the bound.
+    assert first_tripwire.response_time >= int(0.8 * bound)

@@ -1,0 +1,49 @@
+"""Unit tests for the platform model."""
+
+import pytest
+
+from repro.model.platform import Core, Platform
+
+
+class TestCore:
+    def test_default_name(self):
+        assert Core(index=1).name == "core1"
+
+    def test_custom_name(self):
+        assert Core(index=0, name="big").name == "big"
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            Core(index=-1)
+
+
+class TestPlatform:
+    def test_cores_enumeration(self):
+        platform = Platform(num_cores=3)
+        assert len(platform) == 3
+        assert [core.index for core in platform] == [0, 1, 2]
+
+    def test_core_lookup(self):
+        platform = Platform(num_cores=2)
+        assert platform.core(1).name == "core1"
+
+    def test_core_lookup_out_of_range(self):
+        with pytest.raises(IndexError):
+            Platform(num_cores=2).core(2)
+
+    def test_dual_and_quad_constructors(self):
+        assert Platform.dual_core().num_cores == 2
+        assert Platform.quad_core().num_cores == 4
+
+    @pytest.mark.parametrize("cores", [0, -1])
+    def test_invalid_core_count(self, cores):
+        with pytest.raises(ValueError):
+            Platform(num_cores=cores)
+
+    def test_non_integer_core_count(self):
+        with pytest.raises(TypeError):
+            Platform(num_cores=2.0)
+
+    def test_invalid_tick_duration(self):
+        with pytest.raises(ValueError):
+            Platform(num_cores=2, tick_duration_ms=0)

@@ -1,0 +1,95 @@
+"""Unit tests for priority assignment helpers."""
+
+import pytest
+
+from repro.model.priority import (
+    RT_PRIORITY_BAND,
+    assign_rate_monotonic_priorities,
+    assign_security_priorities_by_index,
+    higher_priority,
+    lower_priority,
+    sort_by_priority,
+)
+from repro.model.tasks import RealTimeTask, SecurityTask
+
+
+class TestRateMonotonic:
+    def test_shorter_period_gets_higher_priority(self):
+        nav = RealTimeTask(name="nav", wcet=240, period=500)
+        cam = RealTimeTask(name="camera", wcet=1120, period=5000)
+        assigned = assign_rate_monotonic_priorities([cam, nav])
+        by_name = {task.name: task.priority for task in assigned}
+        assert by_name["nav"] < by_name["camera"]
+
+    def test_input_order_preserved(self):
+        tasks = [
+            RealTimeTask(name="b", wcet=1, period=20),
+            RealTimeTask(name="a", wcet=1, period=10),
+        ]
+        assigned = assign_rate_monotonic_priorities(tasks)
+        assert [task.name for task in assigned] == ["b", "a"]
+
+    def test_ties_broken_by_name(self):
+        tasks = [
+            RealTimeTask(name="zeta", wcet=1, period=10),
+            RealTimeTask(name="alpha", wcet=1, period=10),
+        ]
+        by_name = {
+            task.name: task.priority
+            for task in assign_rate_monotonic_priorities(tasks)
+        }
+        assert by_name["alpha"] < by_name["zeta"]
+
+    def test_duplicate_names_rejected(self):
+        tasks = [
+            RealTimeTask(name="x", wcet=1, period=10),
+            RealTimeTask(name="x", wcet=1, period=20),
+        ]
+        with pytest.raises(ValueError):
+            assign_rate_monotonic_priorities(tasks)
+
+    def test_priorities_are_dense_from_zero(self):
+        tasks = [
+            RealTimeTask(name=f"t{i}", wcet=1, period=10 * (i + 1)) for i in range(5)
+        ]
+        priorities = sorted(
+            task.priority for task in assign_rate_monotonic_priorities(tasks)
+        )
+        assert priorities == list(range(5))
+
+
+class TestSecurityPriorities:
+    def test_listed_order(self):
+        tasks = [
+            SecurityTask(name="first", wcet=1, max_period=10),
+            SecurityTask(name="second", wcet=1, max_period=10),
+        ]
+        assigned = assign_security_priorities_by_index(tasks)
+        assert assigned[0].priority < assigned[1].priority
+
+    def test_band_offset(self):
+        tasks = [SecurityTask(name="only", wcet=1, max_period=10)]
+        assert assign_security_priorities_by_index(tasks)[0].priority == RT_PRIORITY_BAND
+
+
+class TestComparisons:
+    def test_higher_and_lower(self):
+        high = RealTimeTask(name="high", wcet=1, period=10, priority=0)
+        low = RealTimeTask(name="low", wcet=1, period=20, priority=1)
+        assert higher_priority(high, low)
+        assert lower_priority(low, high)
+        assert not higher_priority(low, high)
+
+    def test_unassigned_priority_raises(self):
+        unassigned = RealTimeTask(name="u", wcet=1, period=10)
+        other = RealTimeTask(name="o", wcet=1, period=10, priority=0)
+        with pytest.raises(ValueError):
+            higher_priority(unassigned, other)
+
+    def test_sort_by_priority(self):
+        tasks = [
+            RealTimeTask(name="c", wcet=1, period=10, priority=2),
+            RealTimeTask(name="a", wcet=1, period=10, priority=0),
+            RealTimeTask(name="b", wcet=1, period=10, priority=1),
+        ]
+        assert [task.name for task in sort_by_priority(tasks)] == ["a", "b", "c"]

@@ -1,0 +1,65 @@
+"""Unit tests for time helpers."""
+
+import pytest
+
+from repro.model.time_utils import ceil_div, hyperperiod, lcm, ms_to_ticks, ticks_to_ms
+
+
+class TestLcm:
+    def test_basic(self):
+        assert lcm([4, 6]) == 12
+
+    def test_single_value(self):
+        assert lcm([7]) == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            lcm([])
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            lcm([4, 0])
+
+
+class TestHyperperiod:
+    def test_rover_periods(self):
+        assert hyperperiod([500, 5000]) == 5000
+
+    def test_cap(self):
+        assert hyperperiod([7, 11, 13], cap=100) == 100
+
+    def test_cap_not_reached(self):
+        assert hyperperiod([2, 3], cap=100) == 6
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            hyperperiod([2, 3], cap=0)
+
+
+class TestConversions:
+    def test_ms_to_ticks_rounds_up(self):
+        assert ms_to_ticks(1.2, tick_duration_ms=1.0) == 2
+
+    def test_roundtrip_exact(self):
+        assert ticks_to_ms(ms_to_ticks(250.0)) == 250.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            ms_to_ticks(-1)
+
+    def test_negative_ticks_rejected(self):
+        with pytest.raises(ValueError):
+            ticks_to_ms(-1)
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize(
+        "numerator,denominator,expected",
+        [(7, 3, 3), (6, 3, 2), (0, 5, 0), (1, 1, 1), (10, 4, 3)],
+    )
+    def test_values(self, numerator, denominator, expected):
+        assert ceil_div(numerator, denominator) == expected
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)

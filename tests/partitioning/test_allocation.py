@@ -1,0 +1,61 @@
+"""Unit tests for the Allocation value object."""
+
+import pytest
+
+from repro.model import Platform, RealTimeTask, SecurityTask, TaskSet
+from repro.partitioning.allocation import Allocation
+
+
+class TestAllocation:
+    def test_basic_queries(self):
+        allocation = Allocation({"nav": 0, "camera": 1})
+        assert allocation.core_of("nav") == 0
+        assert "camera" in allocation
+        assert len(allocation) == 2
+        assert allocation.tasks_on_core(1) == ("camera",)
+        assert allocation.used_cores() == (0, 1)
+
+    def test_unknown_task(self):
+        with pytest.raises(KeyError):
+            Allocation({"nav": 0}).core_of("camera")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Allocation({"nav": -1})
+        with pytest.raises(TypeError):
+            Allocation({"nav": 1.5})
+        with pytest.raises(ValueError):
+            Allocation({"": 0})
+
+    def test_immutability(self):
+        allocation = Allocation({"nav": 0})
+        with pytest.raises(TypeError):
+            allocation.mapping["nav"] = 1
+
+    def test_merged_with(self):
+        merged = Allocation({"a": 0}).merged_with({"b": 1})
+        assert merged.core_of("b") == 1
+        with pytest.raises(ValueError):
+            merged.merged_with({"a": 1})
+
+    def test_restricted_to(self):
+        allocation = Allocation({"a": 0, "b": 1, "c": 0})
+        assert allocation.restricted_to(["a", "c"]).as_dict() == {"a": 0, "c": 0}
+
+    def test_core_utilizations(self, dual_core):
+        taskset = TaskSet.create(
+            [RealTimeTask(name="a", wcet=2, period=10), RealTimeTask(name="b", wcet=5, period=10)],
+            [SecurityTask(name="s", wcet=10, max_period=100)],
+        )
+        allocation = Allocation({"a": 0, "b": 1, "s": 1})
+        utils = allocation.core_utilizations(taskset, dual_core)
+        assert utils[0] == pytest.approx(0.2)
+        assert utils[1] == pytest.approx(0.5 + 0.1)
+
+    def test_core_utilizations_out_of_range(self, dual_core):
+        taskset = TaskSet.create([RealTimeTask(name="a", wcet=2, period=10)], [])
+        with pytest.raises(ValueError):
+            Allocation({"a": 5}).core_utilizations(taskset, dual_core)
+
+    def test_empty(self):
+        assert len(Allocation.empty()) == 0

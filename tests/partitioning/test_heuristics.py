@@ -1,0 +1,99 @@
+"""Unit and property tests for the partitioning heuristics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError
+from repro.model import Platform, RealTimeTask, TaskSet
+from repro.partitioning.heuristics import (
+    FitStrategy,
+    partition_rt_tasks,
+    partition_utilizations,
+)
+from repro.schedulability.partitioned import partitioned_rt_schedulable
+
+
+def taskset(*specs):
+    return TaskSet.create(
+        [RealTimeTask(name=f"t{i}", wcet=c, period=p) for i, (c, p) in enumerate(specs)],
+        [],
+    )
+
+
+class TestPartitionRtTasks:
+    def test_resulting_partition_is_schedulable(self, dual_core):
+        tasks = taskset((2, 10), (6, 20), (3, 15), (4, 40))
+        for strategy in FitStrategy:
+            allocation = partition_rt_tasks(tasks, dual_core, strategy)
+            result = partitioned_rt_schedulable(tasks, allocation.mapping, dual_core)
+            assert result.schedulable, strategy
+
+    def test_every_task_allocated(self, quad_core):
+        tasks = taskset(*[(1, 10)] * 12)
+        allocation = partition_rt_tasks(tasks, quad_core)
+        assert len(allocation) == 12
+
+    def test_worst_fit_spreads_load(self, dual_core):
+        tasks = taskset((4, 10), (4, 10))
+        allocation = partition_rt_tasks(tasks, dual_core, FitStrategy.WORST_FIT)
+        cores = {allocation.core_of("t0"), allocation.core_of("t1")}
+        assert cores == {0, 1}
+
+    def test_best_fit_packs_load(self, dual_core):
+        tasks = taskset((2, 10), (1, 10))
+        allocation = partition_rt_tasks(tasks, dual_core, FitStrategy.BEST_FIT)
+        assert allocation.core_of("t0") == allocation.core_of("t1")
+
+    def test_infeasible_taskset_raises(self, dual_core):
+        tasks = taskset((9, 10), (9, 10), (9, 10))
+        with pytest.raises(AllocationError):
+            partition_rt_tasks(tasks, dual_core)
+
+    def test_empty_taskset(self, dual_core):
+        assert len(partition_rt_tasks(TaskSet.create([], []), dual_core)) == 0
+
+    @given(
+        utilizations=st.lists(st.floats(0.05, 0.6), min_size=1, max_size=8),
+        strategy=st.sampled_from(list(FitStrategy)),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_allocation_never_overloads_a_core(self, utilizations, strategy):
+        platform = Platform.quad_core()
+        tasks = TaskSet.create(
+            [
+                RealTimeTask(name=f"t{i}", wcet=max(1, int(u * 100)), period=100)
+                for i, u in enumerate(utilizations)
+            ],
+            [],
+        )
+        try:
+            allocation = partition_rt_tasks(tasks, platform, strategy)
+        except AllocationError:
+            return
+        utils = allocation.core_utilizations(tasks, platform)
+        assert all(value <= 1.0 + 1e-9 for value in utils)
+
+
+class TestPartitionUtilizations:
+    def test_basic_packing(self):
+        mapping = partition_utilizations(
+            [("a", 0.5), ("b", 0.4), ("c", 0.6)], num_bins=2
+        )
+        assert set(mapping) == {"a", "b", "c"}
+
+    def test_respects_capacity(self):
+        with pytest.raises(AllocationError):
+            partition_utilizations([("a", 0.9), ("b", 0.9), ("c", 0.9)], num_bins=2)
+
+    def test_first_fit_order(self):
+        mapping = partition_utilizations(
+            [("a", 0.5), ("b", 0.5)], num_bins=2, strategy=FitStrategy.FIRST_FIT
+        )
+        assert mapping["a"] == 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            partition_utilizations([("a", 0.5)], num_bins=0)
+        with pytest.raises(ValueError):
+            partition_utilizations([("a", -0.5)], num_bins=1)

@@ -1,0 +1,75 @@
+"""Integration tests for the rover case study (Fig. 5 substrate)."""
+
+import pytest
+
+from repro.rover.case_study import (
+    RoverCaseStudy,
+    rover_monitors,
+    rover_rt_allocation,
+    rover_taskset,
+)
+
+
+class TestRoverConfiguration:
+    def test_taskset_matches_paper_parameters(self):
+        taskset = rover_taskset()
+        nav = taskset.rt_task("navigation")
+        camera = taskset.rt_task("camera")
+        assert (nav.wcet, nav.period) == (240, 500)
+        assert (camera.wcet, camera.period) == (1120, 5000)
+        tripwire = taskset.security_task("tripwire")
+        kmod = taskset.security_task("kmod-checker")
+        assert (tripwire.wcet, tripwire.max_period) == (5342, 10_000)
+        assert (kmod.wcet, kmod.max_period) == (223, 10_000)
+
+    def test_utilization_matches_paper(self):
+        taskset = rover_taskset()
+        assert taskset.rt_utilization == pytest.approx(0.704, abs=1e-3)
+        assert taskset.security_min_utilization == pytest.approx(0.5565, abs=1e-3)
+
+    def test_allocation_and_monitors(self):
+        assert rover_rt_allocation() == {"navigation": 0, "camera": 1}
+        monitors = rover_monitors()
+        assert {m.task_name for m in monitors} == {"tripwire", "kmod-checker"}
+
+
+class TestRoverComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        study = RoverCaseStudy(horizon=30_000, num_trials=4, seed=11)
+        return study.run_comparison()
+
+    def test_both_schemes_present(self, comparison):
+        assert set(comparison.schemes()) == {"HYDRA-C", "HYDRA"}
+        assert all(len(trials) == 4 for trials in comparison.trials.values())
+
+    def test_all_attacks_detected(self, comparison):
+        for trials in comparison.trials.values():
+            for trial in trials:
+                assert trial.all_detected
+
+    def test_hydra_c_detects_faster(self, comparison):
+        """The paper's headline claim (Fig. 5a): HYDRA-C detects intrusions
+        faster than fully partitioned HYDRA on the rover workload."""
+        assert comparison.detection_speedup("HYDRA-C", "HYDRA") > 0
+
+    def test_hydra_c_migrates_and_pays_context_switches(self, comparison):
+        """Fig. 5b: migration makes HYDRA-C switch contexts at least as often."""
+        assert comparison.context_switch_ratio("HYDRA-C", "HYDRA") >= 1.0
+        assert all(
+            trial.migrations > 0 for trial in comparison.trials["HYDRA-C"]
+        )
+        assert all(trial.migrations == 0 for trial in comparison.trials["HYDRA"])
+
+    def test_summary_rows(self, comparison):
+        rows = comparison.summary_rows()
+        assert len(rows) == 2
+        assert {row["scheme"] for row in rows} == {"HYDRA-C", "HYDRA"}
+
+
+class TestValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RoverCaseStudy(horizon=0)
+        with pytest.raises(ValueError):
+            RoverCaseStudy(num_trials=0)

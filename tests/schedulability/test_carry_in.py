@@ -1,0 +1,81 @@
+"""Unit and property tests for carry-in set selection (Lemma 2 / Eq. 8)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedulability.carry_in import (
+    count_carry_in_sets,
+    enumerate_carry_in_sets,
+    greedy_worst_case_interference,
+)
+
+
+class TestGreedySelection:
+    def test_picks_largest_deltas(self):
+        total, chosen = greedy_worst_case_interference([1, 2, 3], [5, 2, 4], 1)
+        assert total == 1 + 2 + 3 + 4  # upgrade index 0 (+4)
+        assert chosen == (0,)
+
+    def test_zero_carry_in_allowed(self):
+        total, chosen = greedy_worst_case_interference([1, 2, 3], [5, 2, 4], 0)
+        assert total == 6
+        assert chosen == ()
+
+    def test_negative_deltas_never_selected(self):
+        total, chosen = greedy_worst_case_interference([5, 5], [1, 1], 2)
+        assert total == 10
+        assert chosen == ()
+
+    def test_more_slots_than_tasks(self):
+        total, chosen = greedy_worst_case_interference([1, 1], [2, 3], 5)
+        assert total == 5
+        assert chosen == (0, 1)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_worst_case_interference([1], [1, 2], 1)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_worst_case_interference([-1], [1], 1)
+
+    @given(
+        nc=st.lists(st.integers(0, 50), min_size=0, max_size=8),
+        deltas=st.lists(st.integers(-20, 50), min_size=0, max_size=8),
+        limit=st.integers(0, 4),
+    )
+    @settings(max_examples=200)
+    def test_matches_exhaustive_enumeration(self, nc, deltas, limit):
+        size = min(len(nc), len(deltas))
+        nc = nc[:size]
+        ci = [max(0, nc[i] + deltas[i]) for i in range(size)]
+        greedy_total, _ = greedy_worst_case_interference(nc, ci, limit)
+        best = 0 if size else 0
+        for subset in enumerate_carry_in_sets(size, limit):
+            total = sum(
+                ci[i] if i in subset else nc[i] for i in range(size)
+            )
+            best = max(best, total)
+        assert greedy_total == best
+
+
+class TestEnumeration:
+    def test_small_case(self):
+        assert sorted(enumerate_carry_in_sets(3, 1)) == [(), (0,), (1,), (2,)]
+
+    def test_zero_tasks(self):
+        assert list(enumerate_carry_in_sets(0, 3)) == [()]
+
+    def test_count_matches_enumeration(self):
+        for tasks in range(6):
+            for limit in range(4):
+                assert count_carry_in_sets(tasks, limit) == len(
+                    list(enumerate_carry_in_sets(tasks, limit))
+                )
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            list(enumerate_carry_in_sets(-1, 1))
+        with pytest.raises(ValueError):
+            count_carry_in_sets(1, -1)

@@ -1,0 +1,92 @@
+"""Unit tests for the global fixed-priority RTA (GLOBAL-TMax engine)."""
+
+import pytest
+
+from repro.model import Platform, RealTimeTask, SecurityTask, TaskSet
+from repro.schedulability.global_rta import (
+    GlobalTaskView,
+    global_response_time,
+    global_taskset_schedulable,
+)
+
+
+def view(name, wcet, period, priority, limit=None):
+    return GlobalTaskView(
+        name=name,
+        wcet=wcet,
+        period=period,
+        deadline_limit=limit if limit is not None else period,
+        priority=priority,
+    )
+
+
+class TestGlobalResponseTime:
+    def test_highest_priority_task_runs_immediately(self):
+        assert global_response_time(view("a", 3, 10, 0), [], {}, num_cores=2) == 3
+
+    def test_two_tasks_two_cores_run_in_parallel(self):
+        hp = [view("a", 5, 10, 0)]
+        assert global_response_time(view("b", 4, 10, 1), hp, {"a": 5}, 2) == 4
+
+    def test_single_core_reduces_to_uniprocessor_value(self):
+        hp = [view("a", 1, 4, 0)]
+        assert global_response_time(view("b", 2, 10, 1), hp, {"a": 1}, 1) == 3
+
+    def test_unschedulable_returns_none(self):
+        hp = [view("a", 9, 10, 0), view("b", 9, 10, 1)]
+        known = {"a": 9, "b": 9}
+        assert global_response_time(view("c", 5, 12, 2), hp, known, 2) is None
+
+    def test_missing_hp_response_time_falls_back_to_period(self):
+        hp = [view("a", 2, 10, 0)]
+        result = global_response_time(view("b", 3, 20, 1), hp, {}, 2)
+        assert result is not None and result >= 3
+
+    def test_wcet_above_limit(self):
+        assert global_response_time(view("a", 30, 20, 0), [], {}, 2) is None
+
+    def test_invalid_cores(self):
+        with pytest.raises(ValueError):
+            global_response_time(view("a", 1, 10, 0), [], {}, 0)
+
+
+class TestGlobalTasksetSchedulable:
+    def test_light_taskset_is_schedulable(self, dual_core):
+        taskset = TaskSet.create(
+            [RealTimeTask(name="rt", wcet=2, period=10)],
+            [SecurityTask(name="ids", wcet=3, max_period=100)],
+        )
+        result = global_taskset_schedulable(taskset, dual_core)
+        assert result.schedulable
+        assert result.response_time("rt") == 2
+        assert result.response_time("ids") is not None
+
+    def test_overloaded_taskset_rejected(self, dual_core):
+        taskset = TaskSet.create(
+            [
+                RealTimeTask(name=f"rt{i}", wcet=9, period=10) for i in range(3)
+            ],
+            [],
+        )
+        result = global_taskset_schedulable(taskset, dual_core)
+        assert not result.schedulable
+        assert result.first_failure is not None
+
+    def test_analysis_stops_at_first_failure(self, dual_core):
+        taskset = TaskSet.create(
+            [RealTimeTask(name=f"rt{i}", wcet=9, period=10) for i in range(3)],
+            [SecurityTask(name="ids", wcet=1, max_period=50)],
+        )
+        result = global_taskset_schedulable(taskset, dual_core)
+        assert not result.schedulable
+        assert result.response_time("ids") is None
+
+    def test_security_limits_use_effective_period(self, dual_core):
+        taskset = TaskSet.create(
+            [RealTimeTask(name="rt", wcet=5, period=10)],
+            [SecurityTask(name="ids", wcet=8, max_period=2000, period=20)],
+        )
+        result = global_taskset_schedulable(taskset, dual_core)
+        # With the assigned period of 20 the deadline limit is 20 (not 2000).
+        assert result.schedulable
+        assert result.response_time("ids") <= 20

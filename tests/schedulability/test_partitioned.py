@@ -1,0 +1,73 @@
+"""Unit tests for partitioned RT schedulability checks."""
+
+import pytest
+
+from repro.model import Platform, RealTimeTask, SecurityTask, TaskSet
+from repro.schedulability.partitioned import (
+    partitioned_rt_schedulable,
+    rt_response_times,
+    rt_tasks_by_core,
+)
+
+
+def taskset():
+    return TaskSet.create(
+        [
+            RealTimeTask(name="a", wcet=2, period=10),
+            RealTimeTask(name="b", wcet=6, period=20),
+            RealTimeTask(name="c", wcet=3, period=15),
+        ],
+        [SecurityTask(name="ids", wcet=1, max_period=100)],
+    )
+
+
+class TestGrouping:
+    def test_groups_by_core(self, dual_core):
+        groups = rt_tasks_by_core(taskset(), {"a": 0, "b": 0, "c": 1}, dual_core)
+        assert [t.name for t in groups[0]] == ["a", "b"]
+        assert [t.name for t in groups[1]] == ["c"]
+
+    def test_missing_allocation_rejected(self, dual_core):
+        with pytest.raises(KeyError):
+            rt_tasks_by_core(taskset(), {"a": 0, "b": 0}, dual_core)
+
+    def test_out_of_range_core_rejected(self, dual_core):
+        with pytest.raises(ValueError):
+            rt_tasks_by_core(taskset(), {"a": 0, "b": 0, "c": 5}, dual_core)
+
+
+class TestResponseTimes:
+    def test_values(self, dual_core):
+        times = rt_response_times(taskset(), {"a": 0, "b": 0, "c": 1}, dual_core)
+        assert times["a"] == 2
+        assert times["b"] == 8  # 6 + ceil(8/10) * 2
+        assert times["c"] == 3
+
+    def test_security_tasks_do_not_interfere(self, dual_core):
+        # Security tasks have lower priority; RT response times are identical
+        # with or without them.
+        base = taskset()
+        without_security = TaskSet.create(list(base.rt_tasks), [])
+        allocation = {"a": 0, "b": 0, "c": 1}
+        assert rt_response_times(base, allocation, dual_core) == rt_response_times(
+            without_security, allocation, dual_core
+        )
+
+
+class TestSchedulability:
+    def test_schedulable_partition(self, dual_core):
+        result = partitioned_rt_schedulable(taskset(), {"a": 0, "b": 1, "c": 1}, dual_core)
+        assert result.schedulable
+        assert result.unschedulable_tasks == ()
+
+    def test_overloaded_core_detected(self, dual_core):
+        heavy = TaskSet.create(
+            [
+                RealTimeTask(name="x", wcet=8, period=10),
+                RealTimeTask(name="y", wcet=5, period=12),
+            ],
+            [],
+        )
+        result = partitioned_rt_schedulable(heavy, {"x": 0, "y": 0}, dual_core)
+        assert not result.schedulable
+        assert "y" in result.unschedulable_tasks

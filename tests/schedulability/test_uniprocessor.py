@@ -1,0 +1,143 @@
+"""Unit and property tests for the uniprocessor response-time analysis (Eq. 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedulability.uniprocessor import (
+    UniprocessorTask,
+    core_is_schedulable,
+    liu_layland_bound,
+    response_time_upper_bound,
+    uniprocessor_response_time,
+)
+
+
+class TestUniprocessorTask:
+    def test_deadline_defaults_to_period(self):
+        assert UniprocessorTask("t", wcet=2, period=10).deadline == 10
+
+    def test_utilization(self):
+        assert UniprocessorTask("t", wcet=2, period=10).utilization == pytest.approx(0.2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            UniprocessorTask("t", wcet=0, period=10)
+        with pytest.raises(ValueError):
+            UniprocessorTask("t", wcet=1, period=0)
+
+
+class TestResponseTime:
+    def test_no_interference(self):
+        assert uniprocessor_response_time(5, [], limit=100) == 5
+
+    def test_classic_example(self):
+        # Liu & Layland style: C1=1,T1=4 ; C2=2 -> R2 = 3
+        hp = [UniprocessorTask("a", wcet=1, period=4)]
+        assert uniprocessor_response_time(2, hp, limit=100) == 3
+
+    def test_multi_task_interference(self):
+        hp = [
+            UniprocessorTask("a", wcet=1, period=4),
+            UniprocessorTask("b", wcet=2, period=10),
+        ]
+        # R = 6: 2 + 2*1 (releases at 0 and 4) + 1*2
+        assert uniprocessor_response_time(2, hp, limit=100) == 6
+
+    def test_rover_camera_on_shared_core(self):
+        nav = UniprocessorTask("nav", wcet=240, period=500)
+        assert uniprocessor_response_time(1120, [nav], limit=5000) == 2320
+
+    def test_rover_tripwire_on_camera_core(self):
+        camera = UniprocessorTask("camera", wcet=1120, period=5000)
+        assert uniprocessor_response_time(5342, [camera], limit=10_000) == 7582
+
+    def test_unschedulable_returns_none(self):
+        hp = [UniprocessorTask("a", wcet=5, period=10)]
+        # The exact response time would be 16, above the limit of 15.
+        assert uniprocessor_response_time(6, hp, limit=15) is None
+
+    def test_wcet_above_limit(self):
+        assert uniprocessor_response_time(10, [], limit=5) is None
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            uniprocessor_response_time(0, [], limit=10)
+        with pytest.raises(ValueError):
+            uniprocessor_response_time(1, [], limit=0)
+
+    @given(
+        wcets=st.lists(st.integers(1, 8), min_size=1, max_size=4),
+        gaps=st.lists(st.integers(5, 40), min_size=4, max_size=4),
+        own=st.integers(1, 10),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_exact_never_exceeds_closed_form_bound(self, wcets, gaps, own):
+        hp = [
+            UniprocessorTask(f"t{i}", wcet=w, period=w + gaps[i])
+            for i, w in enumerate(wcets)
+        ]
+        bound = response_time_upper_bound(own, hp)
+        exact = uniprocessor_response_time(own, hp, limit=10_000)
+        if bound is None:
+            return  # hp utilization >= 1, nothing to compare
+        if exact is not None:
+            assert exact <= bound + 1e-9
+
+    @given(
+        wcets=st.lists(st.integers(1, 8), min_size=0, max_size=4),
+        gaps=st.lists(st.integers(5, 40), min_size=4, max_size=4),
+        own=st.integers(1, 10),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_response_at_least_wcet_plus_hp_wcets(self, wcets, gaps, own):
+        hp = [
+            UniprocessorTask(f"t{i}", wcet=w, period=w + gaps[i])
+            for i, w in enumerate(wcets)
+        ]
+        exact = uniprocessor_response_time(own, hp, limit=100_000)
+        if exact is not None:
+            assert exact >= own + sum(wcets)
+
+
+class TestCoreSchedulability:
+    def test_schedulable_pair(self):
+        assert core_is_schedulable(
+            [
+                UniprocessorTask("hi", wcet=2, period=5),
+                UniprocessorTask("lo", wcet=2, period=10),
+            ]
+        )
+
+    def test_unschedulable_pair(self):
+        assert not core_is_schedulable(
+            [
+                UniprocessorTask("hi", wcet=4, period=5),
+                UniprocessorTask("lo", wcet=3, period=10),
+            ]
+        )
+
+    def test_empty_core(self):
+        assert core_is_schedulable([])
+
+    def test_constrained_deadline_enforced(self):
+        tasks = [
+            UniprocessorTask("hi", wcet=3, period=10),
+            UniprocessorTask("lo", wcet=3, period=20, deadline=5),
+        ]
+        assert not core_is_schedulable(tasks)
+
+
+class TestLiuLayland:
+    def test_single_task_bound_is_one(self):
+        assert liu_layland_bound(1) == pytest.approx(1.0)
+
+    def test_bound_decreases_with_task_count(self):
+        assert liu_layland_bound(2) > liu_layland_bound(10)
+
+    def test_limit_is_ln2(self):
+        assert liu_layland_bound(10_000) == pytest.approx(0.6931, abs=1e-3)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            liu_layland_bound(0)

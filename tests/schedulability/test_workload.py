@@ -1,0 +1,134 @@
+"""Unit and property tests for the workload/interference primitives (Eq. 2-5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedulability.workload import (
+    carry_in_workload,
+    interference_bound,
+    non_carry_in_workload,
+    periodic_workload,
+)
+
+
+class TestPeriodicWorkload:
+    @pytest.mark.parametrize(
+        "wcet,period,window,expected",
+        [
+            (2, 5, 0, 0),
+            (2, 5, 1, 1),
+            (2, 5, 2, 2),
+            (2, 5, 5, 2),
+            (2, 5, 6, 3),
+            (2, 5, 12, 6),
+            (5, 5, 12, 12),  # utilization 1: the whole window is workload
+        ],
+    )
+    def test_values(self, wcet, period, window, expected):
+        assert periodic_workload(wcet, period, window) == expected
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            periodic_workload(0, 5, 10)
+        with pytest.raises(ValueError):
+            periodic_workload(2, 0, 10)
+        with pytest.raises(ValueError):
+            periodic_workload(2, 5, -1)
+
+    @given(
+        wcet=st.integers(1, 50),
+        extra=st.integers(0, 100),
+        window=st.integers(0, 2000),
+    )
+    @settings(max_examples=200)
+    def test_monotone_in_window(self, wcet, extra, window):
+        period = wcet + extra
+        assert periodic_workload(wcet, period, window) <= periodic_workload(
+            wcet, period, window + 1
+        )
+
+    @given(wcet=st.integers(1, 50), extra=st.integers(0, 100), window=st.integers(0, 2000))
+    @settings(max_examples=200)
+    def test_never_exceeds_window_or_density(self, wcet, extra, window):
+        period = wcet + extra
+        workload = periodic_workload(wcet, period, window)
+        assert workload <= window
+        # At most one extra job's worth beyond the fluid bound.
+        assert workload <= wcet * (window / period) + wcet
+
+
+class TestCarryInWorkload:
+    def test_matches_paper_structure(self):
+        # C=3, T=10, R=3: xbar = 3-1+10-3 = 9
+        assert carry_in_workload(3, 10, 3, 10) == periodic_workload(3, 10, 1) + 2
+
+    def test_zero_window(self):
+        assert carry_in_workload(3, 10, 3, 0) == 0
+
+    def test_unit_wcet_has_no_carried_execution(self):
+        assert carry_in_workload(1, 10, 1, 5) == non_carry_in_workload(1, 10, max(5 - 9, 0))
+
+    def test_response_below_wcet_rejected(self):
+        with pytest.raises(ValueError):
+            carry_in_workload(3, 10, 2, 5)
+
+    @given(
+        wcet=st.integers(1, 20),
+        extra=st.integers(0, 50),
+        slack=st.integers(0, 30),
+        window=st.integers(0, 500),
+    )
+    @settings(max_examples=200)
+    def test_monotone_in_window(self, wcet, extra, slack, window):
+        period = wcet + extra
+        response = min(wcet + slack, period)
+        assert carry_in_workload(wcet, period, response, window) <= carry_in_workload(
+            wcet, period, response, window + 1
+        )
+
+    @given(
+        wcet=st.integers(1, 20),
+        extra=st.integers(0, 50),
+        slack=st.integers(0, 30),
+        window=st.integers(0, 500),
+    )
+    @settings(max_examples=200)
+    def test_carry_in_at_least_non_carry_in_minus_one_job(self, wcet, extra, slack, window):
+        """W^CI can exceed W^NC; it never falls below W^NC by more than one job."""
+        period = wcet + extra
+        response = min(wcet + slack, period)
+        ci = carry_in_workload(wcet, period, response, window)
+        nc = non_carry_in_workload(wcet, period, window)
+        assert ci >= nc - wcet
+
+
+class TestInterferenceBound:
+    def test_clamps_to_window_minus_wcet_plus_one(self):
+        assert interference_bound(100, 10, 4) == 7
+
+    def test_passes_small_workloads_through(self):
+        assert interference_bound(3, 10, 4) == 3
+
+    def test_zero_when_window_smaller_than_wcet(self):
+        assert interference_bound(100, 3, 4) == 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            interference_bound(-1, 10, 4)
+        with pytest.raises(ValueError):
+            interference_bound(1, -1, 4)
+        with pytest.raises(ValueError):
+            interference_bound(1, 10, 0)
+
+    @given(
+        workload=st.integers(0, 1000),
+        window=st.integers(0, 1000),
+        wcet=st.integers(1, 100),
+    )
+    @settings(max_examples=200)
+    def test_never_exceeds_either_bound(self, workload, window, wcet):
+        bound = interference_bound(workload, window, wcet)
+        assert bound <= workload
+        assert bound <= max(window - wcet + 1, 0)
+        assert bound >= 0

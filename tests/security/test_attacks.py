@@ -1,0 +1,68 @@
+"""Unit tests for attack generation."""
+
+import numpy as np
+import pytest
+
+from repro.security.attacks import Attack, AttackScenario, generate_attacks
+from repro.security.monitors import SecurityMonitor
+
+
+def monitors():
+    return [
+        SecurityMonitor("tripwire", coverage_units=8, wcet=100),
+        SecurityMonitor("kmod", coverage_units=4, wcet=20),
+    ]
+
+
+class TestAttack:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Attack("a", "m", inject_time=-1, compromised_unit=0)
+        with pytest.raises(ValueError):
+            Attack("a", "m", inject_time=0, compromised_unit=-1)
+
+
+class TestScenario:
+    def test_for_monitor_filtering(self):
+        scenario = AttackScenario(
+            [
+                Attack("a1", "tripwire", 10, 0),
+                Attack("a2", "kmod", 20, 1),
+            ]
+        )
+        assert len(scenario) == 2
+        assert [a.name for a in scenario.for_monitor("kmod")] == ["a2"]
+
+
+class TestGeneration:
+    def test_one_attack_per_monitor(self):
+        scenario = generate_attacks(monitors(), horizon=1000, rng=np.random.default_rng(0))
+        assert len(scenario) == 2
+        assert {a.monitor_task for a in scenario} == {"tripwire", "kmod"}
+
+    def test_injection_window_respected(self):
+        scenario = generate_attacks(
+            monitors(),
+            horizon=1000,
+            rng=np.random.default_rng(1),
+            latest_injection_fraction=0.25,
+        )
+        assert all(a.inject_time < 250 for a in scenario)
+
+    def test_compromised_units_within_coverage(self):
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            scenario = generate_attacks(monitors(), horizon=500, rng=rng)
+            for attack, monitor in zip(scenario, monitors()):
+                assert 0 <= attack.compromised_unit < monitor.coverage_units
+
+    def test_determinism(self):
+        a = generate_attacks(monitors(), 1000, rng=np.random.default_rng(3))
+        b = generate_attacks(monitors(), 1000, rng=np.random.default_rng(3))
+        assert [x.inject_time for x in a] == [x.inject_time for x in b]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            generate_attacks(monitors(), horizon=0)
+        with pytest.raises(ValueError):
+            generate_attacks(monitors(), horizon=10, latest_injection_fraction=0.0)

@@ -1,0 +1,59 @@
+"""Unit tests for the reactive monitor-chain extension."""
+
+import pytest
+
+from repro.security.attacks import Attack
+from repro.security.dependency import MonitorChain, ReactiveMonitorPolicy
+from repro.security.detection import DetectionResult
+
+
+def detection(monitor, time):
+    return DetectionResult(
+        attack=Attack("a", monitor, inject_time=0, compromised_unit=0),
+        detected=time is not None,
+        detection_time=time,
+    )
+
+
+class TestMonitorChain:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MonitorChain(head="", followers=["x"])
+        with pytest.raises(ValueError):
+            MonitorChain(head="x", followers=["x"])
+
+
+class TestReactivePolicy:
+    def test_chain_completion_times(self):
+        policy = ReactiveMonitorPolicy(
+            [MonitorChain(head="tripwire", followers=["syscall-check", "net-check"])],
+            periods={"tripwire": 1000, "syscall-check": 100, "net-check": 200},
+        )
+        completions = policy.completions([detection("tripwire", 5000)])
+        assert len(completions) == 1
+        chain = completions[0]
+        assert chain.trigger_time == 5000
+        assert chain.stage_completion_times["syscall-check"] == 5200
+        assert chain.stage_completion_times["net-check"] == 5600
+        assert chain.chain_latency == 600
+
+    def test_no_detection_no_chain(self):
+        policy = ReactiveMonitorPolicy(
+            [MonitorChain(head="tripwire", followers=["syscall-check"])],
+            periods={"tripwire": 1000, "syscall-check": 100},
+        )
+        assert policy.completions([detection("tripwire", None)]) == []
+        assert policy.worst_chain_latency([detection("tripwire", None)]) is None
+
+    def test_shorter_periods_shorten_chains(self):
+        chains = [MonitorChain(head="m", followers=["f"])]
+        fast = ReactiveMonitorPolicy(chains, {"m": 100, "f": 50})
+        slow = ReactiveMonitorPolicy(chains, {"m": 100, "f": 500})
+        trigger = [detection("m", 1000)]
+        assert fast.worst_chain_latency(trigger) < slow.worst_chain_latency(trigger)
+
+    def test_missing_period_rejected(self):
+        with pytest.raises(KeyError):
+            ReactiveMonitorPolicy(
+                [MonitorChain(head="m", followers=["f"])], periods={"m": 100}
+            )

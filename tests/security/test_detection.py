@@ -1,0 +1,101 @@
+"""Unit tests for detection-latency evaluation."""
+
+import pytest
+
+from repro.security.attacks import Attack, AttackScenario
+from repro.security.detection import (
+    DetectionResult,
+    detection_time_for_attack,
+    evaluate_detection,
+)
+from repro.security.monitors import SecurityMonitor
+from repro.sim.trace import ExecutionSlice, SimulationTrace
+
+
+def make_trace(slices):
+    trace = SimulationTrace(horizon=1000, num_cores=1)
+    trace.slices.extend(slices)
+    return trace
+
+
+MONITOR = SecurityMonitor("ids", coverage_units=4, wcet=8)  # 2 ticks per unit
+
+
+class TestDetectionTime:
+    def test_detected_within_running_scan(self):
+        # One uninterrupted job covering [10, 18); unit 2 finishes at progress 6
+        # i.e. wall-clock 16.
+        trace = make_trace([ExecutionSlice("ids#0", "ids", 0, 10, 18, 0)])
+        attack = Attack("a", "ids", inject_time=12, compromised_unit=2)
+        assert detection_time_for_attack(trace, MONITOR, attack) == 16
+
+    def test_attack_after_unit_swept_waits_for_next_pass(self):
+        trace = make_trace(
+            [
+                ExecutionSlice("ids#0", "ids", 0, 0, 8, 0),
+                ExecutionSlice("ids#1", "ids", 0, 50, 58, 0),
+            ]
+        )
+        # Unit 0 is swept during [0,2) of job 0; an attack at t=3 on unit 0
+        # must wait for job 1, which reaches progress 2 at wall-clock 52.
+        attack = Attack("a", "ids", inject_time=3, compromised_unit=0)
+        assert detection_time_for_attack(trace, MONITOR, attack) == 52
+
+    def test_preempted_scan_detects_later(self):
+        # The same job split by preemption: progress 6 is only reached in the
+        # second slice.
+        trace = make_trace(
+            [
+                ExecutionSlice("ids#0", "ids", 0, 10, 14, 0),
+                ExecutionSlice("ids#0", "ids", 0, 30, 34, 4),
+            ]
+        )
+        attack = Attack("a", "ids", inject_time=11, compromised_unit=2)
+        assert detection_time_for_attack(trace, MONITOR, attack) == 32
+
+    def test_undetected_when_no_later_pass(self):
+        trace = make_trace([ExecutionSlice("ids#0", "ids", 0, 0, 8, 0)])
+        attack = Attack("a", "ids", inject_time=900, compromised_unit=1)
+        assert detection_time_for_attack(trace, MONITOR, attack) is None
+
+    def test_attack_during_sweep_of_its_unit_is_missed_by_that_sweep(self):
+        # Unit 3 is being swept during progress (6, 8]; the attack lands while
+        # that sweep is in progress, so only a later pass can catch it -- and
+        # there is none.
+        trace = make_trace([ExecutionSlice("ids#0", "ids", 0, 0, 8, 0)])
+        attack = Attack("a", "ids", inject_time=7, compromised_unit=3)
+        assert detection_time_for_attack(trace, MONITOR, attack) is None
+
+    def test_wrong_monitor_rejected(self):
+        trace = make_trace([])
+        attack = Attack("a", "other", inject_time=0, compromised_unit=0)
+        with pytest.raises(ValueError):
+            detection_time_for_attack(trace, MONITOR, attack)
+
+    def test_out_of_range_unit_rejected(self):
+        trace = make_trace([])
+        attack = Attack("a", "ids", inject_time=0, compromised_unit=10)
+        with pytest.raises(ValueError):
+            detection_time_for_attack(trace, MONITOR, attack)
+
+
+class TestEvaluateDetection:
+    def test_results_and_latency(self):
+        trace = make_trace([ExecutionSlice("ids#0", "ids", 0, 10, 18, 0)])
+        scenario = AttackScenario([Attack("a", "ids", inject_time=12, compromised_unit=2)])
+        results = evaluate_detection(trace, [MONITOR], scenario)
+        assert len(results) == 1
+        assert results[0].detected
+        assert results[0].detection_time == 16
+        assert results[0].latency == 4
+
+    def test_unknown_monitor_raises(self):
+        scenario = AttackScenario([Attack("a", "ghost", 0, 0)])
+        with pytest.raises(KeyError):
+            evaluate_detection(make_trace([]), [MONITOR], scenario)
+
+    def test_undetected_result(self):
+        scenario = AttackScenario([Attack("a", "ids", inject_time=500, compromised_unit=0)])
+        results = evaluate_detection(make_trace([]), [MONITOR], scenario)
+        assert not results[0].detected
+        assert results[0].latency is None

@@ -1,0 +1,57 @@
+"""Unit tests for the synthetic security monitors."""
+
+import pytest
+
+from repro.model import SecurityTask
+from repro.security.monitors import FileIntegrityMonitor, KernelModuleChecker, SecurityMonitor
+
+
+class TestScanGeometry:
+    def test_ticks_to_scan_monotone_and_complete(self):
+        monitor = SecurityMonitor("m", coverage_units=4, wcet=10)
+        ticks = [monitor.ticks_to_scan(u) for u in range(5)]
+        assert ticks == [0, 3, 5, 8, 10]
+
+    def test_unit_scanned_at_is_inverse_of_ticks_to_scan(self):
+        monitor = SecurityMonitor("m", coverage_units=7, wcet=23)
+        for unit in range(monitor.coverage_units):
+            threshold = monitor.ticks_to_scan(unit + 1)
+            assert monitor.unit_scanned_at(threshold) >= unit
+            assert monitor.unit_scanned_at(threshold - 1) < unit
+
+    def test_unit_scanned_examples(self):
+        monitor = FileIntegrityMonitor("tw", coverage_units=4, wcet=10)
+        assert monitor.unit_scanned_at(0) == -1
+        assert monitor.unit_scanned_at(10) == 3
+        assert monitor.unit_scanned_at(999) == 3
+
+    def test_single_unit_monitor(self):
+        monitor = KernelModuleChecker("k", coverage_units=1, wcet=5)
+        assert monitor.ticks_to_scan(1) == 5
+        assert monitor.unit_scanned_at(4) == -1
+        assert monitor.unit_scanned_at(5) == 0
+
+    def test_more_units_than_ticks(self):
+        monitor = SecurityMonitor("m", coverage_units=10, wcet=3)
+        assert monitor.ticks_to_scan(10) == 3
+        assert monitor.unit_scanned_at(3) == 9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SecurityMonitor("m", coverage_units=0, wcet=5)
+        with pytest.raises(ValueError):
+            SecurityMonitor("m", coverage_units=5, wcet=0)
+        with pytest.raises(ValueError):
+            SecurityMonitor("m", coverage_units=5, wcet=5).ticks_to_scan(-1)
+        with pytest.raises(ValueError):
+            SecurityMonitor("m", coverage_units=5, wcet=5).unit_scanned_at(-1)
+
+
+class TestForTask:
+    def test_matches_task_parameters(self):
+        task = SecurityTask(name="tw", wcet=100, max_period=1000, coverage_units=25)
+        monitor = FileIntegrityMonitor.for_task(task)
+        assert monitor.task_name == "tw"
+        assert monitor.wcet == 100
+        assert monitor.coverage_units == 25
+        assert "tw" in monitor.description

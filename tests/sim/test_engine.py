@@ -1,0 +1,183 @@
+"""Unit and integration tests for the tick-accurate simulator."""
+
+import pytest
+
+from repro.core.framework import HydraC
+from repro.errors import SimulationError
+from repro.model import Platform, RealTimeTask, SecurityTask, TaskSet
+from repro.sim.engine import SimulationConfig, Simulator, simulate_design
+from repro.sim.schedulers import SchedulerPolicy
+
+
+def single_rt_taskset():
+    return TaskSet.create([RealTimeTask(name="rt", wcet=2, period=5)], [])
+
+
+class TestSimulationConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(horizon=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(horizon=10, release_jitter={"t": -1})
+
+
+class TestBasicScheduling:
+    def test_single_rt_task_runs_periodically(self):
+        sim = Simulator(
+            single_rt_taskset(),
+            num_cores=1,
+            policy=SchedulerPolicy.PARTITIONED,
+            rt_allocation={"rt": 0},
+            config=SimulationConfig(horizon=20),
+        )
+        trace = sim.run()
+        jobs = trace.jobs_for_task("rt")
+        assert len(jobs) == 4
+        assert all(job.response_time == 2 for job in jobs)
+        assert trace.busy_time_per_core() == [8]
+
+    def test_preemption_by_higher_priority(self):
+        taskset = TaskSet.create(
+            [
+                RealTimeTask(name="hi", wcet=1, period=4),
+                RealTimeTask(name="lo", wcet=4, period=10),
+            ],
+            [],
+        )
+        sim = Simulator(
+            taskset,
+            num_cores=1,
+            policy=SchedulerPolicy.PARTITIONED,
+            rt_allocation={"hi": 0, "lo": 0},
+            config=SimulationConfig(horizon=20),
+        )
+        trace = sim.run()
+        # lo runs in [1,4), is preempted by hi's second job at t=4, and
+        # finishes its last tick in [5,6).
+        assert trace.preemptions >= 1
+        lo_jobs = trace.jobs_for_task("lo")
+        assert lo_jobs[0].response_time == 6
+
+    def test_observed_response_never_exceeds_analysis_bound(self, rover, rover_allocation, dual_core):
+        design = HydraC(dual_core).design(rover, rover_allocation)
+        trace = simulate_design(design, horizon=30_000)
+        for task_name, bound in design.response_times.items():
+            for observed in trace.observed_response_times(task_name):
+                assert observed <= bound
+
+    def test_security_tasks_never_delay_rt_tasks(self, rover, rover_allocation, dual_core):
+        design = HydraC(dual_core).design(rover, rover_allocation)
+        trace = simulate_design(design, horizon=20_000)
+        for job in trace.jobs_for_task("navigation"):
+            if job.completed:
+                assert job.response_time <= 240 + 0  # runs alone on core 0
+
+    def test_deadline_miss_detection(self):
+        taskset = TaskSet.create(
+            [
+                RealTimeTask(name="a", wcet=6, period=10),
+                RealTimeTask(name="b", wcet=6, period=10),
+            ],
+            [],
+        )
+        sim = Simulator(
+            taskset,
+            num_cores=1,
+            policy=SchedulerPolicy.PARTITIONED,
+            rt_allocation={"a": 0, "b": 0},
+            config=SimulationConfig(horizon=40),
+        )
+        with pytest.raises(SimulationError, match="deadline miss"):
+            sim.run()
+
+    def test_deadline_miss_tolerated_when_configured(self):
+        taskset = TaskSet.create(
+            [
+                RealTimeTask(name="a", wcet=6, period=10),
+                RealTimeTask(name="b", wcet=6, period=10),
+            ],
+            [],
+        )
+        sim = Simulator(
+            taskset,
+            num_cores=1,
+            policy=SchedulerPolicy.PARTITIONED,
+            rt_allocation={"a": 0, "b": 0},
+            config=SimulationConfig(horizon=40, fail_on_rt_deadline_miss=False),
+        )
+        trace = sim.run()
+        assert len(trace.deadline_misses()) > 0
+
+    def test_missing_binding_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator(
+                single_rt_taskset(),
+                num_cores=1,
+                policy=SchedulerPolicy.PARTITIONED,
+                rt_allocation={},
+            )
+
+
+class TestMigrationBehaviour:
+    def test_semi_partitioned_security_task_migrates(self):
+        """A security task displaced by an RT job should continue on the idle core."""
+        taskset = TaskSet.create(
+            [RealTimeTask(name="rt", wcet=5, period=10)],
+            [SecurityTask(name="ids", wcet=8, max_period=40, period=20)],
+        )
+        sim = Simulator(
+            taskset,
+            num_cores=2,
+            policy=SchedulerPolicy.SEMI_PARTITIONED,
+            rt_allocation={"rt": 0},
+            config=SimulationConfig(horizon=40),
+        )
+        trace = sim.run()
+        ids_jobs = trace.jobs_for_task("ids")
+        assert ids_jobs[0].completed
+        # With an idle second core the monitor is never blocked: it completes
+        # in exactly its WCET.
+        assert ids_jobs[0].response_time == 8
+
+    def test_partitioned_security_task_cannot_migrate(self):
+        taskset = TaskSet.create(
+            [RealTimeTask(name="rt", wcet=5, period=10)],
+            [SecurityTask(name="ids", wcet=8, max_period=40, period=20)],
+        )
+        sim = Simulator(
+            taskset,
+            num_cores=2,
+            policy=SchedulerPolicy.PARTITIONED,
+            rt_allocation={"rt": 0},
+            security_allocation={"ids": 0},
+            config=SimulationConfig(horizon=40),
+        )
+        trace = sim.run()
+        ids_jobs = trace.jobs_for_task("ids")
+        # Pinned behind the RT task: 8 ticks of work plus two 5-tick RT jobs.
+        assert ids_jobs[0].response_time == 18
+        assert trace.migrations == 0
+
+    def test_global_policy_runs_highest_priority_jobs(self):
+        taskset = TaskSet.create(
+            [
+                RealTimeTask(name="a", wcet=4, period=10),
+                RealTimeTask(name="b", wcet=4, period=10),
+                RealTimeTask(name="c", wcet=4, period=10),
+            ],
+            [],
+        )
+        sim = Simulator(
+            taskset,
+            num_cores=2,
+            policy=SchedulerPolicy.GLOBAL,
+            config=SimulationConfig(horizon=10),
+        )
+        trace = sim.run()
+        assert trace.jobs_for_task("c")[0].response_time == 8
+
+    def test_hydra_c_has_migrations_on_rover(self, rover, rover_allocation, dual_core):
+        design = HydraC(dual_core).design(rover, rover_allocation)
+        trace = simulate_design(design, horizon=30_000)
+        assert trace.migrations > 0
+        assert trace.context_switches > 0

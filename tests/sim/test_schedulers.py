@@ -1,0 +1,104 @@
+"""Unit tests for the per-tick scheduling policies."""
+
+import pytest
+
+from repro.sim.schedulers import (
+    GlobalFixedPriorityScheduler,
+    PartitionedScheduler,
+    ReadyJob,
+    SchedulerPolicy,
+    SemiPartitionedScheduler,
+    make_scheduler,
+)
+
+
+def job(job_id, priority, *, security=False, bound=None, last=None):
+    return ReadyJob(
+        job_id=job_id,
+        task_name=job_id.split("#")[0],
+        priority=priority,
+        is_security=security,
+        bound_core=bound,
+        last_core=last,
+        release_time=0,
+    )
+
+
+class TestPartitionedScheduler:
+    def test_highest_priority_per_core(self):
+        scheduler = PartitionedScheduler(2)
+        ready = [job("a#0", 1, bound=0), job("b#0", 0, bound=0), job("c#0", 2, bound=1)]
+        assignment = scheduler.assign(ready)
+        assert assignment == {0: "b#0", 1: "c#0"}
+
+    def test_unbound_job_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionedScheduler(1).assign([job("a#0", 0)])
+
+    def test_idle_cores_stay_idle(self):
+        assert PartitionedScheduler(2).assign([]) == {0: None, 1: None}
+
+
+class TestSemiPartitionedScheduler:
+    def test_rt_first_then_security_on_idle_cores(self):
+        scheduler = SemiPartitionedScheduler(2)
+        ready = [
+            job("rt#0", 0, bound=0),
+            job("sec-a#0", 100, security=True),
+            job("sec-b#0", 101, security=True),
+        ]
+        assignment = scheduler.assign(ready)
+        assert assignment[0] == "rt#0"
+        assert assignment[1] == "sec-a#0"  # only one core left for security
+
+    def test_security_prefers_last_core_when_free(self):
+        scheduler = SemiPartitionedScheduler(2)
+        ready = [job("sec#0", 100, security=True, last=1)]
+        assert scheduler.assign(ready)[1] == "sec#0"
+
+    def test_security_migrates_when_last_core_busy(self):
+        scheduler = SemiPartitionedScheduler(2)
+        ready = [
+            job("rt#0", 0, bound=1),
+            job("sec#0", 100, security=True, last=1),
+        ]
+        assignment = scheduler.assign(ready)
+        assert assignment[1] == "rt#0"
+        assert assignment[0] == "sec#0"
+
+    def test_rt_job_without_binding_rejected(self):
+        with pytest.raises(ValueError):
+            SemiPartitionedScheduler(1).assign([job("rt#0", 0)])
+
+
+class TestGlobalScheduler:
+    def test_top_m_jobs_run(self):
+        scheduler = GlobalFixedPriorityScheduler(2)
+        ready = [job("a#0", 2), job("b#0", 0), job("c#0", 1)]
+        assignment = scheduler.assign(ready)
+        running = set(assignment.values())
+        assert running == {"b#0", "c#0"}
+
+    def test_affinity_preserved(self):
+        scheduler = GlobalFixedPriorityScheduler(2)
+        ready = [job("a#0", 0, last=1), job("b#0", 1)]
+        assignment = scheduler.assign(ready)
+        assert assignment[1] == "a#0"
+        assert assignment[0] == "b#0"
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "policy,expected",
+        [
+            (SchedulerPolicy.PARTITIONED, PartitionedScheduler),
+            ("semi-partitioned", SemiPartitionedScheduler),
+            ("global", GlobalFixedPriorityScheduler),
+        ],
+    )
+    def test_make_scheduler(self, policy, expected):
+        assert isinstance(make_scheduler(policy, 2), expected)
+
+    def test_invalid_core_count(self):
+        with pytest.raises(ValueError):
+            make_scheduler(SchedulerPolicy.GLOBAL, 0)

@@ -1,0 +1,81 @@
+"""Unit tests for trace data structures."""
+
+import pytest
+
+from repro.sim.trace import ExecutionSlice, JobRecord, SimulationTrace
+
+
+class TestExecutionSlice:
+    def test_properties(self):
+        piece = ExecutionSlice("t#0", "t", core=0, start=5, end=9, progress_before=2)
+        assert piece.duration == 4
+        assert piece.progress_after == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionSlice("t#0", "t", core=0, start=5, end=5, progress_before=0)
+        with pytest.raises(ValueError):
+            ExecutionSlice("t#0", "t", core=0, start=5, end=6, progress_before=-1)
+
+
+class TestJobRecord:
+    def test_response_time(self):
+        record = JobRecord("t#0", "t", False, release_time=10, wcet=4, completion_time=18)
+        assert record.response_time == 8
+        assert record.completed
+
+    def test_deadline_miss(self):
+        record = JobRecord(
+            "t#0", "t", False, release_time=0, wcet=4, absolute_deadline=10,
+            completion_time=12,
+        )
+        assert record.missed_deadline
+
+    def test_incomplete_job_with_deadline_counts_as_miss(self):
+        record = JobRecord("t#0", "t", False, release_time=0, wcet=4, absolute_deadline=10)
+        assert record.missed_deadline
+        assert record.response_time is None
+
+    def test_security_job_without_deadline_never_misses(self):
+        record = JobRecord("s#0", "s", True, release_time=0, wcet=4)
+        assert not record.missed_deadline
+
+
+class TestSimulationTrace:
+    def _trace(self):
+        trace = SimulationTrace(horizon=20, num_cores=2)
+        trace.jobs["a#0"] = JobRecord("a#0", "a", False, 0, 3, 10, completion_time=3)
+        trace.jobs["a#1"] = JobRecord("a#1", "a", False, 10, 3, 20, completion_time=14)
+        trace.jobs["s#0"] = JobRecord("s#0", "s", True, 0, 5, None, completion_time=9)
+        trace.slices.extend(
+            [
+                ExecutionSlice("a#0", "a", 0, 0, 3, 0),
+                ExecutionSlice("s#0", "s", 1, 0, 2, 0),
+                ExecutionSlice("s#0", "s", 0, 4, 7, 2),
+                ExecutionSlice("a#1", "a", 0, 11, 14, 0),
+            ]
+        )
+        return trace
+
+    def test_slices_for_task_sorted(self):
+        trace = self._trace()
+        slices = trace.slices_for_task("s")
+        assert [s.start for s in slices] == [0, 4]
+
+    def test_jobs_for_task(self):
+        assert [j.job_id for j in self._trace().jobs_for_task("a")] == ["a#0", "a#1"]
+
+    def test_completed_jobs_sorted_by_completion(self):
+        completed = self._trace().completed_jobs()
+        assert [j.job_id for j in completed] == ["a#0", "s#0", "a#1"]
+
+    def test_observed_response_times(self):
+        assert self._trace().observed_response_times("a") == [3, 4]
+
+    def test_busy_and_utilization(self):
+        trace = self._trace()
+        assert trace.busy_time_per_core() == [9, 2]
+        assert trace.utilization_per_core() == [pytest.approx(0.45), pytest.approx(0.1)]
+
+    def test_summary_mentions_counts(self):
+        assert "jobs=3" in self._trace().summary()

@@ -1,0 +1,44 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig5_defaults(self):
+        args = build_parser().parse_args(["fig5"])
+        assert args.trials == 35
+        assert args.horizon == 45_000
+
+    def test_sweep_arguments(self):
+        args = build_parser().parse_args(
+            ["fig7a", "--cores", "4", "--tasksets-per-group", "7", "--jobs", "3"]
+        )
+        assert args.cores == 4
+        assert args.tasksets_per_group == 7
+        assert args.jobs == 3
+
+    def test_invalid_core_count_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig6", "--cores", "3"])
+
+
+class TestMain:
+    def test_fig5_small_run(self, capsys):
+        exit_code = main(["fig5", "--trials", "2", "--horizon", "20000", "--seed", "3"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "HYDRA-C" in output and "HYDRA" in output
+        assert "context" in output.lower()
+
+    def test_fig6_small_run(self, capsys):
+        exit_code = main(
+            ["fig6", "--cores", "2", "--tasksets-per-group", "1", "--seed", "5"]
+        )
+        assert exit_code == 0
+        assert "Fig. 6" in capsys.readouterr().out
