@@ -26,6 +26,19 @@ def pytest_addoption(parser):
     )
 
 
+def pytest_collection_modifyitems(items):
+    """Mark every test in this directory ``bench``.
+
+    The benchmark harness regenerates whole figures, so it dominates the
+    suite's runtime; ``pytest -m "not bench"`` keeps the tier-1 run fast
+    (the marker is registered in the repository-root ``pytest.ini``).
+    """
+    bench_dir = Path(__file__).parent
+    for item in items:
+        if Path(str(item.fspath)).is_relative_to(bench_dir):
+            item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture(scope="session")
 def tasksets_per_group(request) -> int:
     """Task sets per utilization group used by the synthetic sweeps."""

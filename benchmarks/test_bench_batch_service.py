@@ -1,0 +1,92 @@
+"""Benchmark: the batched evaluation service vs. the seed per-scheme path.
+
+The ISSUE-1 performance gate: on the Fig. 7a workload (2 cores, ten
+utilization groups), :class:`repro.batch.BatchDesignService` -- shared
+per-partition caches plus the memoised analysis inner loop -- must evaluate
+the same task-set stream at least 2x faster than the frozen seed path
+(:mod:`repro.batch.reference`), while producing identical results.
+
+A second test pins the orchestrator's resume guarantee at benchmark scale:
+a checkpoint killed after its first chunk and resumed reproduces the
+uninterrupted checkpoint byte for byte.
+"""
+
+import time
+
+import pytest
+
+from repro.batch.orchestrator import build_specs, run_batch_sweep
+from repro.batch.reference import reference_evaluate_one
+from repro.batch.service import BatchDesignService
+from repro.batch.store import JsonlResultStore
+from repro.experiments.config import ExperimentConfig
+
+
+def test_bench_batch_service_speedup(benchmark, tasksets_per_group):
+    config = ExperimentConfig(
+        num_cores=2, tasksets_per_group=tasksets_per_group, seed=4042
+    )
+    specs = build_specs(config)
+    service = BatchDesignService(config.num_cores)
+    timings = {}
+
+    def run_batched():
+        start = time.perf_counter()
+        outcomes = [service.evaluate_spec(spec) for spec in specs]
+        timings["batched"] = time.perf_counter() - start
+        return outcomes
+
+    batched = benchmark.pedantic(run_batched, rounds=1, iterations=1)
+
+    start = time.perf_counter()
+    seed_path = [
+        reference_evaluate_one(
+            config.num_cores, spec.group_index, spec.normalized_range, spec.seed
+        )
+        for spec in specs
+    ]
+    timings["seed"] = time.perf_counter() - start
+
+    # Cross-validation on the benchmark workload itself: the optimised
+    # service must be an exact refactor of the seed path.
+    assert batched == seed_path
+
+    speedup = timings["seed"] / timings["batched"]
+    benchmark.extra_info["seed_seconds"] = round(timings["seed"], 3)
+    benchmark.extra_info["batched_seconds"] = round(timings["batched"], 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    assert speedup >= 2.0, (
+        f"batched service only {speedup:.2f}x faster than the seed path "
+        f"({timings['batched']:.2f}s vs {timings['seed']:.2f}s)"
+    )
+
+
+def test_bench_killed_and_resumed_sweep_is_byte_identical(benchmark, tmp_path):
+    config = ExperimentConfig(
+        num_cores=2,
+        tasksets_per_group=2,
+        utilization_groups=((0.05, 0.15), (0.35, 0.45), (0.65, 0.75)),
+        seed=4242,
+        chunk_size=2,
+    )
+    uninterrupted = tmp_path / "uninterrupted.jsonl"
+    interrupted = tmp_path / "interrupted.jsonl"
+
+    full = benchmark.pedantic(
+        run_batch_sweep,
+        args=(config,),
+        kwargs={"store": JsonlResultStore(uninterrupted, config)},
+        rounds=1,
+        iterations=1,
+    )
+
+    # Simulate a kill after the first flushed chunk: run fully, then chop
+    # the file back to header + first chunk before resuming.
+    store = JsonlResultStore(interrupted, config)
+    run_batch_sweep(config, store=store)
+    lines = interrupted.read_bytes().splitlines(keepends=True)
+    interrupted.write_bytes(b"".join(lines[: 1 + config.chunk_size]))
+
+    resumed = run_batch_sweep(config, store=JsonlResultStore(interrupted, config))
+    assert tuple(resumed.evaluations) == tuple(full.evaluations)
+    assert interrupted.read_bytes() == uninterrupted.read_bytes()

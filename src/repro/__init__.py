@@ -17,11 +17,27 @@ Quickstart
 >>> design.schedulable
 True
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-reproduction of every table and figure in the paper's evaluation.
+Large evaluations (thousands of task sets, as in the paper's Figs. 6-7)
+go through the batch layer instead of calling schemes one by one::
+
+    from repro import BatchDesignService, run_batch_sweep
+    from repro.experiments.config import ExperimentConfig
+
+    result = run_batch_sweep(
+        ExperimentConfig(num_cores=2, checkpoint_path="sweep.jsonl")
+    )
+
+See DESIGN.md (repository root) for the system inventory including the
+batch layer, and EXPERIMENTS.md for the per-figure experiment index.
 """
 
 from repro.baselines import GlobalTMax, Hydra, HydraTMax
+from repro.batch import (
+    BatchDesignService,
+    JsonlResultStore,
+    SweepOrchestrator,
+    run_batch_sweep,
+)
 from repro.core import (
     CarryInStrategy,
     HydraC,
@@ -45,6 +61,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Allocation",
     "AllocationError",
+    "BatchDesignService",
     "CarryInStrategy",
     "ConfigurationError",
     "FitStrategy",
@@ -52,12 +69,14 @@ __all__ = [
     "Hydra",
     "HydraC",
     "HydraTMax",
+    "JsonlResultStore",
     "PeriodSelectionResult",
     "Platform",
     "RealTimeTask",
     "ReproError",
     "SecurityTask",
     "SimulationError",
+    "SweepOrchestrator",
     "SystemDesign",
     "TaskSet",
     "TasksetGenerationConfig",
@@ -65,6 +84,7 @@ __all__ = [
     "UnschedulableError",
     "generate_taskset",
     "partition_rt_tasks",
+    "run_batch_sweep",
     "select_periods",
     "__version__",
 ]

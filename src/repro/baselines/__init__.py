@@ -18,7 +18,7 @@ scheme-agnostic.
 """
 
 from repro.baselines.global_tmax import GlobalTMax
-from repro.baselines.hydra import Hydra
+from repro.baselines.hydra import Hydra, SecurityAllocation
 from repro.baselines.hydra_tmax import HydraTMax
 
-__all__ = ["GlobalTMax", "Hydra", "HydraTMax"]
+__all__ = ["GlobalTMax", "Hydra", "HydraTMax", "SecurityAllocation"]

@@ -34,22 +34,32 @@ response time stays within its maximum period.
 from __future__ import annotations
 
 import enum
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.framework import SchedulingPolicy, SystemDesign
-from repro.errors import UnschedulableError
+from repro.errors import ConfigurationError, UnschedulableError
 from repro.model.platform import Platform
 from repro.model.tasks import RealTimeTask, SecurityTask
 from repro.model.taskset import TaskSet
 from repro.partitioning.allocation import Allocation
 from repro.partitioning.heuristics import FitStrategy, partition_rt_tasks
-from repro.schedulability.partitioned import partitioned_rt_schedulable
+from repro.schedulability.partitioned import (
+    PartitionedAnalysisResult,
+    partitioned_rt_schedulable,
+    rt_tasks_by_core,
+)
 from repro.schedulability.uniprocessor import (
     UniprocessorTask,
     uniprocessor_response_time,
 )
 
-__all__ = ["Hydra", "PeriodPolicy", "best_core_for_security_task"]
+__all__ = [
+    "Hydra",
+    "PeriodPolicy",
+    "SecurityAllocation",
+    "best_core_for_security_task",
+]
 
 
 class PeriodPolicy(str, enum.Enum):
@@ -58,6 +68,43 @@ class PeriodPolicy(str, enum.Enum):
     CORE_AWARE = "core-aware"
     GREEDY_MIN = "greedy-min"
     TMAX = "tmax"
+
+
+@dataclass(frozen=True)
+class SecurityAllocation:
+    """Outcome of HYDRA's greedy best-fit security-task allocation phase.
+
+    The allocation is performed at the maximum periods (every non-greedy
+    period policy occupies cores at ``T^max`` until the per-core
+    minimisation pass), so the result is *identical* for the CORE_AWARE and
+    TMAX policies on the same task set and RT partition.  The batch
+    evaluation service exploits this by computing the allocation once and
+    sharing it between HYDRA and HYDRA-TMax.
+
+    Attributes
+    ----------
+    mapping:
+        Security task name -> core index, for every task allocated before
+        the first failure.
+    response_times:
+        Uniprocessor WCRT observed for each task on its chosen core during
+        allocation (``None`` for the failed task).
+    failed_task:
+        Name of the first security task that fit on no core, or ``None``
+        when every task was placed.
+    greedy:
+        True when the allocation assumed the literal GREEDY_MIN periods;
+        such a result must not be shared with non-greedy policies.
+    """
+
+    mapping: Dict[str, int] = field(default_factory=dict)
+    response_times: Dict[str, Optional[int]] = field(default_factory=dict)
+    failed_task: Optional[str] = None
+    greedy: bool = False
+
+    @property
+    def schedulable(self) -> bool:
+        return self.failed_task is None
 
 
 def _rt_view(task: RealTimeTask) -> UniprocessorTask:
@@ -161,51 +208,68 @@ class Hydra:
         self,
         taskset: TaskSet,
         rt_allocation: Optional[Mapping[str, int]] = None,
+        *,
+        rt_check: Optional[PartitionedAnalysisResult] = None,
+        security_allocation: Optional[SecurityAllocation] = None,
+        rt_by_core: Optional[Mapping[int, Sequence[RealTimeTask]]] = None,
     ) -> SystemDesign:
-        """Allocate the security tasks, adapt their periods, build the design."""
+        """Allocate the security tasks, adapt their periods, build the design.
+
+        ``rt_check``, ``security_allocation`` and ``rt_by_core`` optionally
+        supply precomputed phases (the Eq. 1 RT analysis, the greedy
+        best-fit allocation and the per-core RT grouping of
+        :func:`~repro.schedulability.partitioned.rt_tasks_by_core`) for
+        exactly this task set and RT partition, so that callers evaluating
+        several HYDRA variants can share them; see
+        :class:`SecurityAllocation` for the sharing contract.
+        """
         allocation = self._resolve_rt_allocation(taskset, rt_allocation)
-        rt_check = partitioned_rt_schedulable(
-            taskset, allocation.mapping, self._platform
-        )
+        if rt_check is None:
+            rt_check = partitioned_rt_schedulable(
+                taskset, allocation.mapping, self._platform
+            )
         if not rt_check.schedulable:
             raise UnschedulableError(
                 "legacy RT tasks are not schedulable under the given partition: "
                 f"{rt_check.unschedulable_tasks}"
             )
 
-        rt_by_core: Dict[int, List[RealTimeTask]] = {
-            core.index: [] for core in self._platform.cores
-        }
-        for rt_task in taskset.rt_tasks:
-            rt_by_core[allocation.core_of(rt_task.name)].append(rt_task)
-        for tasks in rt_by_core.values():
-            tasks.sort(key=lambda t: (t.priority, t.name))
-
+        if rt_by_core is None:
+            rt_by_core = rt_tasks_by_core(
+                taskset, allocation.mapping, self._platform
+            )
         response_times: Dict[str, Optional[int]] = dict(rt_check.response_times)
 
-        security_mapping, alloc_responses, failed_task = self._allocate_security(
-            taskset, rt_by_core
-        )
-        response_times.update(alloc_responses)
+        if security_allocation is None:
+            security_allocation = self.allocate_security(taskset, rt_by_core)
+        elif security_allocation.greedy != (
+            self._period_policy is PeriodPolicy.GREEDY_MIN
+        ):
+            raise ConfigurationError(
+                "precomputed security allocation was produced under a "
+                "different period-policy family (greedy vs non-greedy) and "
+                "cannot be reused"
+            )
+        response_times.update(security_allocation.response_times)
 
-        if failed_task is not None:
+        if security_allocation.failed_task is not None:
             return SystemDesign(
                 scheme=self.scheme_name,
                 policy=SchedulingPolicy.PARTITIONED,
                 taskset=taskset,
                 platform=self._platform,
                 rt_allocation=allocation,
-                security_allocation=Allocation(security_mapping),
+                security_allocation=Allocation(dict(security_allocation.mapping)),
                 schedulable=False,
                 response_times=response_times,
                 metadata={
-                    "unschedulable_task": failed_task,
+                    "unschedulable_task": security_allocation.failed_task,
                     "period_policy": self._period_policy.value,
                 },
             )
 
         periods, final_responses = self._assign_periods(
-            taskset, rt_by_core, security_mapping
+            taskset, rt_by_core, security_allocation.mapping
         )
         response_times.update(final_responses)
 
@@ -216,7 +280,7 @@ class Hydra:
             taskset=adapted,
             platform=self._platform,
             rt_allocation=allocation,
-            security_allocation=Allocation(security_mapping),
+            security_allocation=Allocation(dict(security_allocation.mapping)),
             schedulable=True,
             response_times=response_times,
             metadata={"period_policy": self._period_policy.value},
@@ -235,16 +299,16 @@ class Hydra:
 
     # -- allocation phase -----------------------------------------------------------
 
-    def _allocate_security(
+    def allocate_security(
         self,
         taskset: TaskSet,
         rt_by_core: Mapping[int, Sequence[RealTimeTask]],
-    ) -> Tuple[Dict[str, int], Dict[str, Optional[int]], Optional[str]]:
+    ) -> SecurityAllocation:
         """Greedy best-fit allocation at the maximum periods.
 
-        Returns the core mapping, the per-task response times observed during
-        allocation, and the name of the first task that fit nowhere (or
-        ``None``).
+        ``rt_by_core`` must group the RT tasks exactly as
+        :func:`repro.schedulability.partitioned.rt_tasks_by_core` does (one
+        entry per platform core, tasks in priority order).
         """
         security_by_core: Dict[int, List[Tuple[SecurityTask, int]]] = {
             core.index: [] for core in self._platform.cores
@@ -259,7 +323,12 @@ class Hydra:
             )
             if choice is None:
                 responses[task.name] = None
-                return mapping, responses, task.name
+                return SecurityAllocation(
+                    mapping=mapping,
+                    response_times=responses,
+                    failed_task=task.name,
+                    greedy=greedy,
+                )
             core_index, response = choice
             mapping[task.name] = core_index
             responses[task.name] = response
@@ -269,7 +338,9 @@ class Hydra:
             assumed_period = response if greedy else task.max_period
             security_by_core[core_index].append((task, assumed_period))
 
-        return mapping, responses, None
+        return SecurityAllocation(
+            mapping=mapping, response_times=responses, greedy=greedy
+        )
 
     # -- period assignment phase -------------------------------------------------------
 

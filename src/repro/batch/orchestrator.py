@@ -1,0 +1,193 @@
+"""Chunked, resumable orchestration of a design-space sweep.
+
+:class:`SweepOrchestrator` turns an :class:`~repro.experiments.config.ExperimentConfig`
+into a deterministic job list (one :class:`~repro.batch.service.TasksetSpec`
+per sweep slot, seeds derived exactly as the original sweep derived them),
+evaluates the jobs in chunks through :class:`~repro.batch.service.BatchDesignService`
+-- serially or across worker processes -- and checkpoints each finished
+chunk to a :class:`~repro.batch.store.JsonlResultStore`.  A restarted sweep
+loads the checkpoint, skips every already-evaluated slot and appends only
+the missing ones, reproducing the uninterrupted run byte for byte.
+
+Progress is reported through a callback after every chunk, so a CLI (or a
+service wrapping this orchestrator) can stream status without coupling the
+orchestration loop to any output format.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.batch.results import SweepResult, TasksetEvaluation
+from repro.batch.service import BatchDesignService, TasksetSpec
+from repro.batch.store import JsonlResultStore
+
+if TYPE_CHECKING:  # avoid a runtime cycle: experiments.sweep imports batch
+    from repro.experiments.config import ExperimentConfig
+
+__all__ = ["SweepProgress", "SweepOrchestrator", "build_specs", "run_batch_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """Snapshot handed to the progress callback after each chunk."""
+
+    completed_jobs: int
+    total_jobs: int
+    resumed_jobs: int
+    chunk_index: int
+    num_chunks: int
+
+    @property
+    def fraction(self) -> float:
+        return self.completed_jobs / self.total_jobs if self.total_jobs else 1.0
+
+
+ProgressCallback = Callable[[SweepProgress], None]
+
+
+def build_specs(config: ExperimentConfig) -> List[TasksetSpec]:
+    """The deterministic job list of a sweep.
+
+    Seeds are drawn from one :class:`numpy.random.SeedSequence` over the
+    flattened (group, slot) grid -- the same derivation the original
+    ``run_sweep`` used, so results are comparable across the refactor.
+    """
+    seed_sequence = np.random.SeedSequence(config.seed)
+    child_seeds = seed_sequence.generate_state(
+        len(config.utilization_groups) * config.tasksets_per_group
+    )
+    specs: List[TasksetSpec] = []
+    position = 0
+    for group_index, normalized_range in enumerate(config.utilization_groups):
+        for _ in range(config.tasksets_per_group):
+            specs.append(
+                TasksetSpec(
+                    job_index=position,
+                    group_index=group_index,
+                    normalized_range=tuple(normalized_range),
+                    seed=int(child_seeds[position]),
+                )
+            )
+            position += 1
+    return specs
+
+
+#: Per-process service cache for the worker entry point: building the
+#: service is cheap, but there is no reason to rebuild it per task set.
+_WORKER_SERVICES: Dict[int, BatchDesignService] = {}
+
+
+def _evaluate_spec_worker(
+    args: Tuple[int, TasksetSpec],
+) -> Optional[TasksetEvaluation]:
+    """Module-level (hence picklable) worker entry point."""
+    num_cores, spec = args
+    service = _WORKER_SERVICES.get(num_cores)
+    if service is None:
+        service = BatchDesignService(num_cores)
+        _WORKER_SERVICES[num_cores] = service
+    return service.evaluate_spec(spec)
+
+
+class SweepOrchestrator:
+    """Drive one sweep to completion, chunk by chunk.
+
+    Parameters
+    ----------
+    config:
+        The sweep parameters (including ``chunk_size`` and ``n_jobs``).
+    store:
+        Optional checkpoint store.  When ``None`` and the config carries a
+        ``checkpoint_path``, a store is created there; with neither, the
+        sweep runs uncheckpointed (the original behaviour).
+    progress:
+        Optional callback invoked after every chunk.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        store: Optional[JsonlResultStore] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        if store is None and config.checkpoint_path is not None:
+            store = JsonlResultStore(config.checkpoint_path, config)
+        self._config = config
+        self._store = store
+        self._progress = progress
+        self._service = BatchDesignService(config.num_cores)
+
+    def run(self) -> SweepResult:
+        """Evaluate every (remaining) slot and return the full sweep result."""
+        config = self._config
+        specs = build_specs(config)
+        completed: Dict[int, Optional[TasksetEvaluation]] = (
+            self._store.load() if self._store is not None else {}
+        )
+        resumed = len(completed)
+        pending = [spec for spec in specs if spec.job_index not in completed]
+        chunks = [
+            pending[start : start + config.chunk_size]
+            for start in range(0, len(pending), config.chunk_size)
+        ]
+
+        pool: Optional[ProcessPoolExecutor] = None
+        try:
+            if config.n_jobs > 1 and pending:
+                pool = ProcessPoolExecutor(max_workers=config.n_jobs)
+            for chunk_index, chunk in enumerate(chunks):
+                outcomes = self._evaluate_chunk(chunk, pool)
+                entries = [
+                    (spec.job_index, outcome)
+                    for spec, outcome in zip(chunk, outcomes)
+                ]
+                completed.update(entries)
+                if self._store is not None:
+                    self._store.append_chunk(entries)
+                if self._progress is not None:
+                    self._progress(
+                        SweepProgress(
+                            completed_jobs=len(completed),
+                            total_jobs=len(specs),
+                            resumed_jobs=resumed,
+                            chunk_index=chunk_index + 1,
+                            num_chunks=len(chunks),
+                        )
+                    )
+        finally:
+            if pool is not None:
+                pool.shutdown()
+
+        evaluations = tuple(
+            completed[spec.job_index]
+            for spec in specs
+            if completed[spec.job_index] is not None
+        )
+        return SweepResult(config=config, evaluations=evaluations)
+
+    def _evaluate_chunk(
+        self,
+        chunk: List[TasksetSpec],
+        pool: Optional[ProcessPoolExecutor],
+    ) -> List[Optional[TasksetEvaluation]]:
+        if pool is None:
+            return [self._service.evaluate_spec(spec) for spec in chunk]
+        args = [(self._config.num_cores, spec) for spec in chunk]
+        # chunksize=1 so a checkpoint chunk spreads over every worker; task
+        # sets vary wildly in cost, so larger map batches would leave
+        # workers idle behind the slowest batch.
+        return list(pool.map(_evaluate_spec_worker, args, chunksize=1))
+
+
+def run_batch_sweep(
+    config: ExperimentConfig,
+    store: Optional[JsonlResultStore] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> SweepResult:
+    """Convenience wrapper: build an orchestrator and run it."""
+    return SweepOrchestrator(config, store=store, progress=progress).run()

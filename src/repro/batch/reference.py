@@ -1,0 +1,388 @@
+"""The seed (pre-batch) evaluation path, frozen for benchmarking and oracles.
+
+This module preserves, verbatim in behaviour, the per-scheme sweep path the
+repository shipped with before the batched service existed:
+
+* the response-time analysis inner loop *without* the per-window
+  interference memo (every fixed-point iteration recomputes the clamped
+  Eq. 2-5 terms, one small-array NumPy pass per carry-in set per window);
+* the per-task-set orchestration that runs the four schemes independently,
+  re-deriving the Eq. 1 RT analysis and the greedy security allocation for
+  each scheme that needs them.
+
+It exists for two reasons:
+
+1. **Benchmarking** -- ``benchmarks/test_bench_batch_service.py`` asserts
+   the batched service beats this path by >= 2x on the Fig. 7a workload.
+   Benchmarks against "the seed" need the seed's compute profile to stay
+   available after the hot path was optimised.
+2. **Cross-validation** -- the optimised analysis is an exact refactor, so
+   its results must be *identical* to this frozen implementation on every
+   input; ``tests/batch`` pins that equivalence over seeded batches.
+
+Do not "fix" or optimise this module; it is intentionally slow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.global_tmax import GlobalTMax
+from repro.baselines.hydra import Hydra
+from repro.baselines.hydra_tmax import HydraTMax
+from repro.batch.results import SCHEME_NAMES, TasksetEvaluation
+from repro.core.analysis import (
+    DEFAULT_EXACT_ENUMERATION_LIMIT,
+    CarryInStrategy,
+    SecurityTaskState,
+)
+from repro.core.framework import SchedulingPolicy, SystemDesign
+from repro.core.period_selection import PeriodSelector
+from repro.errors import AllocationError, UnschedulableError
+from repro.generation.taskset_generator import (
+    TasksetGenerationConfig,
+    TasksetGenerator,
+)
+from repro.model.platform import Platform
+from repro.model.tasks import RealTimeTask
+from repro.model.taskset import TaskSet
+from repro.partitioning.heuristics import partition_rt_tasks
+from repro.schedulability.carry_in import (
+    count_carry_in_sets,
+    enumerate_carry_in_sets,
+)
+from repro.schedulability.partitioned import partitioned_rt_schedulable
+
+__all__ = [
+    "reference_security_response_time",
+    "reference_select_periods",
+    "reference_design_hydra_c",
+    "reference_evaluate_one",
+]
+
+
+class _SeedRtWorkloadCache:
+    """The seed's per-core RT workload cache (array memo, no scalar memo)."""
+
+    def __init__(
+        self, rt_tasks_by_core: Mapping[int, Sequence[RealTimeTask]]
+    ) -> None:
+        core_ids: List[int] = []
+        wcets: List[int] = []
+        periods: List[int] = []
+        core_indices = sorted(rt_tasks_by_core)
+        position_of = {core: position for position, core in enumerate(core_indices)}
+        for core, tasks in rt_tasks_by_core.items():
+            for task in tasks:
+                core_ids.append(position_of[core])
+                wcets.append(task.wcet)
+                periods.append(task.period)
+        self._num_cores = len(core_indices)
+        self._core_ids = np.asarray(core_ids, dtype=np.int64)
+        self._wcets = np.asarray(wcets, dtype=np.int64)
+        self._periods = np.asarray(periods, dtype=np.int64)
+        self._cache: Dict[int, np.ndarray] = {}
+
+    def per_core_workloads(self, window: int) -> np.ndarray:
+        cached = self._cache.get(window)
+        if cached is not None:
+            return cached
+        if self._wcets.size == 0:
+            workloads = np.zeros(self._num_cores, dtype=np.int64)
+        else:
+            per_task = (window // self._periods) * self._wcets + np.minimum(
+                window % self._periods, self._wcets
+            )
+            workloads = np.bincount(
+                self._core_ids, weights=per_task, minlength=self._num_cores
+            ).astype(np.int64)
+        self._cache[window] = workloads
+        return workloads
+
+    def interference(self, window: int, security_wcet: int) -> int:
+        cap = window - security_wcet + 1
+        if cap <= 0:
+            return 0
+        workloads = self.per_core_workloads(window)
+        return int(np.minimum(workloads, cap).sum())
+
+
+class _SeedSecurityInterference:
+    """The seed's per-iteration interference terms (Eq. 4-5), unmemoised."""
+
+    def __init__(self, states: Sequence[SecurityTaskState]) -> None:
+        self._wcets = np.asarray([s.wcet for s in states], dtype=np.int64)
+        self._periods = np.asarray([s.period for s in states], dtype=np.int64)
+        responses = np.asarray([s.response_time for s in states], dtype=np.int64)
+        self._shifts = self._wcets - 1 + self._periods - responses
+
+    def _workload_nc(self, windows: np.ndarray) -> np.ndarray:
+        return (windows // self._periods) * self._wcets + np.minimum(
+            windows % self._periods, self._wcets
+        )
+
+    def terms(self, window: int, security_wcet: int) -> Tuple[np.ndarray, np.ndarray]:
+        if self._wcets.size == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        cap = max(window - security_wcet + 1, 0)
+        window_vec = np.full_like(self._wcets, window)
+        nc = self._workload_nc(window_vec)
+        shifted = np.maximum(window_vec - self._shifts, 0)
+        ci = self._workload_nc(shifted) + np.minimum(window_vec, self._wcets - 1)
+        return np.minimum(nc, cap), np.minimum(ci, cap)
+
+    def greedy_total(self, window: int, security_wcet: int, max_carry_in: int) -> int:
+        nc, ci = self.terms(window, security_wcet)
+        if nc.size == 0:
+            return 0
+        total = int(nc.sum())
+        if max_carry_in <= 0:
+            return total
+        deltas = ci - nc
+        positive = deltas[deltas > 0]
+        if positive.size == 0:
+            return total
+        if positive.size <= max_carry_in:
+            return total + int(positive.sum())
+        top = np.partition(positive, positive.size - max_carry_in)[
+            positive.size - max_carry_in :
+        ]
+        return total + int(top.sum())
+
+    def total_for_set(
+        self, window: int, security_wcet: int, carry_in_indices: Tuple[int, ...]
+    ) -> int:
+        nc, ci = self.terms(window, security_wcet)
+        if nc.size == 0:
+            return 0
+        total = int(nc.sum())
+        for index in carry_in_indices:
+            total += int(ci[index] - nc[index])
+        return total
+
+
+def _seed_solve_fixed_point(
+    security_wcet: int,
+    limit: int,
+    num_cores: int,
+    rt_cache: _SeedRtWorkloadCache,
+    omega_security,
+) -> Optional[int]:
+    window = security_wcet
+    while True:
+        omega = rt_cache.interference(window, security_wcet) + omega_security(window)
+        candidate = omega // num_cores + security_wcet
+        if candidate == window:
+            return window
+        if candidate > limit:
+            return None
+        window = candidate
+
+
+def reference_security_response_time(
+    security_wcet: int,
+    limit: int,
+    rt_tasks_by_core: Mapping[int, Sequence[RealTimeTask]],
+    higher_security: Sequence[SecurityTaskState],
+    num_cores: int,
+    strategy: CarryInStrategy = CarryInStrategy.AUTO,
+    exact_enumeration_limit: int = DEFAULT_EXACT_ENUMERATION_LIMIT,
+    rt_cache: Optional[_SeedRtWorkloadCache] = None,
+) -> Optional[int]:
+    """The seed's :func:`repro.core.analysis.security_response_time`."""
+    if security_wcet <= 0:
+        raise ValueError("security_wcet must be positive")
+    if limit <= 0:
+        raise ValueError("limit must be positive")
+    if num_cores <= 0:
+        raise ValueError("num_cores must be positive")
+    if security_wcet > limit:
+        return None
+    if rt_cache is None:
+        rt_cache = _SeedRtWorkloadCache(rt_tasks_by_core)
+
+    interference = _SeedSecurityInterference(higher_security)
+    max_carry_in = num_cores - 1
+
+    if strategy is CarryInStrategy.AUTO:
+        sets = count_carry_in_sets(len(higher_security), max_carry_in)
+        strategy = (
+            CarryInStrategy.EXACT
+            if sets <= exact_enumeration_limit
+            else CarryInStrategy.GREEDY
+        )
+
+    if strategy is CarryInStrategy.GREEDY:
+        return _seed_solve_fixed_point(
+            security_wcet,
+            limit,
+            num_cores,
+            rt_cache,
+            lambda window: interference.greedy_total(
+                window, security_wcet, max_carry_in
+            ),
+        )
+
+    worst: int = 0
+    for carry_in_indices in enumerate_carry_in_sets(
+        len(higher_security), max_carry_in
+    ):
+        response = _seed_solve_fixed_point(
+            security_wcet,
+            limit,
+            num_cores,
+            rt_cache,
+            lambda window, chosen=carry_in_indices: interference.total_for_set(
+                window, security_wcet, chosen
+            ),
+        )
+        if response is None:
+            return None
+        worst = max(worst, response)
+    return worst
+
+
+class _SeedPeriodSelector(PeriodSelector):
+    """Algorithm 1/2 driven by the frozen seed analysis."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._rt_cache = _SeedRtWorkloadCache(self._rt_by_core)
+
+    def _response_time(
+        self,
+        index: int,
+        periods: Mapping[str, int],
+        response_times: Mapping[str, int],
+    ) -> Optional[int]:
+        task = self._security[index]
+        self._analysis_calls += 1
+        return reference_security_response_time(
+            security_wcet=task.wcet,
+            limit=task.max_period,
+            rt_tasks_by_core=self._rt_by_core,
+            higher_security=self._states_above(index, periods, response_times),
+            num_cores=self._platform.num_cores,
+            strategy=self._strategy,
+            rt_cache=self._rt_cache,
+        )
+
+
+def reference_select_periods(
+    taskset: TaskSet,
+    rt_allocation: Mapping[str, int],
+    platform: Platform,
+):
+    """HYDRA-C period adaptation through the frozen seed analysis."""
+    return _SeedPeriodSelector(taskset, rt_allocation, platform).select()
+
+
+def reference_design_hydra_c(
+    platform: Platform,
+    taskset: TaskSet,
+    rt_allocation: Mapping[str, int],
+) -> SystemDesign:
+    """The seed ``HydraC.design`` path (frozen analysis, no shared caches)."""
+    rt_check = partitioned_rt_schedulable(taskset, rt_allocation, platform)
+    if not rt_check.schedulable:
+        raise UnschedulableError(
+            "legacy RT tasks are not schedulable under the given partition: "
+            f"{rt_check.unschedulable_tasks}"
+        )
+    selection = reference_select_periods(taskset, rt_allocation, platform)
+    response_times: Dict[str, Optional[int]] = dict(rt_check.response_times)
+    response_times.update(selection.response_times)
+
+    if not selection.schedulable:
+        return SystemDesign(
+            scheme="HYDRA-C",
+            policy=SchedulingPolicy.SEMI_PARTITIONED,
+            taskset=taskset,
+            platform=platform,
+            schedulable=False,
+            response_times=response_times,
+            metadata={
+                "unschedulable_task": selection.unschedulable_task,
+                "analysis_calls": selection.analysis_calls,
+            },
+        )
+    return SystemDesign(
+        scheme="HYDRA-C",
+        policy=SchedulingPolicy.SEMI_PARTITIONED,
+        taskset=selection.apply(taskset),
+        platform=platform,
+        schedulable=True,
+        response_times=response_times,
+        metadata={"analysis_calls": selection.analysis_calls},
+    )
+
+
+def reference_evaluate_one(
+    num_cores: int,
+    group_index: int,
+    normalized_range: Tuple[float, float],
+    seed: int,
+    max_generation_attempts: int = 50,
+) -> Optional[TasksetEvaluation]:
+    """The seed sweep's per-slot evaluation: four independent scheme runs."""
+    platform = Platform(num_cores=num_cores)
+    generator = TasksetGenerator(
+        TasksetGenerationConfig(num_cores=num_cores), seed=seed
+    )
+    rng = np.random.default_rng(seed)
+
+    taskset: Optional[TaskSet] = None
+    rt_allocation = None
+    for _attempt in range(max_generation_attempts):
+        normalized = float(rng.uniform(*normalized_range))
+        candidate = generator.generate_normalized(normalized)
+        try:
+            rt_allocation = partition_rt_tasks(candidate, platform)
+        except AllocationError:
+            continue
+        taskset = candidate
+        break
+    if taskset is None or rt_allocation is None:
+        return None
+
+    def design_for(name: str) -> SystemDesign:
+        if name == "HYDRA-C":
+            return reference_design_hydra_c(platform, taskset, rt_allocation.mapping)
+        scheme = {
+            "HYDRA": Hydra,
+            "GLOBAL-TMax": GlobalTMax,
+            "HYDRA-TMax": HydraTMax,
+        }[name](platform)
+        return scheme.design(taskset, rt_allocation.mapping)
+
+    schedulable: Dict[str, bool] = {}
+    periods: Dict[str, Optional[Dict[str, int]]] = {}
+    for name in SCHEME_NAMES:
+        try:
+            design = design_for(name)
+        except UnschedulableError:
+            schedulable[name] = False
+            periods[name] = None
+            continue
+        schedulable[name] = design.schedulable
+        if design.schedulable:
+            periods[name] = {
+                task: period
+                for task, period in design.security_periods().items()
+                if period is not None
+            }
+        else:
+            periods[name] = None
+
+    return TasksetEvaluation(
+        group_index=group_index,
+        normalized_utilization=taskset.normalized_utilization(num_cores),
+        num_rt_tasks=taskset.num_rt_tasks,
+        num_security_tasks=taskset.num_security_tasks,
+        max_periods=taskset.security_max_period_vector(),
+        schedulable=schedulable,
+        periods=periods,
+    )

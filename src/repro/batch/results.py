@@ -1,0 +1,113 @@
+"""Result records of the batched design-space evaluation.
+
+:class:`TasksetEvaluation` and :class:`SweepResult` used to live in
+:mod:`repro.experiments.sweep`; they moved here when the sweep was rebuilt
+on top of :class:`repro.batch.BatchDesignService` so that the checkpoint
+store, the orchestrator and the experiment layer all share one record type.
+The old import path keeps working (the sweep module re-exports both).
+
+The records are JSON round-trippable (:meth:`TasksetEvaluation.to_json` /
+:meth:`TasksetEvaluation.from_json`) so the resumable JSONL store can
+persist them byte-for-byte deterministically: ``json.dumps`` preserves dict
+insertion order and renders finite floats via ``repr``, which round-trips
+exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # avoid a runtime cycle: experiments.sweep imports batch
+    from repro.experiments.config import ExperimentConfig
+
+__all__ = ["SCHEME_NAMES", "TasksetEvaluation", "SweepResult"]
+
+#: Order in which schemes are reported, matching the paper's legend.
+SCHEME_NAMES: Tuple[str, ...] = ("HYDRA-C", "HYDRA", "GLOBAL-TMax", "HYDRA-TMax")
+
+
+@dataclass(frozen=True)
+class TasksetEvaluation:
+    """Per-task-set outcome of every scheme."""
+
+    group_index: int
+    normalized_utilization: float
+    num_rt_tasks: int
+    num_security_tasks: int
+    max_periods: Dict[str, int]
+    schedulable: Dict[str, bool]
+    periods: Dict[str, Optional[Dict[str, int]]]
+
+    def accepted(self, scheme: str) -> bool:
+        return self.schedulable.get(scheme, False)
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_json(self) -> Dict[str, object]:
+        """Plain-dict form suitable for ``json.dumps``."""
+        return {
+            "group_index": self.group_index,
+            "normalized_utilization": self.normalized_utilization,
+            "num_rt_tasks": self.num_rt_tasks,
+            "num_security_tasks": self.num_security_tasks,
+            "max_periods": dict(self.max_periods),
+            "schedulable": dict(self.schedulable),
+            "periods": {
+                scheme: dict(periods) if periods is not None else None
+                for scheme, periods in self.periods.items()
+            },
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "TasksetEvaluation":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            group_index=int(payload["group_index"]),
+            normalized_utilization=float(payload["normalized_utilization"]),
+            num_rt_tasks=int(payload["num_rt_tasks"]),
+            num_security_tasks=int(payload["num_security_tasks"]),
+            max_periods={
+                name: int(period)
+                for name, period in payload["max_periods"].items()
+            },
+            schedulable={
+                scheme: bool(value)
+                for scheme, value in payload["schedulable"].items()
+            },
+            periods={
+                scheme: (
+                    {name: int(period) for name, period in periods.items()}
+                    if periods is not None
+                    else None
+                )
+                for scheme, periods in payload["periods"].items()
+            },
+        )
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All task-set evaluations of one sweep, grouped by utilization group."""
+
+    config: "ExperimentConfig"
+    evaluations: Sequence[TasksetEvaluation]
+
+    def by_group(self) -> Dict[int, List[TasksetEvaluation]]:
+        groups: Dict[int, List[TasksetEvaluation]] = {
+            index: [] for index in range(len(self.config.utilization_groups))
+        }
+        for evaluation in self.evaluations:
+            groups[evaluation.group_index].append(evaluation)
+        return groups
+
+    def acceptance_by_group(self, scheme: str) -> List[float]:
+        """Acceptance ratio of *scheme* per utilization group."""
+        ratios: List[float] = []
+        for _index, evaluations in sorted(self.by_group().items()):
+            if not evaluations:
+                ratios.append(0.0)
+                continue
+            accepted = sum(1 for e in evaluations if e.accepted(scheme))
+            ratios.append(accepted / len(evaluations))
+        return ratios

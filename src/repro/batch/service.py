@@ -1,0 +1,242 @@
+"""Batched evaluation of task sets against every scheme, with shared caches.
+
+The design-space sweeps behind Figs. 6/7a/7b evaluate each generated task
+set under four schemes.  Run independently (as the original per-scheme
+sweep did), the schemes repeat identical work on the same task set:
+
+* HYDRA-C, HYDRA and HYDRA-TMax each re-run the Eq. 1 response-time
+  analysis of the partitioned RT tasks (the partition never changes);
+* HYDRA and HYDRA-TMax perform the *same* greedy best-fit security
+  allocation (both occupy cores at the maximum periods, see
+  :class:`repro.baselines.hydra.SecurityAllocation`).
+
+:class:`BatchDesignService` evaluates one task set against all schemes
+while computing each shared phase exactly once, and is the single code path
+used by both the serial and the multi-process sweep (so ``n_jobs`` cannot
+change results).  Schemes are pluggable: pass ``scheme_names`` to evaluate
+a subset, in any order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.global_tmax import GlobalTMax
+from repro.baselines.hydra import Hydra, SecurityAllocation
+from repro.baselines.hydra_tmax import HydraTMax
+from repro.batch.results import SCHEME_NAMES, TasksetEvaluation
+from repro.core.framework import HydraC, SystemDesign
+from repro.errors import AllocationError, ConfigurationError, UnschedulableError
+from repro.generation.taskset_generator import (
+    TasksetGenerationConfig,
+    TasksetGenerator,
+)
+from repro.model.platform import Platform
+from repro.model.taskset import TaskSet
+from repro.partitioning.allocation import Allocation
+from repro.partitioning.heuristics import partition_rt_tasks
+from repro.schedulability.partitioned import (
+    partitioned_rt_schedulable,
+    rt_tasks_by_core,
+)
+
+__all__ = ["TasksetSpec", "BatchDesignService", "MAX_GENERATION_ATTEMPTS"]
+
+#: How many times to retry generating a task set whose RT partition fails
+#: before giving up on that slot.
+MAX_GENERATION_ATTEMPTS = 50
+
+
+@dataclass(frozen=True)
+class TasksetSpec:
+    """One slot of a design-space sweep: where it sits and how to generate it.
+
+    The spec is all a worker process needs to reproduce the slot
+    deterministically: the generator seed fixes the task set (including the
+    regeneration retries) and ``job_index`` fixes its position in the result
+    stream and the checkpoint file.
+    """
+
+    job_index: int
+    group_index: int
+    normalized_range: Tuple[float, float]
+    seed: int
+
+
+class BatchDesignService:
+    """Evaluate task sets against all schemes with shared per-partition work.
+
+    Parameters
+    ----------
+    num_cores:
+        Platform size ``M``.
+    scheme_names:
+        Which schemes to evaluate, in reporting order.  Defaults to the
+        paper's four.
+    max_generation_attempts:
+        Retry budget for :meth:`generate` when the RT partition fails Eq. 1.
+    """
+
+    def __init__(
+        self,
+        num_cores: int,
+        scheme_names: Sequence[str] = SCHEME_NAMES,
+        max_generation_attempts: int = MAX_GENERATION_ATTEMPTS,
+    ) -> None:
+        if num_cores < 1:
+            raise ConfigurationError("num_cores must be >= 1")
+        unknown = set(scheme_names) - set(SCHEME_NAMES)
+        if unknown:
+            raise ConfigurationError(f"unknown schemes: {sorted(unknown)}")
+        self._platform = Platform(num_cores=num_cores)
+        self._scheme_names = tuple(scheme_names)
+        self._max_generation_attempts = max_generation_attempts
+        self._generation_config = TasksetGenerationConfig(num_cores=num_cores)
+        # Scheme objects hold only configuration, so one instance of each is
+        # reused for every task set the service evaluates.
+        self._hydra_c = HydraC(self._platform)
+        self._hydra = Hydra(self._platform)
+        self._global_tmax = GlobalTMax(self._platform)
+        self._hydra_tmax = HydraTMax(self._platform)
+
+    @property
+    def platform(self) -> Platform:
+        return self._platform
+
+    @property
+    def scheme_names(self) -> Tuple[str, ...]:
+        return self._scheme_names
+
+    # -- generation ------------------------------------------------------------
+
+    def generate(self, spec: TasksetSpec) -> Optional[Tuple[TaskSet, Allocation]]:
+        """Generate the task set of *spec* (with its legacy RT partition).
+
+        Replicates the original sweep's regeneration loop exactly: draw a
+        normalized utilization from the group's range, generate, and retry
+        (up to the attempt budget) whenever the RT partition violates Eq. 1
+        -- the paper only evaluates task sets whose legacy RT system is
+        schedulable (Section 5.2.1).  Returns ``None`` when the budget is
+        exhausted.
+        """
+        generator = TasksetGenerator(self._generation_config, seed=spec.seed)
+        rng = np.random.default_rng(spec.seed)
+        for _attempt in range(self._max_generation_attempts):
+            normalized = float(rng.uniform(*spec.normalized_range))
+            candidate = generator.generate_normalized(normalized)
+            try:
+                allocation = partition_rt_tasks(candidate, self._platform)
+            except AllocationError:
+                continue
+            return candidate, allocation
+        return None
+
+    # -- evaluation ------------------------------------------------------------
+
+    def design_all(
+        self, taskset: TaskSet, rt_allocation: Allocation
+    ) -> Dict[str, Optional[SystemDesign]]:
+        """Run every configured scheme on one task set, sharing common phases.
+
+        Returns a mapping scheme name -> :class:`SystemDesign`, or ``None``
+        where the scheme raised
+        :class:`~repro.errors.UnschedulableError` (a broken legacy RT
+        partition).  The Eq. 1 RT analysis runs once; the greedy security
+        allocation runs once for HYDRA and HYDRA-TMax combined.
+        """
+        mapping = rt_allocation.mapping
+        # The Eq. 1 analysis only matters to the partition-respecting
+        # schemes; a GLOBAL-TMax-only service must not pay for it.
+        partition_schemes = {"HYDRA-C", "HYDRA", "HYDRA-TMax"}
+        rt_check = (
+            partitioned_rt_schedulable(taskset, mapping, self._platform)
+            if partition_schemes & set(self._scheme_names)
+            else None
+        )
+        shared_allocation: Optional[SecurityAllocation] = None
+        shared_rt_by_core = None
+        if (
+            rt_check is not None
+            and rt_check.schedulable
+            and ("HYDRA" in self._scheme_names or "HYDRA-TMax" in self._scheme_names)
+        ):
+            shared_rt_by_core = rt_tasks_by_core(taskset, mapping, self._platform)
+            shared_allocation = self._hydra.allocate_security(
+                taskset, shared_rt_by_core
+            )
+
+        designs: Dict[str, Optional[SystemDesign]] = {}
+        for name in self._scheme_names:
+            try:
+                if name == "HYDRA-C":
+                    designs[name] = self._hydra_c.design(
+                        taskset, mapping, rt_check=rt_check
+                    )
+                elif name == "HYDRA":
+                    designs[name] = self._hydra.design(
+                        taskset,
+                        mapping,
+                        rt_check=rt_check,
+                        security_allocation=shared_allocation,
+                        rt_by_core=shared_rt_by_core,
+                    )
+                elif name == "GLOBAL-TMax":
+                    designs[name] = self._global_tmax.design(taskset, mapping)
+                else:  # HYDRA-TMax
+                    designs[name] = self._hydra_tmax.design(
+                        taskset,
+                        mapping,
+                        rt_check=rt_check,
+                        security_allocation=shared_allocation,
+                        rt_by_core=shared_rt_by_core,
+                    )
+            except UnschedulableError:
+                designs[name] = None
+        return designs
+
+    def evaluate_taskset(
+        self,
+        taskset: TaskSet,
+        rt_allocation: Allocation,
+        group_index: int = 0,
+    ) -> TasksetEvaluation:
+        """Evaluate one task set against every scheme and build the record."""
+        designs = self.design_all(taskset, rt_allocation)
+        schedulable: Dict[str, bool] = {}
+        periods: Dict[str, Optional[Dict[str, int]]] = {}
+        for name in self._scheme_names:
+            design = designs[name]
+            if design is None or not design.schedulable:
+                schedulable[name] = False
+                periods[name] = None
+                continue
+            schedulable[name] = True
+            periods[name] = {
+                task: period
+                for task, period in design.security_periods().items()
+                if period is not None
+            }
+        return TasksetEvaluation(
+            group_index=group_index,
+            normalized_utilization=taskset.normalized_utilization(
+                self._platform.num_cores
+            ),
+            num_rt_tasks=taskset.num_rt_tasks,
+            num_security_tasks=taskset.num_security_tasks,
+            max_periods=taskset.security_max_period_vector(),
+            schedulable=schedulable,
+            periods=periods,
+        )
+
+    def evaluate_spec(self, spec: TasksetSpec) -> Optional[TasksetEvaluation]:
+        """Generate and evaluate one sweep slot (``None`` if generation fails)."""
+        generated = self.generate(spec)
+        if generated is None:
+            return None
+        taskset, allocation = generated
+        return self.evaluate_taskset(
+            taskset, allocation, group_index=spec.group_index
+        )

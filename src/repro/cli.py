@@ -7,8 +7,13 @@ Usage (installed as the ``hydra-c`` console script, also runnable as
     hydra-c fig6  --cores 2      # period distance vs utilization (Fig. 6)
     hydra-c fig7a --cores 4      # acceptance ratio (Fig. 7a)
     hydra-c fig7b --cores 2      # period-vector differences (Fig. 7b)
+    hydra-c sweep --cores 2 --checkpoint run.jsonl   # one resumable sweep,
+                                 # all three figure tables from a single run
 
-The synthetic sweeps accept ``--tasksets-per-group`` (paper value: 250) and
+``sweep`` runs the batched design-space sweep once and derives every
+synthetic figure from it; with ``--checkpoint`` the run is chunked into a
+JSONL store and a rerun of the same command resumes where it stopped.  The
+synthetic sweeps accept ``--tasksets-per-group`` (paper value: 250) and
 ``--jobs`` for parallel evaluation.
 """
 
@@ -18,11 +23,13 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro.errors import ReproError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.fig5_rover import format_fig5, run_fig5
-from repro.experiments.fig6_period_distance import format_fig6, run_fig6
-from repro.experiments.fig7a_acceptance import format_fig7a, run_fig7a
-from repro.experiments.fig7b_period_diff import format_fig7b, run_fig7b
+from repro.experiments.fig6_period_distance import compute_fig6, format_fig6, run_fig6
+from repro.experiments.fig7a_acceptance import compute_fig7a, format_fig7a, run_fig7a
+from repro.experiments.fig7b_period_diff import compute_fig7b, format_fig7b, run_fig7b
+from repro.experiments.sweep import SweepProgress, run_sweep
 
 __all__ = ["main", "build_parser"]
 
@@ -46,6 +53,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("fig6", "period distance vs utilization (Fig. 6)"),
         ("fig7a", "acceptance ratio per scheme (Fig. 7a)"),
         ("fig7b", "period-vector differences (Fig. 7b)"),
+        ("sweep", "resumable batched sweep; derives all synthetic figures"),
     ):
         sub = subparsers.add_parser(name, help=help_text)
         sub.add_argument("--cores", type=int, default=2, choices=(2, 4))
@@ -57,6 +65,31 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument("--jobs", type=int, default=1, help="worker processes")
         sub.add_argument("--seed", type=int, default=2020)
+
+    sweep = subparsers.choices["sweep"]
+    sweep.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="JSONL checkpoint store; rerunning the same command resumes",
+    )
+    sweep.add_argument(
+        "--chunk-size",
+        type=int,
+        default=25,
+        help="task sets per checkpoint/progress chunk",
+    )
+    sweep.add_argument(
+        "--report",
+        choices=("fig6", "fig7a", "fig7b", "all"),
+        default="all",
+        help="which figure tables to print from the finished sweep",
+    )
+    sweep.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-chunk progress on stderr",
+    )
 
     return parser
 
@@ -70,19 +103,67 @@ def _sweep_config(args: argparse.Namespace) -> ExperimentConfig:
     )
 
 
+def _batch_sweep_config(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        num_cores=args.cores,
+        tasksets_per_group=args.tasksets_per_group,
+        seed=args.seed,
+        n_jobs=args.jobs,
+        chunk_size=args.chunk_size,
+        checkpoint_path=args.checkpoint,
+    )
+
+
+def _progress_printer(progress: SweepProgress) -> None:
+    resumed = (
+        f" ({progress.resumed_jobs} resumed from checkpoint)"
+        if progress.resumed_jobs
+        else ""
+    )
+    print(
+        f"sweep: chunk {progress.chunk_index}/{progress.num_chunks} done, "
+        f"{progress.completed_jobs}/{progress.total_jobs} task sets "
+        f"[{progress.fraction:.0%}]{resumed}",
+        file=sys.stderr,
+    )
+
+
+def _run_batch_sweep(args: argparse.Namespace) -> str:
+    config = _batch_sweep_config(args)
+    progress = None if args.quiet else _progress_printer
+    result = run_sweep(config, progress=progress)
+    sections = {
+        "fig6": lambda: format_fig6(compute_fig6(result)),
+        "fig7a": lambda: format_fig7a(compute_fig7a(result)),
+        "fig7b": lambda: format_fig7b(compute_fig7b(result)),
+    }
+    wanted = sections.keys() if args.report == "all" else (args.report,)
+    return "\n\n".join(sections[name]() for name in wanted)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    if args.command == "fig5":
-        result = run_fig5(num_trials=args.trials, horizon=args.horizon, seed=args.seed)
-        print(format_fig5(result))
-    elif args.command == "fig6":
-        print(format_fig6(run_fig6(_sweep_config(args))))
-    elif args.command == "fig7a":
-        print(format_fig7a(run_fig7a(_sweep_config(args))))
-    elif args.command == "fig7b":
-        print(format_fig7b(run_fig7b(_sweep_config(args))))
-    else:  # pragma: no cover - argparse enforces choices
+    try:
+        if args.command == "fig5":
+            result = run_fig5(
+                num_trials=args.trials, horizon=args.horizon, seed=args.seed
+            )
+            print(format_fig5(result))
+        elif args.command == "fig6":
+            print(format_fig6(run_fig6(_sweep_config(args))))
+        elif args.command == "fig7a":
+            print(format_fig7a(run_fig7a(_sweep_config(args))))
+        elif args.command == "fig7b":
+            print(format_fig7b(run_fig7b(_sweep_config(args))))
+        elif args.command == "sweep":
+            print(_run_batch_sweep(args))
+        else:  # pragma: no cover - argparse enforces choices
+            return 2
+    except ReproError as exc:
+        # Expected operational failures (invalid knobs, mismatched
+        # checkpoints) get a one-line message instead of a traceback.
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     return 0
 

@@ -34,12 +34,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.model.platform import Platform
-from repro.model.tasks import RealTimeTask, SecurityTask
+from repro.model.tasks import RealTimeTask
 from repro.model.taskset import TaskSet
 from repro.schedulability.carry_in import (
     count_carry_in_sets,
@@ -61,6 +61,11 @@ __all__ = [
 #: enumeration (Eq. 8) to the greedy per-iteration bound.  The greedy bound
 #: is never optimistic, so this is purely a speed/accuracy knob.
 DEFAULT_EXACT_ENUMERATION_LIMIT = 32
+
+#: Up to this many higher-priority security tasks the per-window
+#: interference terms are computed with plain integer arithmetic instead of
+#: NumPy: ufunc call overhead dominates on such short operand vectors.
+SCALAR_TERMS_THRESHOLD = 32
 
 
 class CarryInStrategy(str, enum.Enum):
@@ -141,6 +146,7 @@ class RtWorkloadCache:
         self._wcets = np.asarray(wcets, dtype=np.int64)
         self._periods = np.asarray(periods, dtype=np.int64)
         self._cache: Dict[int, np.ndarray] = {}
+        self._interference_cache: Dict[Tuple[int, int], int] = {}
 
     def per_core_workloads(self, window: int) -> np.ndarray:
         """Un-clamped RT workload on each core for the given window."""
@@ -160,12 +166,24 @@ class RtWorkloadCache:
         return workloads
 
     def interference(self, window: int, security_wcet: int) -> int:
-        """Clamped and summed RT interference (first summand of Eq. 6)."""
+        """Clamped and summed RT interference (first summand of Eq. 6).
+
+        Scalar results are memoised per ``(window, security_wcet)``: a
+        period-selection run analyses the same task (fixed ``C_s``) at the
+        same windows many times while exploring candidate periods of the
+        tasks above it, and the RT partition never changes.
+        """
         cap = window - security_wcet + 1
         if cap <= 0:
             return 0
+        key = (window, security_wcet)
+        cached = self._interference_cache.get(key)
+        if cached is not None:
+            return cached
         workloads = self.per_core_workloads(window)
-        return int(np.minimum(workloads, cap).sum())
+        result = int(np.minimum(workloads, cap).sum())
+        self._interference_cache[key] = result
+        return result
 
 
 def rt_interference(
@@ -194,65 +212,128 @@ def rt_interference(
 # ---------------------------------------------------------------------------
 
 
-class _SecurityInterference:
-    """Vectorised per-task interference terms (Eq. 4-5) for fixed hp states."""
+class _OmegaMemo:
+    """Per-window memo of the total interference ``Omega(x)`` of Eq. 6.
 
-    def __init__(self, states: Sequence[SecurityTaskState]) -> None:
-        self._wcets = np.asarray([s.wcet for s in states], dtype=np.int64)
-        self._periods = np.asarray([s.period for s in states], dtype=np.int64)
-        responses = np.asarray([s.response_time for s in states], dtype=np.int64)
-        # xbar of Eq. 4: C - 1 + T - R
-        self._shifts = self._wcets - 1 + self._periods - responses
+    One memo serves a single :func:`security_response_time` call, where the
+    task under analysis (hence ``C_s`` and the higher-priority states) is
+    fixed.  The fixed-point iterations of *every* carry-in set of Eq. 8 walk
+    largely overlapping window trajectories, so the expensive part -- the
+    clamped RT workload plus the non-carry-in/carry-in security terms
+    (Eq. 2-5) -- is computed once per distinct window and the per-set
+    totals reduce to a dictionary lookup plus a handful of scalar adds.
 
-    def __len__(self) -> int:
-        return int(self._wcets.size)
+    Below :data:`SCALAR_TERMS_THRESHOLD` higher-priority tasks the terms are
+    evaluated with plain integer arithmetic: the per-call overhead of NumPy
+    ufuncs exceeds the loop cost on such short operand vectors.  Larger
+    state counts use the vectorised pass.
+    """
 
-    def _workload_nc(self, windows: np.ndarray) -> np.ndarray:
-        return (windows // self._periods) * self._wcets + np.minimum(
-            windows % self._periods, self._wcets
+    def __init__(
+        self,
+        rt_cache: RtWorkloadCache,
+        states: Sequence[SecurityTaskState],
+        security_wcet: int,
+        max_carry_in: int,
+    ) -> None:
+        self._rt_cache = rt_cache
+        self._security_wcet = security_wcet
+        self._max_carry_in = max_carry_in
+        if len(states) <= SCALAR_TERMS_THRESHOLD:
+            # (wcet, period, xbar shift of Eq. 4: C - 1 + T - R)
+            self._scalar_tasks: Optional[List[Tuple[int, int, int]]] = [
+                (s.wcet, s.period, s.wcet - 1 + s.period - s.response_time)
+                for s in states
+            ]
+            self._wcets = self._periods = self._shifts = None
+        else:
+            self._scalar_tasks = None
+            self._wcets = np.asarray([s.wcet for s in states], dtype=np.int64)
+            self._periods = np.asarray([s.period for s in states], dtype=np.int64)
+            responses = np.asarray(
+                [s.response_time for s in states], dtype=np.int64
+            )
+            self._shifts = self._wcets - 1 + self._periods - responses
+        #: window -> (RT interference + sum of clamped non-carry-in terms)
+        self._base: Dict[int, int] = {}
+        #: window -> per-task carry-in minus non-carry-in delta (python ints)
+        self._deltas: Dict[int, List[int]] = {}
+        #: window -> greedy total (base + top max_carry_in positive deltas)
+        self._greedy: Dict[int, int] = {}
+
+    def _terms_scalar(self, window: int, cap: int) -> Tuple[int, List[int]]:
+        nc_sum = 0
+        deltas: List[int] = []
+        for wcet, period, shift in self._scalar_tasks:
+            quotient, remainder = divmod(window, period)
+            nc = quotient * wcet + (remainder if remainder < wcet else wcet)
+            if nc > cap:
+                nc = cap
+            shifted = window - shift
+            if shifted < 0:
+                shifted = 0
+            quotient, remainder = divmod(shifted, period)
+            ci = quotient * wcet + (remainder if remainder < wcet else wcet)
+            ci += window if window < wcet - 1 else wcet - 1
+            if ci > cap:
+                ci = cap
+            nc_sum += nc
+            deltas.append(ci - nc)
+        return nc_sum, deltas
+
+    def _terms_vector(self, window: int, cap: int) -> Tuple[int, List[int]]:
+        # Non-carry-in workload (Eq. 2/5) with a scalar window; the
+        # division broadcasts, avoiding a full_like allocation per call.
+        nc = (window // self._periods) * self._wcets + np.minimum(
+            window % self._periods, self._wcets
         )
+        shifted = np.maximum(window - self._shifts, 0)
+        ci = (shifted // self._periods) * self._wcets + np.minimum(
+            shifted % self._periods, self._wcets
+        )
+        ci += np.minimum(window, self._wcets - 1)
+        np.minimum(nc, cap, out=nc)
+        np.minimum(ci, cap, out=ci)
+        return int(nc.sum()), (ci - nc).tolist()
 
-    def terms(self, window: int, security_wcet: int) -> Tuple[np.ndarray, np.ndarray]:
-        """Clamped non-carry-in and carry-in interference vectors."""
-        if self._wcets.size == 0:
-            empty = np.zeros(0, dtype=np.int64)
-            return empty, empty
-        cap = max(window - security_wcet + 1, 0)
-        window_vec = np.full_like(self._wcets, window)
-        nc = self._workload_nc(window_vec)
-        shifted = np.maximum(window_vec - self._shifts, 0)
-        ci = self._workload_nc(shifted) + np.minimum(window_vec, self._wcets - 1)
-        return np.minimum(nc, cap), np.minimum(ci, cap)
+    def _materialise(self, window: int) -> Tuple[int, List[int]]:
+        base = self._base.get(window)
+        if base is not None:
+            return base, self._deltas[window]
+        rt = self._rt_cache.interference(window, self._security_wcet)
+        if self._scalar_tasks is not None and not self._scalar_tasks:
+            deltas: List[int] = []
+            base = rt
+        else:
+            cap = max(window - self._security_wcet + 1, 0)
+            if self._scalar_tasks is not None:
+                nc_sum, deltas = self._terms_scalar(window, cap)
+            else:
+                nc_sum, deltas = self._terms_vector(window, cap)
+            base = rt + nc_sum
+        self._base[window] = base
+        self._deltas[window] = deltas
+        return base, deltas
 
-    def greedy_total(self, window: int, security_wcet: int, max_carry_in: int) -> int:
-        """Worst-case total over carry-in sets, greedy per window (Lemma 2)."""
-        nc, ci = self.terms(window, security_wcet)
-        if nc.size == 0:
-            return 0
-        total = int(nc.sum())
-        if max_carry_in <= 0:
-            return total
-        deltas = ci - nc
-        positive = deltas[deltas > 0]
-        if positive.size == 0:
-            return total
-        if positive.size <= max_carry_in:
-            return total + int(positive.sum())
-        top = np.partition(positive, positive.size - max_carry_in)[
-            positive.size - max_carry_in :
-        ]
-        return total + int(top.sum())
-
-    def total_for_set(
-        self, window: int, security_wcet: int, carry_in_indices: Tuple[int, ...]
-    ) -> int:
-        """Total interference with an explicitly fixed carry-in set."""
-        nc, ci = self.terms(window, security_wcet)
-        if nc.size == 0:
-            return 0
-        total = int(nc.sum())
+    def total_for_set(self, window: int, carry_in_indices: Tuple[int, ...]) -> int:
+        """``Omega(x)`` with an explicitly fixed carry-in set (Eq. 8)."""
+        base, deltas = self._materialise(window)
+        total = base
         for index in carry_in_indices:
-            total += int(ci[index] - nc[index])
+            total += deltas[index]
+        return total
+
+    def greedy_total(self, window: int) -> int:
+        """``Omega(x)`` maximised greedily per window (Lemma 2 bound)."""
+        cached = self._greedy.get(window)
+        if cached is not None:
+            return cached
+        base, deltas = self._materialise(window)
+        total = base
+        if self._max_carry_in > 0 and deltas:
+            positive = sorted((d for d in deltas if d > 0), reverse=True)
+            total += sum(positive[: self._max_carry_in])
+        self._greedy[window] = total
         return total
 
 
@@ -265,20 +346,17 @@ def _solve_fixed_point(
     security_wcet: int,
     limit: int,
     num_cores: int,
-    rt_cache: RtWorkloadCache,
-    omega_security,
+    omega,
 ) -> Optional[int]:
     """Iterate Eq. 7 (``x = floor(Omega(x)/M) + C_s``) from ``x = C_s``.
 
-    ``omega_security(window)`` must return the higher-priority security
-    interference for the given window; RT interference comes from
-    ``rt_cache``.  Returns the least fixed point, or ``None`` once the
-    iterate exceeds ``limit``.
+    ``omega(window)`` must return the total interference (RT plus
+    higher-priority security) for the given window.  Returns the least fixed
+    point, or ``None`` once the iterate exceeds ``limit``.
     """
     window = security_wcet
     while True:
-        omega = rt_cache.interference(window, security_wcet) + omega_security(window)
-        candidate = omega // num_cores + security_wcet
+        candidate = omega(window) // num_cores + security_wcet
         if candidate == window:
             return window
         if candidate > limit:
@@ -336,8 +414,8 @@ def security_response_time(
     if rt_cache is None:
         rt_cache = RtWorkloadCache(rt_tasks_by_core)
 
-    interference = _SecurityInterference(higher_security)
     max_carry_in = num_cores - 1
+    memo = _OmegaMemo(rt_cache, higher_security, security_wcet, max_carry_in)
 
     if strategy is CarryInStrategy.AUTO:
         sets = count_carry_in_sets(len(higher_security), max_carry_in)
@@ -349,17 +427,13 @@ def security_response_time(
 
     if strategy is CarryInStrategy.GREEDY:
         return _solve_fixed_point(
-            security_wcet,
-            limit,
-            num_cores,
-            rt_cache,
-            lambda window: interference.greedy_total(
-                window, security_wcet, max_carry_in
-            ),
+            security_wcet, limit, num_cores, memo.greedy_total
         )
 
     # Exact: Eq. 8 -- maximise the per-partition fixed point.  If any
-    # partition exceeds the limit, so does the maximum.
+    # partition exceeds the limit, so does the maximum.  The memo is shared
+    # across partitions: their fixed-point trajectories overlap heavily, so
+    # each distinct window is materialised only once.
     worst: int = 0
     for carry_in_indices in enumerate_carry_in_sets(
         len(higher_security), max_carry_in
@@ -368,9 +442,8 @@ def security_response_time(
             security_wcet,
             limit,
             num_cores,
-            rt_cache,
-            lambda window, chosen=carry_in_indices: interference.total_for_set(
-                window, security_wcet, chosen
+            lambda window, chosen=carry_in_indices: memo.total_for_set(
+                window, chosen
             ),
         )
         if response is None:

@@ -21,7 +21,10 @@ from repro.model.platform import Platform
 from repro.model.taskset import TaskSet
 from repro.partitioning.allocation import Allocation
 from repro.partitioning.heuristics import FitStrategy, partition_rt_tasks
-from repro.schedulability.partitioned import partitioned_rt_schedulable
+from repro.schedulability.partitioned import (
+    PartitionedAnalysisResult,
+    partitioned_rt_schedulable,
+)
 from repro.core.analysis import CarryInStrategy
 from repro.core.period_selection import (
     PeriodSelectionResult,
@@ -149,6 +152,8 @@ class HydraC:
         self,
         taskset: TaskSet,
         rt_allocation: Optional[Mapping[str, int]] = None,
+        *,
+        rt_check: Optional[PartitionedAnalysisResult] = None,
     ) -> SystemDesign:
         """Integrate the security tasks of *taskset* and return the design.
 
@@ -159,13 +164,19 @@ class HydraC:
         :class:`~repro.errors.UnschedulableError` because it indicates a
         broken legacy configuration rather than a failed integration.
 
+        ``rt_check`` optionally supplies a precomputed Eq. 1 analysis for
+        exactly this task set and allocation; callers that evaluate the same
+        task set under several schemes (:class:`repro.batch.BatchDesignService`)
+        pass it to avoid repeating the per-core RT response-time analysis.
+
         The returned design has ``schedulable=False`` (and no assigned
         periods) when the security tasks cannot meet their maximum periods.
         """
         allocation = self._resolve_rt_allocation(taskset, rt_allocation)
-        rt_check = partitioned_rt_schedulable(
-            taskset, allocation.mapping, self._platform
-        )
+        if rt_check is None:
+            rt_check = partitioned_rt_schedulable(
+                taskset, allocation.mapping, self._platform
+            )
         if not rt_check.schedulable:
             raise UnschedulableError(
                 "legacy RT tasks are not schedulable under the given partition: "

@@ -12,7 +12,8 @@ One module per paper artifact:
 
 plus :mod:`repro.experiments.config` (the Table-3 parameter space) and
 :mod:`repro.experiments.sweep` (the shared synthetic design-space sweep all
-of Figs. 6-7 are derived from).
+of Figs. 6-7 are derived from, executed by the batch layer in
+:mod:`repro.batch` with optional chunked checkpointing and resume).
 """
 
 from repro.experiments.config import (
@@ -24,7 +25,12 @@ from repro.experiments.fig5_rover import Fig5Result, run_fig5
 from repro.experiments.fig6_period_distance import Fig6Result, run_fig6
 from repro.experiments.fig7a_acceptance import Fig7aResult, run_fig7a
 from repro.experiments.fig7b_period_diff import Fig7bResult, run_fig7b
-from repro.experiments.sweep import SweepResult, TasksetEvaluation, run_sweep
+from repro.experiments.sweep import (
+    SweepProgress,
+    SweepResult,
+    TasksetEvaluation,
+    run_sweep,
+)
 
 __all__ = [
     "ExperimentConfig",
@@ -32,6 +38,7 @@ __all__ = [
     "Fig6Result",
     "Fig7aResult",
     "Fig7bResult",
+    "SweepProgress",
     "SweepResult",
     "TABLE3_PARAMETERS",
     "TasksetEvaluation",

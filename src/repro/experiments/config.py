@@ -11,7 +11,7 @@ setting ``tasksets_per_group=250``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.generation.taskset_generator import TasksetGenerationConfig
@@ -57,6 +57,15 @@ class ExperimentConfig:
         Base random seed (each group derives its own stream).
     n_jobs:
         Worker processes for the sweep (1 = run in-process).
+    chunk_size:
+        Task sets evaluated between two checkpoints/progress reports.  A
+        chunk is the unit of checkpoint durability: a killed sweep resumes
+        from the last completed chunk.
+    checkpoint_path:
+        Optional path of the resumable JSONL result store.  ``None`` (the
+        default) runs the sweep uncheckpointed.  Neither this nor
+        ``chunk_size`` nor ``n_jobs`` affects the sweep's results -- only
+        how the work is executed and persisted.
     """
 
     num_cores: int = 2
@@ -64,6 +73,8 @@ class ExperimentConfig:
     utilization_groups: Sequence[Tuple[float, float]] = UTILIZATION_GROUPS
     seed: int = 2020
     n_jobs: int = 1
+    chunk_size: int = 25
+    checkpoint_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_cores < 1:
@@ -72,6 +83,8 @@ class ExperimentConfig:
             raise ConfigurationError("tasksets_per_group must be >= 1")
         if self.n_jobs < 1:
             raise ConfigurationError("n_jobs must be >= 1")
+        if self.chunk_size < 1:
+            raise ConfigurationError("chunk_size must be >= 1")
         for low, high in self.utilization_groups:
             if not 0.0 < low <= high <= 1.0:
                 raise ConfigurationError(

@@ -6,173 +6,56 @@ For every generated task set the sweep records, per scheme:
 * the security periods the scheme assigned (Figs. 6 and 7b).
 
 Task sets whose RT partition fails Eq. 1 are regenerated (the paper only
-evaluates task sets whose legacy RT system is schedulable,
-Section 5.2.1).  Evaluation of individual task sets is embarrassingly
-parallel; set ``n_jobs > 1`` in the :class:`~repro.experiments.config.ExperimentConfig`
-to spread the work over worker processes.
+evaluates task sets whose legacy RT system is schedulable, Section 5.2.1).
+
+The sweep is executed by the batch layer: a
+:class:`~repro.batch.service.BatchDesignService` evaluates each task set
+against all four schemes with shared per-partition caches, and a
+:class:`~repro.batch.orchestrator.SweepOrchestrator` runs the slots in
+chunks -- serially or over ``n_jobs`` worker processes -- optionally
+checkpointing every chunk to a resumable JSONL store (set
+``checkpoint_path`` on the :class:`~repro.experiments.config.ExperimentConfig`,
+or pass a store explicitly).  Results are independent of ``n_jobs``,
+``chunk_size`` and checkpointing; see ``tests/experiments`` for the pinned
+determinism guarantees.
+
+This module keeps the historical public API (``run_sweep``,
+:class:`SweepResult`, :class:`TasksetEvaluation`, ``SCHEME_NAMES``); the
+record types now live in :mod:`repro.batch.results`.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Optional
 
-import numpy as np
-
-from repro.baselines.global_tmax import GlobalTMax
-from repro.baselines.hydra import Hydra
-from repro.baselines.hydra_tmax import HydraTMax
-from repro.core.framework import HydraC, SystemDesign
-from repro.errors import AllocationError, UnschedulableError
+from repro.batch.orchestrator import (
+    ProgressCallback,
+    SweepOrchestrator,
+    SweepProgress,
+)
+from repro.batch.results import SCHEME_NAMES, SweepResult, TasksetEvaluation
+from repro.batch.store import JsonlResultStore
 from repro.experiments.config import ExperimentConfig
-from repro.generation.taskset_generator import TasksetGenerator
-from repro.model.platform import Platform
-from repro.model.taskset import TaskSet
-from repro.partitioning.heuristics import partition_rt_tasks
 
-__all__ = ["SCHEME_NAMES", "TasksetEvaluation", "SweepResult", "run_sweep"]
-
-#: Order in which schemes are reported, matching the paper's legend.
-SCHEME_NAMES: Tuple[str, ...] = ("HYDRA-C", "HYDRA", "GLOBAL-TMax", "HYDRA-TMax")
-
-#: How many times to retry generating a task set whose RT partition fails
-#: before giving up on that slot.
-MAX_GENERATION_ATTEMPTS = 50
+__all__ = [
+    "SCHEME_NAMES",
+    "TasksetEvaluation",
+    "SweepResult",
+    "SweepProgress",
+    "run_sweep",
+]
 
 
-@dataclass(frozen=True)
-class TasksetEvaluation:
-    """Per-task-set outcome of every scheme."""
+def run_sweep(
+    config: ExperimentConfig,
+    store: Optional[JsonlResultStore] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> SweepResult:
+    """Run the full design-space sweep described by *config*.
 
-    group_index: int
-    normalized_utilization: float
-    num_rt_tasks: int
-    num_security_tasks: int
-    max_periods: Dict[str, int]
-    schedulable: Dict[str, bool]
-    periods: Dict[str, Optional[Dict[str, int]]]
-
-    def accepted(self, scheme: str) -> bool:
-        return self.schedulable.get(scheme, False)
-
-
-@dataclass(frozen=True)
-class SweepResult:
-    """All task-set evaluations of one sweep, grouped by utilization group."""
-
-    config: ExperimentConfig
-    evaluations: Sequence[TasksetEvaluation]
-
-    def by_group(self) -> Dict[int, List[TasksetEvaluation]]:
-        groups: Dict[int, List[TasksetEvaluation]] = {
-            index: [] for index in range(len(self.config.utilization_groups))
-        }
-        for evaluation in self.evaluations:
-            groups[evaluation.group_index].append(evaluation)
-        return groups
-
-    def acceptance_by_group(self, scheme: str) -> List[float]:
-        """Acceptance ratio of *scheme* per utilization group."""
-        ratios: List[float] = []
-        for _index, evaluations in sorted(self.by_group().items()):
-            if not evaluations:
-                ratios.append(0.0)
-                continue
-            accepted = sum(1 for e in evaluations if e.accepted(scheme))
-            ratios.append(accepted / len(evaluations))
-        return ratios
-
-
-def _evaluate_one(
-    num_cores: int, group_index: int, normalized_range: Tuple[float, float], seed: int
-) -> Optional[TasksetEvaluation]:
-    """Generate and evaluate a single task set (worker-process entry point)."""
-    platform = Platform(num_cores=num_cores)
-    config = ExperimentConfig(num_cores=num_cores)
-    generator = TasksetGenerator(config.generation_config(), seed=seed)
-    rng = np.random.default_rng(seed)
-
-    taskset: Optional[TaskSet] = None
-    rt_allocation = None
-    for _attempt in range(MAX_GENERATION_ATTEMPTS):
-        normalized = float(rng.uniform(*normalized_range))
-        candidate = generator.generate_normalized(normalized)
-        try:
-            rt_allocation = partition_rt_tasks(candidate, platform)
-        except AllocationError:
-            continue
-        taskset = candidate
-        break
-    if taskset is None or rt_allocation is None:
-        return None
-
-    schemes = {
-        "HYDRA-C": HydraC(platform),
-        "HYDRA": Hydra(platform),
-        "GLOBAL-TMax": GlobalTMax(platform),
-        "HYDRA-TMax": HydraTMax(platform),
-    }
-    schedulable: Dict[str, bool] = {}
-    periods: Dict[str, Optional[Dict[str, int]]] = {}
-    for name, scheme in schemes.items():
-        try:
-            design: SystemDesign = scheme.design(taskset, rt_allocation.mapping)
-        except UnschedulableError:
-            schedulable[name] = False
-            periods[name] = None
-            continue
-        schedulable[name] = design.schedulable
-        if design.schedulable:
-            periods[name] = {
-                task: period
-                for task, period in design.security_periods().items()
-                if period is not None
-            }
-        else:
-            periods[name] = None
-
-    return TasksetEvaluation(
-        group_index=group_index,
-        normalized_utilization=taskset.normalized_utilization(num_cores),
-        num_rt_tasks=taskset.num_rt_tasks,
-        num_security_tasks=taskset.num_security_tasks,
-        max_periods=taskset.security_max_period_vector(),
-        schedulable=schedulable,
-        periods=periods,
-    )
-
-
-def run_sweep(config: ExperimentConfig) -> SweepResult:
-    """Run the full design-space sweep described by *config*."""
-    jobs: List[Tuple[int, int, Tuple[float, float], int]] = []
-    seed_sequence = np.random.SeedSequence(config.seed)
-    child_seeds = seed_sequence.generate_state(
-        len(config.utilization_groups) * config.tasksets_per_group
-    )
-    position = 0
-    for group_index, normalized_range in enumerate(config.utilization_groups):
-        for _ in range(config.tasksets_per_group):
-            jobs.append(
-                (
-                    config.num_cores,
-                    group_index,
-                    tuple(normalized_range),
-                    int(child_seeds[position]),
-                )
-            )
-            position += 1
-
-    evaluations: List[TasksetEvaluation] = []
-    if config.n_jobs == 1:
-        for job in jobs:
-            evaluation = _evaluate_one(*job)
-            if evaluation is not None:
-                evaluations.append(evaluation)
-    else:
-        with ProcessPoolExecutor(max_workers=config.n_jobs) as pool:
-            for evaluation in pool.map(_evaluate_one, *zip(*jobs), chunksize=4):
-                if evaluation is not None:
-                    evaluations.append(evaluation)
-
-    return SweepResult(config=config, evaluations=tuple(evaluations))
+    ``store`` (or ``config.checkpoint_path``) enables chunked checkpointing
+    with resume-on-restart; ``progress`` is called after every completed
+    chunk.  Both default to off, which reproduces the original one-shot
+    behaviour.
+    """
+    return SweepOrchestrator(config, store=store, progress=progress).run()

@@ -1,0 +1,104 @@
+"""Unit tests for the chunked, resumable sweep orchestrator."""
+
+import pytest
+
+from repro.batch.orchestrator import (
+    SweepOrchestrator,
+    build_specs,
+    run_batch_sweep,
+)
+from repro.batch.store import JsonlResultStore
+from repro.experiments.config import ExperimentConfig
+
+
+SMALL_GROUPS = ((0.05, 0.2), (0.45, 0.6))
+
+
+def small_config(**overrides):
+    defaults = dict(
+        num_cores=2,
+        tasksets_per_group=2,
+        utilization_groups=SMALL_GROUPS,
+        seed=31337,
+        chunk_size=3,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+class TestBuildSpecs:
+    def test_one_spec_per_slot_in_job_order(self):
+        config = small_config()
+        specs = build_specs(config)
+        assert [spec.job_index for spec in specs] == list(range(4))
+        assert [spec.group_index for spec in specs] == [0, 0, 1, 1]
+        assert all(
+            spec.normalized_range == SMALL_GROUPS[spec.group_index]
+            for spec in specs
+        )
+
+    def test_seed_derivation_is_deterministic_and_distinct(self):
+        config = small_config()
+        first = build_specs(config)
+        second = build_specs(config)
+        assert first == second
+        assert len({spec.seed for spec in first}) == len(first)
+
+    def test_different_base_seed_changes_child_seeds(self):
+        base = {spec.seed for spec in build_specs(small_config(seed=1))}
+        other = {spec.seed for spec in build_specs(small_config(seed=2))}
+        assert base != other
+
+
+class TestProgressReporting:
+    def test_progress_called_per_chunk_with_monotone_counts(self):
+        config = small_config(chunk_size=3)  # 4 jobs -> chunks of 3 + 1
+        events = []
+        run_batch_sweep(config, progress=events.append)
+        assert [event.chunk_index for event in events] == [1, 2]
+        assert all(event.num_chunks == 2 for event in events)
+        assert [event.completed_jobs for event in events] == [3, 4]
+        assert events[-1].fraction == 1.0
+        assert all(event.resumed_jobs == 0 for event in events)
+
+    def test_resumed_jobs_reported(self, tmp_path):
+        config = small_config(chunk_size=2)
+        store_path = tmp_path / "sweep.jsonl"
+        run_batch_sweep(config, store=JsonlResultStore(store_path, config))
+        # Chop back to the first chunk and rerun.
+        lines = store_path.read_bytes().splitlines(keepends=True)
+        store_path.write_bytes(b"".join(lines[:3]))
+        events = []
+        run_batch_sweep(
+            config,
+            store=JsonlResultStore(store_path, config),
+            progress=events.append,
+        )
+        assert events and all(event.resumed_jobs == 2 for event in events)
+        assert events[-1].completed_jobs == 4
+
+    def test_fully_complete_checkpoint_runs_no_chunks(self, tmp_path):
+        config = small_config()
+        store_path = tmp_path / "sweep.jsonl"
+        first = run_batch_sweep(config, store=JsonlResultStore(store_path, config))
+        before = store_path.read_bytes()
+        events = []
+        again = run_batch_sweep(
+            config,
+            store=JsonlResultStore(store_path, config),
+            progress=events.append,
+        )
+        assert events == []
+        assert store_path.read_bytes() == before
+        assert tuple(again.evaluations) == tuple(first.evaluations)
+
+
+class TestCheckpointPathOnConfig:
+    def test_config_checkpoint_path_creates_store(self, tmp_path):
+        path = tmp_path / "auto.jsonl"
+        config = small_config(checkpoint_path=str(path))
+        result = SweepOrchestrator(config).run()
+        assert path.exists()
+        reloaded = JsonlResultStore(path, config).load()
+        completed = [entry for entry in reloaded.values() if entry is not None]
+        assert tuple(completed) == tuple(result.evaluations)

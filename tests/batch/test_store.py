@@ -1,0 +1,164 @@
+"""Unit tests for the resumable JSONL checkpoint store."""
+
+import json
+
+import pytest
+
+from repro.batch.results import TasksetEvaluation
+from repro.batch.store import JsonlResultStore, config_fingerprint
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+
+
+def make_evaluation(group_index=0):
+    return TasksetEvaluation(
+        group_index=group_index,
+        normalized_utilization=0.42,
+        num_rt_tasks=6,
+        num_security_tasks=4,
+        max_periods={"ids-a": 2000, "ids-b": 1700},
+        schedulable={"HYDRA-C": True, "HYDRA": False},
+        periods={"HYDRA-C": {"ids-a": 910, "ids-b": 1700}, "HYDRA": None},
+    )
+
+
+@pytest.fixture
+def config():
+    return ExperimentConfig(num_cores=2, tasksets_per_group=3, seed=7)
+
+
+@pytest.fixture
+def store(tmp_path, config):
+    return JsonlResultStore(tmp_path / "sweep.jsonl", config)
+
+
+class TestLifecycle:
+    def test_load_creates_header_only_file(self, store):
+        assert store.load() == {}
+        lines = store.path.read_text().splitlines()
+        assert len(lines) == 1
+        header = json.loads(lines[0])
+        assert header["kind"] == "header"
+
+    def test_append_and_reload(self, store):
+        store.load()
+        evaluation = make_evaluation()
+        store.append_chunk([(0, evaluation), (1, None), (2, evaluation)])
+        reloaded = store.load()
+        assert reloaded == {0: evaluation, 1: None, 2: evaluation}
+
+    def test_failed_generation_slots_are_not_retried(self, store):
+        """A ``null`` evaluation is a completed slot, not a missing one."""
+        store.load()
+        store.append_chunk([(5, None)])
+        assert 5 in store.load()
+
+    def test_empty_chunk_is_a_noop(self, store):
+        store.load()
+        before = store.path.read_bytes()
+        store.append_chunk([])
+        assert store.path.read_bytes() == before
+
+
+class TestCorruptionHandling:
+    def test_partial_trailing_line_is_truncated(self, store):
+        store.load()
+        store.append_chunk([(0, make_evaluation())])
+        intact = store.path.read_bytes()
+        with store.path.open("ab") as handle:
+            handle.write(b'{"kind":"result","job":1,"eval')  # killed mid-write
+        assert store.load() == {0: make_evaluation()}
+        # The file was physically trimmed back to the last complete line.
+        assert store.path.read_bytes() == intact
+
+    def test_headerless_file_rejected(self, store):
+        store.path.write_text('{"kind":"result","job":0,"evaluation":null}\n')
+        with pytest.raises(ConfigurationError):
+            store.load()
+
+    def test_empty_file_self_heals(self, store):
+        """A kill during the header write leaves an empty file; the store
+        must reinitialise it instead of wedging every future resume."""
+        store.path.parent.mkdir(parents=True, exist_ok=True)
+        store.path.write_text("")
+        assert store.load() == {}
+        header = json.loads(store.path.read_text().splitlines()[0])
+        assert header["kind"] == "header"
+
+    def test_torn_header_self_heals(self, store):
+        store.path.write_text('{"kind":"hea')  # no newline: torn write
+        assert store.load() == {}
+        evaluation = make_evaluation()
+        store.append_chunk([(0, evaluation)])
+        assert store.load() == {0: evaluation}
+
+    def test_unrelated_newline_free_file_is_not_destroyed(self, store):
+        """Pointing the sweep at some random user file must refuse, not
+        silently replace it (only a torn *header prefix* self-heals)."""
+        original = "precious user notes without trailing newline"
+        store.path.write_text(original)
+        with pytest.raises(ConfigurationError):
+            store.load()
+        assert store.path.read_text() == original
+
+    def test_non_json_lines_raise_configuration_error(self, store):
+        store.path.write_text("line one\nline two\n")
+        with pytest.raises(ConfigurationError):
+            store.load()
+        store.path.write_text('"just a string"\n')
+        with pytest.raises(ConfigurationError):
+            store.load()
+
+    def test_rejected_foreign_checkpoint_with_torn_line_is_not_mutated(
+        self, tmp_path, config
+    ):
+        """Refusing a mismatched checkpoint must not first trim its torn
+        trailing line -- rejected files are left exactly as found."""
+        path = tmp_path / "foreign.jsonl"
+        JsonlResultStore(path, config).load()
+        with path.open("ab") as handle:
+            handle.write(b'{"kind":"result","job":0,"eval')  # torn write
+        before = path.read_bytes()
+        other = ExperimentConfig(num_cores=4, tasksets_per_group=3, seed=7)
+        with pytest.raises(ConfigurationError):
+            JsonlResultStore(path, other).load()
+        assert path.read_bytes() == before
+
+    def test_unknown_record_kind_rejected(self, store):
+        store.load()
+        with store.path.open("a") as handle:
+            handle.write('{"kind":"mystery"}\n')
+        with pytest.raises(ConfigurationError):
+            store.load()
+
+
+class TestConfigFingerprint:
+    def test_mismatched_config_rejected(self, tmp_path, config):
+        path = tmp_path / "sweep.jsonl"
+        JsonlResultStore(path, config).load()
+        other = ExperimentConfig(num_cores=4, tasksets_per_group=3, seed=7)
+        with pytest.raises(ConfigurationError):
+            JsonlResultStore(path, other).load()
+
+    def test_runtime_knobs_do_not_change_the_fingerprint(self, config):
+        tweaked = ExperimentConfig(
+            num_cores=config.num_cores,
+            tasksets_per_group=config.tasksets_per_group,
+            seed=config.seed,
+            n_jobs=8,
+            chunk_size=3,
+            checkpoint_path="elsewhere.jsonl",
+        )
+        assert config_fingerprint(tweaked) == config_fingerprint(config)
+
+    def test_result_affecting_knobs_change_the_fingerprint(self, config):
+        for tweak in (
+            {"num_cores": 4},
+            {"tasksets_per_group": 9},
+            {"seed": 8},
+            {"utilization_groups": ((0.1, 0.2),)},
+        ):
+            import dataclasses
+
+            other = dataclasses.replace(config, **tweak)
+            assert config_fingerprint(other) != config_fingerprint(config)

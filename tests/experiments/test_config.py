@@ -43,3 +43,15 @@ class TestExperimentConfig:
             ExperimentConfig(n_jobs=0)
         with pytest.raises(ConfigurationError):
             ExperimentConfig(utilization_groups=[(0.0, 0.5)])
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(chunk_size=0)
+
+    def test_checkpoint_knobs_default_off(self):
+        config = ExperimentConfig()
+        assert config.checkpoint_path is None
+        assert config.chunk_size == 25
+
+    def test_checkpoint_knobs_accepted(self):
+        config = ExperimentConfig(chunk_size=3, checkpoint_path="sweep.jsonl")
+        assert config.chunk_size == 3
+        assert config.checkpoint_path == "sweep.jsonl"

@@ -1,0 +1,64 @@
+"""Golden regression pins for the synthetic figure vectors.
+
+The expected values are the small-config (2 cores, 5 task sets per group)
+tables recorded in ``benchmarks/figures_output.txt`` by the seed revision's
+benchmark run, with tolerance bands matching that file's print precision
+(3 decimals for distances, 0.1 percentage points for acceptance).  The
+sweep is deterministic, so any drift beyond the print precision means the
+analysis, the generator or the scheme implementations changed behaviour --
+exactly what this suite is meant to catch.
+
+Marked ``slow``: each pin runs a full (small) sweep.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig6_period_distance import compute_fig6
+from repro.experiments.fig7a_acceptance import compute_fig7a
+from repro.experiments.sweep import run_sweep
+
+pytestmark = pytest.mark.slow
+
+#: benchmarks/figures_output.txt, "Fig. 6 -- ... (2 cores, 5 tasksets/group)"
+#: (bench seed 2020 + 2 cores).
+GOLDEN_FIG6_MEAN_DISTANCE = [
+    0.943, 0.791, 0.660, 0.499, 0.475, 0.385, 0.413, 0.382, 0.179, 0.095,
+]
+GOLDEN_FIG6_SCHEDULABLE = [5, 5, 5, 5, 5, 5, 5, 5, 3, 1]
+
+#: benchmarks/figures_output.txt, "Fig. 7a -- ... (2 cores, 5 tasksets/group)"
+#: (bench seed 4040 + 2 cores).
+GOLDEN_FIG7A_ACCEPTANCE = {
+    "HYDRA-C": [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.4, 0.0],
+    "HYDRA": [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.0],
+    "GLOBAL-TMax": [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0],
+    "HYDRA-TMax": [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.0],
+}
+
+DISTANCE_TOLERANCE = 0.0005  # figures_output.txt prints 3 decimals
+ACCEPTANCE_TOLERANCE = 0.0005  # printed as percentages with 1 decimal
+
+
+def test_fig6_mean_distance_matches_golden_vector():
+    config = ExperimentConfig(num_cores=2, tasksets_per_group=5, seed=2022)
+    result = compute_fig6(run_sweep(config))
+    assert result.samples_per_group == GOLDEN_FIG6_SCHEDULABLE
+    for observed, expected in zip(
+        result.mean_distance, GOLDEN_FIG6_MEAN_DISTANCE
+    ):
+        assert not math.isnan(observed)
+        assert observed == pytest.approx(expected, abs=DISTANCE_TOLERANCE)
+
+
+def test_fig7a_acceptance_matches_golden_vectors():
+    config = ExperimentConfig(num_cores=2, tasksets_per_group=5, seed=4042)
+    result = compute_fig7a(run_sweep(config))
+    assert set(result.acceptance) == set(GOLDEN_FIG7A_ACCEPTANCE)
+    for scheme, golden in GOLDEN_FIG7A_ACCEPTANCE.items():
+        for observed, expected in zip(result.acceptance[scheme], golden):
+            assert observed == pytest.approx(
+                expected, abs=ACCEPTANCE_TOLERANCE
+            ), f"{scheme} acceptance drifted from the golden vector"

@@ -1,0 +1,110 @@
+"""Determinism guarantees of the batched sweep.
+
+The sweep promises that *how* work is executed never changes *what* is
+computed: worker count, chunking and checkpoint interruptions are pure
+execution details.  These tests pin that contract:
+
+* ``n_jobs=1`` and ``n_jobs=4`` produce identical evaluation streams
+  (identical order too -- the orchestrator preserves job order, so the
+  order-normalized comparison the contract requires is subsumed);
+* a sweep killed after its first checkpointed chunk and resumed reproduces
+  the uninterrupted run exactly, including the checkpoint file bytes.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.batch.store import JsonlResultStore
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sweep import run_sweep
+
+
+@pytest.fixture(scope="module")
+def determinism_config():
+    return ExperimentConfig(
+        num_cores=2,
+        tasksets_per_group=2,
+        utilization_groups=((0.05, 0.2), (0.4, 0.55), (0.7, 0.85)),
+        seed=60601,
+        chunk_size=2,
+        n_jobs=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_result(determinism_config):
+    return run_sweep(determinism_config)
+
+
+class TestWorkerCountIndependence:
+    def test_parallel_sweep_equals_serial_sweep(
+        self, determinism_config, serial_result
+    ):
+        parallel_config = dataclasses.replace(determinism_config, n_jobs=4)
+        parallel = run_sweep(parallel_config)
+        assert tuple(parallel.evaluations) == tuple(serial_result.evaluations)
+
+    def test_chunk_size_does_not_change_results(
+        self, determinism_config, serial_result
+    ):
+        rechunked = dataclasses.replace(determinism_config, chunk_size=5)
+        assert tuple(run_sweep(rechunked).evaluations) == tuple(
+            serial_result.evaluations
+        )
+
+
+class TestCheckpointResume:
+    def test_killed_then_resumed_equals_uninterrupted(
+        self, determinism_config, serial_result, tmp_path
+    ):
+        uninterrupted_path = tmp_path / "uninterrupted.jsonl"
+        interrupted_path = tmp_path / "interrupted.jsonl"
+
+        uninterrupted = run_sweep(
+            determinism_config,
+            store=JsonlResultStore(uninterrupted_path, determinism_config),
+        )
+        assert tuple(uninterrupted.evaluations) == tuple(
+            serial_result.evaluations
+        )
+
+        # Simulate a kill after the first flushed chunk: run to completion,
+        # then chop the checkpoint back to header + one chunk.
+        run_sweep(
+            determinism_config,
+            store=JsonlResultStore(interrupted_path, determinism_config),
+        )
+        lines = interrupted_path.read_bytes().splitlines(keepends=True)
+        kept = 1 + determinism_config.chunk_size
+        assert len(lines) > kept
+        interrupted_path.write_bytes(b"".join(lines[:kept]))
+
+        resumed = run_sweep(
+            determinism_config,
+            store=JsonlResultStore(interrupted_path, determinism_config),
+        )
+        assert tuple(resumed.evaluations) == tuple(uninterrupted.evaluations)
+        assert (
+            interrupted_path.read_bytes() == uninterrupted_path.read_bytes()
+        )
+
+    def test_kill_mid_write_is_recovered(
+        self, determinism_config, serial_result, tmp_path
+    ):
+        """A torn final line (process died inside ``write``) must not poison
+        the resume: the store trims it and the slot is re-evaluated."""
+        path = tmp_path / "torn.jsonl"
+        run_sweep(
+            determinism_config, store=JsonlResultStore(path, determinism_config)
+        )
+        complete = path.read_bytes()
+        lines = complete.splitlines(keepends=True)
+        torn = b"".join(lines[:3]) + lines[3][: len(lines[3]) // 2]
+        path.write_bytes(torn)
+
+        resumed = run_sweep(
+            determinism_config, store=JsonlResultStore(path, determinism_config)
+        )
+        assert tuple(resumed.evaluations) == tuple(serial_result.evaluations)
+        assert path.read_bytes() == complete

@@ -9,10 +9,14 @@ library offers.
 
 import pytest
 
+from repro.batch.orchestrator import build_specs
+from repro.batch.service import BatchDesignService
 from repro.core.framework import HydraC
 from repro.errors import AllocationError
+from repro.experiments.config import ExperimentConfig
 from repro.generation import TasksetGenerationConfig, TasksetGenerator
 from repro.model import Platform
+from repro.model.time_utils import hyperperiod
 from repro.partitioning import partition_rt_tasks
 from repro.sim.engine import simulate_design
 
@@ -60,6 +64,47 @@ def test_observed_security_response_times_within_analysis_bound(num_cores):
                 assert observed <= bound
         checked += 1
     assert checked > 0
+
+
+@pytest.mark.parametrize("num_cores", [2, 4])
+def test_batch_service_hydra_c_designs_never_miss_in_simulation(num_cores):
+    """Every HYDRA-C design the batch service declares schedulable must show
+    zero deadline misses over a hyperperiod-bounded simulation window.
+
+    This drives the *production* sweep path (Table-3 generation through
+    :class:`BatchDesignService` with its shared caches) end to end against
+    the simulator, which knows nothing about the analysis.
+    """
+    config = ExperimentConfig(
+        num_cores=num_cores,
+        tasksets_per_group=3,
+        utilization_groups=((0.15, 0.3), (0.4, 0.55)),
+        seed=777 + num_cores,
+    )
+    service = BatchDesignService(num_cores)
+    checked = 0
+    for spec in build_specs(config):
+        generated = service.generate(spec)
+        if generated is None:
+            continue
+        taskset, allocation = generated
+        designs = service.design_all(taskset, allocation)
+        hydra_c = designs["HYDRA-C"]
+        if hydra_c is None or not hydra_c.schedulable:
+            continue
+        periods = [
+            period
+            for period in hydra_c.taskset.security_period_vector().values()
+            if period is not None
+        ] + [task.period for task in hydra_c.taskset.rt_tasks]
+        horizon = hyperperiod(periods, cap=6_000)
+        trace = simulate_design(hydra_c, horizon=horizon)
+        assert not trace.deadline_misses(), (
+            f"seed {spec.seed}: HYDRA-C accepted the task set but the "
+            f"simulator observed misses in a {horizon}-tick window"
+        )
+        checked += 1
+    assert checked >= 3
 
 
 def test_rover_synchronous_release_response_matches_analysis_exactly():

@@ -27,6 +27,33 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig6", "--cores", "3"])
 
+    def test_sweep_arguments_and_defaults(self):
+        args = build_parser().parse_args(
+            [
+                "sweep",
+                "--cores",
+                "4",
+                "--checkpoint",
+                "run.jsonl",
+                "--chunk-size",
+                "7",
+                "--report",
+                "fig7a",
+            ]
+        )
+        assert args.cores == 4
+        assert args.checkpoint == "run.jsonl"
+        assert args.chunk_size == 7
+        assert args.report == "fig7a"
+        defaults = build_parser().parse_args(["sweep"])
+        assert defaults.checkpoint is None
+        assert defaults.report == "all"
+        assert not defaults.quiet
+
+    def test_sweep_rejects_unknown_report(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--report", "fig5"])
+
 
 class TestMain:
     def test_fig5_small_run(self, capsys):
@@ -42,3 +69,77 @@ class TestMain:
         )
         assert exit_code == 0
         assert "Fig. 6" in capsys.readouterr().out
+
+    def test_sweep_prints_all_figures_and_progress(self, capsys):
+        exit_code = main(
+            ["sweep", "--tasksets-per-group", "1", "--seed", "5", "--chunk-size", "5"]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "Fig. 6" in captured.out
+        assert "Fig. 7a" in captured.out
+        assert "Fig. 7b" in captured.out
+        assert "sweep: chunk" in captured.err
+
+    def test_sweep_single_report_quiet(self, capsys):
+        exit_code = main(
+            [
+                "sweep",
+                "--tasksets-per-group",
+                "1",
+                "--seed",
+                "5",
+                "--report",
+                "fig7a",
+                "--quiet",
+            ]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "Fig. 7a" in captured.out
+        assert "Fig. 6" not in captured.out
+        assert captured.err == ""
+
+    def test_sweep_mismatched_checkpoint_is_a_clean_error(self, capsys, tmp_path):
+        checkpoint = tmp_path / "cli.jsonl"
+        base = [
+            "sweep",
+            "--tasksets-per-group",
+            "1",
+            "--checkpoint",
+            str(checkpoint),
+            "--quiet",
+        ]
+        assert main(base + ["--seed", "5"]) == 0
+        capsys.readouterr()
+        exit_code = main(base + ["--seed", "6"])
+        assert exit_code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "different sweep configuration" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_sweep_checkpoint_resume_roundtrip(self, capsys, tmp_path):
+        checkpoint = tmp_path / "cli.jsonl"
+        argv = [
+            "sweep",
+            "--tasksets-per-group",
+            "1",
+            "--seed",
+            "5",
+            "--chunk-size",
+            "4",
+            "--checkpoint",
+            str(checkpoint),
+            "--report",
+            "fig7a",
+            "--quiet",
+        ]
+        assert main(argv) == 0
+        first_out = capsys.readouterr().out
+        first_bytes = checkpoint.read_bytes()
+        # Rerunning resumes from the (complete) checkpoint: same table, no
+        # new writes.
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first_out
+        assert checkpoint.read_bytes() == first_bytes
