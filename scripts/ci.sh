@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Continuous-integration entry point.
+#
+# Usage: scripts/ci.sh [tier1|bench|all]   (default: all)
+#
+# Two gates:
+#   tier1 -- the fast tier-1 suite (unit/property/integration, benchmarks
+#            excluded).  Deterministic; always blocking.
+#   bench -- the batch-service speedup gate (the batched pipeline must stay
+#            >= 2x faster than the frozen seed path in
+#            repro/batch/reference.py).  Wall-clock based, so on shared CI
+#            runners it is run as a separate, non-blocking workflow step;
+#            locally it is a hard gate.
+#
+# The remaining benchmarks (full figure regenerations) are not run here --
+# they are the local `pytest benchmarks` workflow and rewrite
+# benchmarks/figures_output.txt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:${PYTHONPATH}}"
+
+stage="${1:-all}"
+case "$stage" in
+    tier1|bench|all) ;;
+    *)
+        echo "usage: $0 [tier1|bench|all]" >&2
+        exit 64
+        ;;
+esac
+
+if [[ "$stage" == "tier1" || "$stage" == "all" ]]; then
+    echo "== tier 1: pytest -m 'not bench' =="
+    python -m pytest -x -q -m "not bench"
+fi
+
+if [[ "$stage" == "bench" || "$stage" == "all" ]]; then
+    echo "== bench gate: batch-service speedup over the frozen seed path =="
+    python -m pytest -x -q benchmarks/test_bench_batch_service.py
+fi

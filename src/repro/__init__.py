@@ -55,6 +55,14 @@ from repro.errors import (
 from repro.generation import TasksetGenerationConfig, TasksetGenerator, generate_taskset
 from repro.model import Platform, RealTimeTask, SecurityTask, TaskSet
 from repro.partitioning import Allocation, FitStrategy, partition_rt_tasks
+from repro.schemes import (
+    REGISTRY as SCHEME_REGISTRY,
+    Phase,
+    SchemePlugin,
+    SchemeRegistry,
+    SchemeSpec,
+    SharedPhases,
+)
 
 __version__ = "1.0.0"
 
@@ -71,10 +79,16 @@ __all__ = [
     "HydraTMax",
     "JsonlResultStore",
     "PeriodSelectionResult",
+    "Phase",
     "Platform",
     "RealTimeTask",
     "ReproError",
+    "SCHEME_REGISTRY",
+    "SchemePlugin",
+    "SchemeRegistry",
+    "SchemeSpec",
     "SecurityTask",
+    "SharedPhases",
     "SimulationError",
     "SweepOrchestrator",
     "SystemDesign",

@@ -59,6 +59,7 @@ __all__ = [
     "PeriodPolicy",
     "SecurityAllocation",
     "best_core_for_security_task",
+    "feasible_cores_for_security_task",
 ]
 
 
@@ -119,21 +120,18 @@ def _security_view(task: SecurityTask, period: int) -> UniprocessorTask:
     )
 
 
-def best_core_for_security_task(
+def feasible_cores_for_security_task(
     task: SecurityTask,
     rt_by_core: Mapping[int, Sequence[RealTimeTask]],
     security_by_core: Mapping[int, Sequence[Tuple[SecurityTask, int]]],
     num_cores: int,
-) -> Optional[Tuple[int, int]]:
-    """Best-fit core choice for one security task.
+) -> List[Tuple[int, int, float]]:
+    """Every core on which *task*'s response time stays within ``T^max``.
 
-    Among the cores on which the task's uniprocessor response time stays
-    within ``T^max`` (given the RT tasks bound there and the already-bound
-    higher-priority security tasks at their assumed periods), the classic
-    best-fit rule picks the *fullest* core -- the one with the highest
-    current utilization -- keeping the remaining cores' slack available for
-    later, possibly larger, tasks.  Ties are broken by the smaller response
-    time, then by core index, for determinism.
+    This is the single feasibility predicate every allocation policy
+    (best-fit here, random-fit in :mod:`repro.schemes.variants`) chooses
+    from -- policies differ only in which feasible core they pick, so the
+    predicate must not be duplicated per policy.
 
     Parameters
     ----------
@@ -144,10 +142,11 @@ def best_core_for_security_task(
 
     Returns
     -------
-    ``(core_index, response_time)`` for the chosen core, or ``None`` if the
-    task's response time exceeds ``T^max`` on every core.
+    One ``(core_index, response_time, utilization)`` triple per feasible
+    core, in core order; ``utilization`` is the load already bound there
+    (RT plus assumed-period security tasks).
     """
-    best: Optional[Tuple[float, int, int, int]] = None  # (-util, response, core, resp)
+    feasible: List[Tuple[int, int, float]] = []
     for core_index in range(num_cores):
         rt_views = [_rt_view(rt) for rt in rt_by_core.get(core_index, ())]
         security_views = [
@@ -161,12 +160,39 @@ def best_core_for_security_task(
         if response is None:
             continue
         utilization = sum(view.utilization for view in higher)
+        feasible.append((core_index, response, utilization))
+    return feasible
+
+
+def best_core_for_security_task(
+    task: SecurityTask,
+    rt_by_core: Mapping[int, Sequence[RealTimeTask]],
+    security_by_core: Mapping[int, Sequence[Tuple[SecurityTask, int]]],
+    num_cores: int,
+) -> Optional[Tuple[int, int]]:
+    """Best-fit core choice for one security task.
+
+    Among the feasible cores (see :func:`feasible_cores_for_security_task`)
+    the classic best-fit rule picks the *fullest* core -- the one with the
+    highest current utilization -- keeping the remaining cores' slack
+    available for later, possibly larger, tasks.  Ties are broken by the
+    smaller response time, then by core index, for determinism.
+
+    Returns
+    -------
+    ``(core_index, response_time)`` for the chosen core, or ``None`` if the
+    task's response time exceeds ``T^max`` on every core.
+    """
+    best: Optional[Tuple[float, int, int]] = None  # (-util, response, core)
+    for core_index, response, utilization in feasible_cores_for_security_task(
+        task, rt_by_core, security_by_core, num_cores
+    ):
         key = (-utilization, response, core_index)
-        if best is None or key < best[:3]:
-            best = (*key, response)
+        if best is None or key < best:
+            best = key
     if best is None:
         return None
-    return best[2], best[3]
+    return best[2], best[1]
 
 
 class Hydra:

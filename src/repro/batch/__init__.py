@@ -5,8 +5,10 @@ The batch layer is the engine room of the paper's design-space sweeps
 the library:
 
 * :mod:`repro.batch.service` -- :class:`BatchDesignService` evaluates one
-  task set against all four schemes while sharing the per-partition work
-  (Eq. 1 RT analysis, greedy security allocation) between them.
+  task set against the selected schemes (any subset of the
+  :mod:`repro.schemes` registry) while sharing the per-partition work
+  (Eq. 1 RT analysis, greedy security allocation) between them,
+  capability-driven by each scheme's declared phases.
 * :mod:`repro.batch.orchestrator` -- :class:`SweepOrchestrator` runs whole
   sweeps in chunks, serially or across processes, with progress reporting.
 * :mod:`repro.batch.store` -- :class:`JsonlResultStore` checkpoints each

@@ -79,18 +79,25 @@ def build_specs(config: ExperimentConfig) -> List[TasksetSpec]:
 
 #: Per-process service cache for the worker entry point: building the
 #: service is cheap, but there is no reason to rebuild it per task set.
-_WORKER_SERVICES: Dict[int, BatchDesignService] = {}
+_WORKER_SERVICES: Dict[Tuple[int, Tuple[str, ...]], BatchDesignService] = {}
 
 
 def _evaluate_spec_worker(
-    args: Tuple[int, TasksetSpec],
+    args: Tuple[int, Tuple[str, ...], TasksetSpec],
 ) -> Optional[TasksetEvaluation]:
-    """Module-level (hence picklable) worker entry point."""
-    num_cores, spec = args
-    service = _WORKER_SERVICES.get(num_cores)
+    """Module-level (hence picklable) worker entry point.
+
+    Scheme *names* travel to the worker; the specs themselves are resolved
+    against the worker's own registry (plugin factories are not picklable).
+    Custom schemes must therefore be registered at import time of a module
+    the workers also import -- see the :mod:`repro.schemes` docstring.
+    """
+    num_cores, scheme_names, spec = args
+    key = (num_cores, scheme_names)
+    service = _WORKER_SERVICES.get(key)
     if service is None:
-        service = BatchDesignService(num_cores)
-        _WORKER_SERVICES[num_cores] = service
+        service = BatchDesignService(num_cores, scheme_names=scheme_names)
+        _WORKER_SERVICES[key] = service
     return service.evaluate_spec(spec)
 
 
@@ -120,7 +127,9 @@ class SweepOrchestrator:
         self._config = config
         self._store = store
         self._progress = progress
-        self._service = BatchDesignService(config.num_cores)
+        self._service = BatchDesignService(
+            config.num_cores, scheme_names=config.schemes
+        )
 
     def run(self) -> SweepResult:
         """Evaluate every (remaining) slot and return the full sweep result."""
@@ -177,7 +186,10 @@ class SweepOrchestrator:
     ) -> List[Optional[TasksetEvaluation]]:
         if pool is None:
             return [self._service.evaluate_spec(spec) for spec in chunk]
-        args = [(self._config.num_cores, spec) for spec in chunk]
+        args = [
+            (self._config.num_cores, self._config.schemes, spec)
+            for spec in chunk
+        ]
         # chunksize=1 so a checkpoint chunk spreads over every worker; task
         # sets vary wildly in cost, so larger map batches would leave
         # workers idle behind the slowest batch.

@@ -18,13 +18,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from repro.schemes import REGISTRY
+
 if TYPE_CHECKING:  # avoid a runtime cycle: experiments.sweep imports batch
     from repro.experiments.config import ExperimentConfig
 
 __all__ = ["SCHEME_NAMES", "TasksetEvaluation", "SweepResult"]
 
-#: Order in which schemes are reported, matching the paper's legend.
-SCHEME_NAMES: Tuple[str, ...] = ("HYDRA-C", "HYDRA", "GLOBAL-TMax", "HYDRA-TMax")
+#: The paper's four schemes in legend order -- derived from the scheme
+#: registry (single source of truth), kept as a module constant because the
+#: frozen reference path and many callers key on it.
+SCHEME_NAMES: Tuple[str, ...] = REGISTRY.canonical_names()
 
 
 @dataclass(frozen=True)

@@ -1,7 +1,7 @@
 """Batched evaluation of task sets against every scheme, with shared caches.
 
 The design-space sweeps behind Figs. 6/7a/7b evaluate each generated task
-set under four schemes.  Run independently (as the original per-scheme
+set under several schemes.  Run independently (as the original per-scheme
 sweep did), the schemes repeat identical work on the same task set:
 
 * HYDRA-C, HYDRA and HYDRA-TMax each re-run the Eq. 1 response-time
@@ -10,25 +10,28 @@ sweep did), the schemes repeat identical work on the same task set:
   allocation (both occupy cores at the maximum periods, see
   :class:`repro.baselines.hydra.SecurityAllocation`).
 
-:class:`BatchDesignService` evaluates one task set against all schemes
-while computing each shared phase exactly once, and is the single code path
-used by both the serial and the multi-process sweep (so ``n_jobs`` cannot
-change results).  Schemes are pluggable: pass ``scheme_names`` to evaluate
-a subset, in any order.
+:class:`BatchDesignService` evaluates one task set against all selected
+schemes while computing each shared phase exactly once, and is the single
+code path used by both the serial and the multi-process sweep (so
+``n_jobs`` cannot change results).  Which phases are shared is
+*capability-driven*: every scheme is a plugin from the
+:mod:`repro.schemes` registry whose :class:`~repro.schemes.SchemeSpec`
+declares the phases it consumes, and the service materialises exactly the
+union of the selected schemes' declarations -- no name-based special
+cases, so a newly registered scheme participates in the sharing without
+touching this module.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.baselines.global_tmax import GlobalTMax
-from repro.baselines.hydra import Hydra, SecurityAllocation
-from repro.baselines.hydra_tmax import HydraTMax
-from repro.batch.results import SCHEME_NAMES, TasksetEvaluation
-from repro.core.framework import HydraC, SystemDesign
+from repro.baselines.hydra import Hydra
+from repro.batch.results import TasksetEvaluation
+from repro.core.framework import SystemDesign
 from repro.errors import AllocationError, ConfigurationError, UnschedulableError
 from repro.generation.taskset_generator import (
     TasksetGenerationConfig,
@@ -42,6 +45,7 @@ from repro.schedulability.partitioned import (
     partitioned_rt_schedulable,
     rt_tasks_by_core,
 )
+from repro.schemes import REGISTRY, Phase, SchemeRegistry, SharedPhases
 
 __all__ = ["TasksetSpec", "BatchDesignService", "MAX_GENERATION_ATTEMPTS"]
 
@@ -67,40 +71,45 @@ class TasksetSpec:
 
 
 class BatchDesignService:
-    """Evaluate task sets against all schemes with shared per-partition work.
+    """Evaluate task sets against registered schemes with shared phases.
 
     Parameters
     ----------
     num_cores:
         Platform size ``M``.
     scheme_names:
-        Which schemes to evaluate, in reporting order.  Defaults to the
-        paper's four.
+        Which registered schemes to evaluate, in reporting order.  ``None``
+        selects the paper's four canonical schemes.
     max_generation_attempts:
         Retry budget for :meth:`generate` when the RT partition fails Eq. 1.
+    registry:
+        Scheme registry to resolve names against (the process-wide default
+        unless a test injects its own).
     """
 
     def __init__(
         self,
         num_cores: int,
-        scheme_names: Sequence[str] = SCHEME_NAMES,
+        scheme_names: Optional[Sequence[str]] = None,
         max_generation_attempts: int = MAX_GENERATION_ATTEMPTS,
+        registry: SchemeRegistry = REGISTRY,
     ) -> None:
         if num_cores < 1:
             raise ConfigurationError("num_cores must be >= 1")
-        unknown = set(scheme_names) - set(SCHEME_NAMES)
-        if unknown:
-            raise ConfigurationError(f"unknown schemes: {sorted(unknown)}")
         self._platform = Platform(num_cores=num_cores)
-        self._scheme_names = tuple(scheme_names)
+        self._specs = registry.resolve(scheme_names)
+        self._scheme_names = tuple(spec.name for spec in self._specs)
+        self._plugins = tuple(
+            spec.factory(self._platform) for spec in self._specs
+        )
+        self._needed_phases: FrozenSet[Phase] = frozenset().union(
+            *(spec.phases for spec in self._specs)
+        )
         self._max_generation_attempts = max_generation_attempts
         self._generation_config = TasksetGenerationConfig(num_cores=num_cores)
-        # Scheme objects hold only configuration, so one instance of each is
-        # reused for every task set the service evaluates.
-        self._hydra_c = HydraC(self._platform)
-        self._hydra = Hydra(self._platform)
-        self._global_tmax = GlobalTMax(self._platform)
-        self._hydra_tmax = HydraTMax(self._platform)
+        # The shared max-period security allocation is HYDRA's allocation
+        # phase; one allocator instance serves every task set.
+        self._maxperiod_allocator = Hydra(self._platform)
 
     @property
     def platform(self) -> Platform:
@@ -134,66 +143,60 @@ class BatchDesignService:
             return candidate, allocation
         return None
 
+    # -- shared phases ---------------------------------------------------------
+
+    def _compute_shared_phases(
+        self, taskset: TaskSet, rt_allocation: Allocation
+    ) -> SharedPhases:
+        """Materialise the union of the selected schemes' declared phases."""
+        needed = self._needed_phases
+        rt_check = (
+            partitioned_rt_schedulable(
+                taskset, rt_allocation.mapping, self._platform
+            )
+            if Phase.EQ1_RT_CHECK in needed
+            else None
+        )
+        rt_by_core = None
+        security_allocation = None
+        if (
+            Phase.MAXPERIOD_SECURITY_ALLOCATION in needed
+            and rt_check is not None
+            and rt_check.schedulable
+        ):
+            rt_by_core = rt_tasks_by_core(
+                taskset, rt_allocation.mapping, self._platform
+            )
+            security_allocation = self._maxperiod_allocator.allocate_security(
+                taskset, rt_by_core
+            )
+        return SharedPhases(
+            rt_allocation=rt_allocation,
+            rt_check=rt_check,
+            rt_by_core=rt_by_core,
+            security_allocation=security_allocation,
+        )
+
     # -- evaluation ------------------------------------------------------------
 
     def design_all(
         self, taskset: TaskSet, rt_allocation: Allocation
     ) -> Dict[str, Optional[SystemDesign]]:
-        """Run every configured scheme on one task set, sharing common phases.
+        """Run every selected scheme on one task set, sharing common phases.
 
         Returns a mapping scheme name -> :class:`SystemDesign`, or ``None``
         where the scheme raised
-        :class:`~repro.errors.UnschedulableError` (a broken legacy RT
-        partition).  The Eq. 1 RT analysis runs once; the greedy security
-        allocation runs once for HYDRA and HYDRA-TMax combined.
+        :class:`~repro.errors.UnschedulableError` /
+        :class:`~repro.errors.AllocationError` (it could not even set up
+        its RT configuration for this task set).  Each shared phase runs at
+        most once, regardless of how many schemes consume it.
         """
-        mapping = rt_allocation.mapping
-        # The Eq. 1 analysis only matters to the partition-respecting
-        # schemes; a GLOBAL-TMax-only service must not pay for it.
-        partition_schemes = {"HYDRA-C", "HYDRA", "HYDRA-TMax"}
-        rt_check = (
-            partitioned_rt_schedulable(taskset, mapping, self._platform)
-            if partition_schemes & set(self._scheme_names)
-            else None
-        )
-        shared_allocation: Optional[SecurityAllocation] = None
-        shared_rt_by_core = None
-        if (
-            rt_check is not None
-            and rt_check.schedulable
-            and ("HYDRA" in self._scheme_names or "HYDRA-TMax" in self._scheme_names)
-        ):
-            shared_rt_by_core = rt_tasks_by_core(taskset, mapping, self._platform)
-            shared_allocation = self._hydra.allocate_security(
-                taskset, shared_rt_by_core
-            )
-
+        shared = self._compute_shared_phases(taskset, rt_allocation)
         designs: Dict[str, Optional[SystemDesign]] = {}
-        for name in self._scheme_names:
+        for name, plugin in zip(self._scheme_names, self._plugins):
             try:
-                if name == "HYDRA-C":
-                    designs[name] = self._hydra_c.design(
-                        taskset, mapping, rt_check=rt_check
-                    )
-                elif name == "HYDRA":
-                    designs[name] = self._hydra.design(
-                        taskset,
-                        mapping,
-                        rt_check=rt_check,
-                        security_allocation=shared_allocation,
-                        rt_by_core=shared_rt_by_core,
-                    )
-                elif name == "GLOBAL-TMax":
-                    designs[name] = self._global_tmax.design(taskset, mapping)
-                else:  # HYDRA-TMax
-                    designs[name] = self._hydra_tmax.design(
-                        taskset,
-                        mapping,
-                        rt_check=rt_check,
-                        security_allocation=shared_allocation,
-                        rt_by_core=shared_rt_by_core,
-                    )
-            except UnschedulableError:
+                designs[name] = plugin.design(taskset, shared)
+            except (UnschedulableError, AllocationError):
                 designs[name] = None
         return designs
 

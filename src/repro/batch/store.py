@@ -22,7 +22,7 @@ import os
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Iterable, Optional, Tuple, Union
 
-from repro.batch.results import TasksetEvaluation
+from repro.batch.results import SCHEME_NAMES, TasksetEvaluation
 from repro.errors import ConfigurationError
 
 if TYPE_CHECKING:  # avoid a runtime cycle: experiments.sweep imports batch
@@ -39,7 +39,9 @@ def config_fingerprint(config: "ExperimentConfig") -> Dict[str, object]:
     Runtime knobs (``n_jobs``, ``chunk_size``, ``checkpoint_path``) are
     deliberately excluded: resuming a checkpoint with a different worker
     count or chunking must be allowed, because neither affects the result
-    stream.
+    stream.  The selected scheme list *is* included: every stored record
+    holds one column per scheme, so resuming with a different ``--schemes``
+    set would silently mix incompatible result rows.
     """
     return {
         "num_cores": config.num_cores,
@@ -48,6 +50,7 @@ def config_fingerprint(config: "ExperimentConfig") -> Dict[str, object]:
             [float(low), float(high)] for low, high in config.utilization_groups
         ],
         "seed": config.seed,
+        "schemes": list(config.schemes),
     }
 
 
@@ -105,7 +108,13 @@ class JsonlResultStore:
                 f"checkpoint {self._path} uses format version "
                 f"{header.get('version')}, expected {_FORMAT_VERSION}"
             )
-        if header.get("config") != self._fingerprint:
+        header_config = header.get("config")
+        if isinstance(header_config, dict) and "schemes" not in header_config:
+            # Checkpoints written before the scheme registry existed carry
+            # no scheme list; they were always the canonical four, so treat
+            # them as such instead of rejecting an unchanged sweep.
+            header_config = {**header_config, "schemes": list(SCHEME_NAMES)}
+        if header_config != self._fingerprint:
             raise ConfigurationError(
                 f"checkpoint {self._path} was produced by a different sweep "
                 "configuration; refusing to resume (delete the file or point "

@@ -9,12 +9,16 @@ Usage (installed as the ``hydra-c`` console script, also runnable as
     hydra-c fig7b --cores 2      # period-vector differences (Fig. 7b)
     hydra-c sweep --cores 2 --checkpoint run.jsonl   # one resumable sweep,
                                  # all three figure tables from a single run
+    hydra-c schemes              # list every registered integration scheme
 
 ``sweep`` runs the batched design-space sweep once and derives every
 synthetic figure from it; with ``--checkpoint`` the run is chunked into a
 JSONL store and a rerun of the same command resumes where it stopped.  The
-synthetic sweeps accept ``--tasksets-per-group`` (paper value: 250) and
-``--jobs`` for parallel evaluation.
+synthetic sweeps accept ``--tasksets-per-group`` (paper value: 250),
+``--jobs`` for parallel evaluation and ``--schemes`` to pick which
+registered schemes to evaluate (default: the paper's four; see
+``hydra-c schemes`` for the full list, including the parameterised
+HYDRA-C/HYDRA variants the scheme registry adds).
 """
 
 from __future__ import annotations
@@ -24,7 +28,13 @@ import sys
 from typing import Optional, Sequence
 
 from repro.errors import ReproError
+from repro.experiments import fig6_period_distance, fig7b_period_diff
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.figure_requirements import (
+    missing_schemes,
+    require_schemes,
+)
+from repro.schemes import REGISTRY
 from repro.experiments.fig5_rover import format_fig5, run_fig5
 from repro.experiments.fig6_period_distance import compute_fig6, format_fig6, run_fig6
 from repro.experiments.fig7a_acceptance import compute_fig7a, format_fig7a, run_fig7a
@@ -65,6 +75,19 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument("--jobs", type=int, default=1, help="worker processes")
         sub.add_argument("--seed", type=int, default=2020)
+        sub.add_argument(
+            "--schemes",
+            default=None,
+            metavar="NAME[,NAME...]",
+            help=(
+                "comma-separated registered schemes to evaluate "
+                "(default: the paper's four; see 'hydra-c schemes')"
+            ),
+        )
+
+    subparsers.add_parser(
+        "schemes", help="list the registered integration schemes"
+    )
 
     sweep = subparsers.choices["sweep"]
     sweep.add_argument(
@@ -94,12 +117,29 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Schemes each figure's computation dereferences -- declared by the
+#: figure modules themselves (the CLI only surfaces them early, before a
+#: sweep has been paid for; the compute_* functions enforce them too).
+_FIGURE_SCHEME_REQUIREMENTS = {
+    "fig6": fig6_period_distance.REQUIRED_SCHEMES,
+    "fig7b": fig7b_period_diff.REQUIRED_SCHEMES,
+}
+
+
+def _parse_schemes(value: Optional[str]) -> Optional[Sequence[str]]:
+    """Split a comma-separated ``--schemes`` value (validated by the config)."""
+    if value is None:
+        return None
+    return tuple(name.strip() for name in value.split(",") if name.strip())
+
+
 def _sweep_config(args: argparse.Namespace) -> ExperimentConfig:
     return ExperimentConfig(
         num_cores=args.cores,
         tasksets_per_group=args.tasksets_per_group,
         seed=args.seed,
         n_jobs=args.jobs,
+        schemes=_parse_schemes(args.schemes),
     )
 
 
@@ -111,7 +151,43 @@ def _batch_sweep_config(args: argparse.Namespace) -> ExperimentConfig:
         n_jobs=args.jobs,
         chunk_size=args.chunk_size,
         checkpoint_path=args.checkpoint,
+        schemes=_parse_schemes(args.schemes),
     )
+
+
+def _format_schemes_table() -> str:
+    """Render the scheme registry as a text table."""
+    rows = [
+        (
+            spec.name,
+            spec.policy.value,
+            "yes" if spec.adapts_periods else "no",
+            "canonical" if spec.canonical else "variant",
+            ",".join(sorted(phase.value for phase in spec.phases)) or "-",
+            spec.description or "-",
+        )
+        for spec in REGISTRY
+    ]
+    headers = (
+        "scheme",
+        "policy",
+        "adapts periods",
+        "origin",
+        "shared phases",
+        "description",
+    )
+    widths = [
+        max(len(headers[column]), *(len(row[column]) for row in rows))
+        for column in range(len(headers))
+    ]
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths))
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
 
 
 def _progress_printer(progress: SweepProgress) -> None:
@@ -130,6 +206,17 @@ def _progress_printer(progress: SweepProgress) -> None:
 
 def _run_batch_sweep(args: argparse.Namespace) -> str:
     config = _batch_sweep_config(args)
+    # Figs. 6 and 7b are defined relative to HYDRA-C's adapted periods (and
+    # Fig. 7b's first series additionally compares against HYDRA); a sweep
+    # missing those schemes cannot render those tables.  Validate before
+    # the sweep runs, not after it has been paid for.
+    dropped = set()
+    for figure, required in _FIGURE_SCHEME_REQUIREMENTS.items():
+        if not missing_schemes(config.schemes, required):
+            continue
+        if args.report == figure:
+            require_schemes(config.schemes, required, figure)
+        dropped.add(figure)
     progress = None if args.quiet else _progress_printer
     result = run_sweep(config, progress=progress)
     sections = {
@@ -137,7 +224,11 @@ def _run_batch_sweep(args: argparse.Namespace) -> str:
         "fig7a": lambda: format_fig7a(compute_fig7a(result)),
         "fig7b": lambda: format_fig7b(compute_fig7b(result)),
     }
-    wanted = sections.keys() if args.report == "all" else (args.report,)
+    wanted = (
+        [name for name in sections if name not in dropped]
+        if args.report == "all"
+        else [args.report]
+    )
     return "\n\n".join(sections[name]() for name in wanted)
 
 
@@ -150,14 +241,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 num_trials=args.trials, horizon=args.horizon, seed=args.seed
             )
             print(format_fig5(result))
-        elif args.command == "fig6":
-            print(format_fig6(run_fig6(_sweep_config(args))))
+        elif args.command in ("fig6", "fig7b"):
+            config = _sweep_config(args)
+            require_schemes(
+                config.schemes,
+                _FIGURE_SCHEME_REQUIREMENTS[args.command],
+                args.command,
+            )
+            if args.command == "fig6":
+                print(format_fig6(run_fig6(config)))
+            else:
+                print(format_fig7b(run_fig7b(config)))
         elif args.command == "fig7a":
             print(format_fig7a(run_fig7a(_sweep_config(args))))
-        elif args.command == "fig7b":
-            print(format_fig7b(run_fig7b(_sweep_config(args))))
         elif args.command == "sweep":
             print(_run_batch_sweep(args))
+        elif args.command == "schemes":
+            print(_format_schemes_table())
         else:  # pragma: no cover - argparse enforces choices
             return 2
     except ReproError as exc:

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.generation.taskset_generator import TasksetGenerationConfig
+from repro.schemes import REGISTRY
 
 __all__ = ["TABLE3_PARAMETERS", "UTILIZATION_GROUPS", "ExperimentConfig"]
 
@@ -66,6 +67,11 @@ class ExperimentConfig:
         default) runs the sweep uncheckpointed.  Neither this nor
         ``chunk_size`` nor ``n_jobs`` affects the sweep's results -- only
         how the work is executed and persisted.
+    schemes:
+        Registered scheme names to evaluate, in reporting order (the sweep
+        columns).  ``None`` selects the paper's four canonical schemes.
+        Validated against :data:`repro.schemes.REGISTRY` and normalised to
+        a tuple, so it participates in the checkpoint fingerprint.
     """
 
     num_cores: int = 2
@@ -75,8 +81,13 @@ class ExperimentConfig:
     n_jobs: int = 1
     chunk_size: int = 25
     checkpoint_path: Optional[str] = None
+    schemes: Optional[Sequence[str]] = None
 
     def __post_init__(self) -> None:
+        resolved = REGISTRY.resolve(self.schemes)
+        object.__setattr__(
+            self, "schemes", tuple(spec.name for spec in resolved)
+        )
         if self.num_cores < 1:
             raise ConfigurationError("num_cores must be >= 1")
         if self.tasksets_per_group < 1:

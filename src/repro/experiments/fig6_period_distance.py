@@ -14,9 +14,13 @@ from typing import List, Optional
 
 from repro.analysis.metrics import normalized_period_distance
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.figure_requirements import require_schemes
 from repro.experiments.sweep import SweepResult, run_sweep
 
-__all__ = ["Fig6Result", "run_fig6", "format_fig6"]
+__all__ = ["Fig6Result", "run_fig6", "format_fig6", "REQUIRED_SCHEMES"]
+
+#: Schemes this figure's computation dereferences in every record.
+REQUIRED_SCHEMES = frozenset({"HYDRA-C"})
 
 
 @dataclass(frozen=True)
@@ -30,7 +34,14 @@ class Fig6Result:
 
 
 def compute_fig6(sweep: SweepResult) -> Fig6Result:
-    """Derive the Fig. 6 series from an existing sweep result."""
+    """Derive the Fig. 6 series from an existing sweep result.
+
+    The sweep must have evaluated HYDRA-C (the distances are between its
+    adapted periods and the maxima); anything else raises
+    :class:`~repro.errors.ConfigurationError` instead of silently
+    producing an all-NaN table.
+    """
+    require_schemes(sweep.config.schemes, REQUIRED_SCHEMES, "fig6")
     labels = sweep.config.group_labels()
     means: List[float] = []
     counts: List[int] = []

@@ -10,7 +10,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.sweep import SCHEME_NAMES, SweepResult, run_sweep
+from repro.experiments.sweep import SweepResult, run_sweep
 
 __all__ = ["Fig7aResult", "run_fig7a", "format_fig7a", "compute_fig7a"]
 
@@ -26,12 +26,18 @@ class Fig7aResult:
 
 
 def compute_fig7a(sweep: SweepResult) -> Fig7aResult:
-    """Derive the Fig. 7a curves from an existing sweep result."""
+    """Derive the Fig. 7a curves from an existing sweep result.
+
+    One acceptance curve per scheme the sweep evaluated (its config's
+    ``schemes`` selection), in the sweep's column order -- not a hard-coded
+    scheme list, so registered variants flow into the figure automatically.
+    """
     counts = [
         len(evaluations) for _index, evaluations in sorted(sweep.by_group().items())
     ]
     acceptance = {
-        scheme: sweep.acceptance_by_group(scheme) for scheme in SCHEME_NAMES
+        scheme: sweep.acceptance_by_group(scheme)
+        for scheme in sweep.config.schemes
     }
     return Fig7aResult(
         config=sweep.config,

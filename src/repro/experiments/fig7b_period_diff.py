@@ -16,9 +16,20 @@ from typing import List, Optional
 
 from repro.analysis.metrics import period_adaptation_gain
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.figure_requirements import require_schemes
 from repro.experiments.sweep import SweepResult, run_sweep
 
-__all__ = ["Fig7bResult", "run_fig7b", "format_fig7b", "compute_fig7b"]
+__all__ = [
+    "Fig7bResult",
+    "run_fig7b",
+    "format_fig7b",
+    "compute_fig7b",
+    "REQUIRED_SCHEMES",
+]
+
+#: Schemes this figure's computation dereferences: HYDRA-C's adapted
+#: periods in both series, HYDRA's in the first.
+REQUIRED_SCHEMES = frozenset({"HYDRA-C", "HYDRA"})
 
 
 @dataclass(frozen=True)
@@ -34,7 +45,13 @@ class Fig7bResult:
 
 
 def compute_fig7b(sweep: SweepResult) -> Fig7bResult:
-    """Derive the Fig. 7b series from an existing sweep result."""
+    """Derive the Fig. 7b series from an existing sweep result.
+
+    The sweep must have evaluated HYDRA-C and HYDRA; anything else raises
+    :class:`~repro.errors.ConfigurationError` instead of silently
+    producing NaN series.
+    """
+    require_schemes(sweep.config.schemes, REQUIRED_SCHEMES, "fig7b")
     labels = sweep.config.group_labels()
     gain_hydra: List[float] = []
     gain_none: List[float] = []

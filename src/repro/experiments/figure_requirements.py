@@ -1,0 +1,36 @@
+"""Scheme prerequisites of the figure computations.
+
+Figs. 6 and 7b dereference specific schemes in every sweep record
+(HYDRA-C's adapted periods; for Fig. 7b also HYDRA's).  Each figure module
+declares its ``REQUIRED_SCHEMES`` and enforces them through this one
+helper, which the CLI reuses to fail *before* a sweep has been paid for --
+one check, one error wording, however many layers surface it.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Sequence, Set
+
+from repro.errors import ConfigurationError
+
+__all__ = ["missing_schemes", "require_schemes"]
+
+
+def missing_schemes(
+    schemes: Sequence[str], required: AbstractSet[str]
+) -> Set[str]:
+    """Required schemes absent from a sweep's selection."""
+    return set(required) - set(schemes)
+
+
+def require_schemes(
+    schemes: Sequence[str], required: AbstractSet[str], figure: str
+) -> None:
+    """Raise a one-line :class:`~repro.errors.ConfigurationError` when the
+    selection cannot feed *figure*'s computation."""
+    missing = missing_schemes(schemes, required)
+    if missing:
+        raise ConfigurationError(
+            f"{figure} dereferences {', '.join(sorted(missing))}; include "
+            "them in the sweep's scheme selection (--schemes)"
+        )

@@ -10,7 +10,9 @@ evaluates task sets whose legacy RT system is schedulable, Section 5.2.1).
 
 The sweep is executed by the batch layer: a
 :class:`~repro.batch.service.BatchDesignService` evaluates each task set
-against all four schemes with shared per-partition caches, and a
+against the configured schemes (``config.schemes``; any selection from the
+:mod:`repro.schemes` registry, default the paper's four) with shared
+per-partition caches, and a
 :class:`~repro.batch.orchestrator.SweepOrchestrator` runs the slots in
 chunks -- serially or over ``n_jobs`` worker processes -- optionally
 checkpointing every chunk to a resumable JSONL store (set

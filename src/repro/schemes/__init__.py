@@ -1,0 +1,69 @@
+"""Pluggable scheme registry (see DESIGN.md, "The schemes layer").
+
+Every security-task integration scheme -- the paper's four and any variant
+-- is a named plugin in a :class:`~repro.schemes.registry.SchemeRegistry`.
+A plugin's :class:`~repro.schemes.registry.SchemeSpec` declares its
+metadata (scheduling policy, whether periods adapt) and the *shared phases*
+it consumes, so the batch pipeline computes shared per-task-set work
+capability-driven instead of via name-based special cases.  Downstream
+scheme lists (``SCHEME_NAMES``, the CLI's ``--schemes`` choices, sweep
+columns, checkpoint fingerprints) all derive from this registry.
+
+Registering a new scheme is one file::
+
+    from repro.schemes import REGISTRY, Phase, SchemeSpec
+
+    REGISTRY.register(SchemeSpec(
+        name="MY-SCHEME",
+        factory=lambda platform: MySchemePlugin(platform),
+        policy=SchedulingPolicy.PARTITIONED,
+        adapts_periods=True,
+        phases=frozenset({Phase.RT_PARTITION, Phase.EQ1_RT_CHECK}),
+    ))
+
+after which ``hydra-c sweep --schemes MY-SCHEME,...`` evaluates it
+end-to-end (generation, analysis, checkpointed sweep, simulation, security
+evaluation) with no other edits.
+
+Registration is per process: plugin factories are arbitrary callables, so
+specs cannot be shipped to sweep worker processes -- each worker resolves
+scheme names against its own registry.  With ``n_jobs > 1`` under a
+``spawn`` start method (macOS/Windows default), make sure the module that
+registers your scheme is imported on worker startup (e.g. register at
+import time in a package ``__init__`` the workers also import); under the
+POSIX ``fork`` default the parent's registrations are inherited.
+"""
+
+from repro.schemes.registry import (
+    REGISTRY,
+    Phase,
+    SchemePlugin,
+    SchemeRegistry,
+    SchemeSpec,
+    SharedPhases,
+)
+from repro.schemes import builtin as _builtin
+
+_builtin.register_builtin_schemes()
+
+from repro.schemes.builtin import (  # noqa: E402  (needs registration first)
+    GlobalTMaxPlugin,
+    HydraCPlugin,
+    HydraFamilyPlugin,
+    RepartitioningHydraCPlugin,
+)
+from repro.schemes.variants import RandomFitHydra  # noqa: E402
+
+__all__ = [
+    "REGISTRY",
+    "Phase",
+    "SchemePlugin",
+    "SchemeRegistry",
+    "SchemeSpec",
+    "SharedPhases",
+    "GlobalTMaxPlugin",
+    "HydraCPlugin",
+    "HydraFamilyPlugin",
+    "RepartitioningHydraCPlugin",
+    "RandomFitHydra",
+]

@@ -1,0 +1,274 @@
+"""The scheme registry: every integration scheme is a named plugin.
+
+The paper is a *design-space exploration* -- it compares security-task
+integration schemes across synthetic workloads.  Historically the four
+published schemes (HYDRA-C, HYDRA, GLOBAL-TMax, HYDRA-TMax) were hard-coded
+in five layers (framework, baselines, batch service, experiments, CLI);
+adding a fifth scheme meant editing all of them.  This module inverts that:
+a scheme registers once, as a :class:`SchemeSpec`, and every downstream
+consumer -- the batch service, the sweep orchestrator, the checkpoint
+fingerprint, the figure computations and the CLI -- derives its scheme list
+from the registry.
+
+A spec carries the metadata consumers need without instantiating anything
+(scheduling policy, whether periods adapt) plus the scheme's *capabilities*:
+the set of :class:`Phase` values naming the shared per-task-set work the
+scheme consumes.  :class:`~repro.batch.service.BatchDesignService` computes
+each phase of the union of the selected schemes' capabilities exactly once
+per task set and hands the results to every plugin as a
+:class:`SharedPhases` bundle -- capability-driven sharing instead of an
+if/else over scheme names.
+
+Shared phases
+-------------
+``RT_PARTITION``
+    The scheme integrates on top of the sweep's legacy RT allocation
+    (``SharedPhases.rt_allocation``).  Schemes without this capability
+    either ignore the partition (GLOBAL-TMax) or derive their own
+    (the re-partitioning HYDRA-C variants).
+``EQ1_RT_CHECK``
+    The scheme needs the Eq. 1 response-time analysis of the legacy
+    partition (``SharedPhases.rt_check``).  Implies ``RT_PARTITION``.
+``MAXPERIOD_SECURITY_ALLOCATION``
+    The scheme consumes the greedy best-fit security allocation computed at
+    the maximum periods (``SharedPhases.security_allocation``; identical
+    for HYDRA and HYDRA-TMax, see
+    :class:`repro.baselines.hydra.SecurityAllocation`).  Implies
+    ``EQ1_RT_CHECK``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.baselines.hydra import SecurityAllocation
+from repro.core.framework import SchedulingPolicy, SystemDesign
+from repro.errors import ConfigurationError
+from repro.model.platform import Platform
+from repro.model.tasks import RealTimeTask
+from repro.model.taskset import TaskSet
+from repro.partitioning.allocation import Allocation
+from repro.schedulability.partitioned import PartitionedAnalysisResult
+
+__all__ = [
+    "Phase",
+    "SharedPhases",
+    "SchemePlugin",
+    "SchemeSpec",
+    "SchemeRegistry",
+    "REGISTRY",
+]
+
+
+class Phase(str, enum.Enum):
+    """Shared per-task-set work a scheme may consume (see module docstring)."""
+
+    RT_PARTITION = "rt_partition"
+    EQ1_RT_CHECK = "eq1_rt_check"
+    MAXPERIOD_SECURITY_ALLOCATION = "maxperiod_security_allocation"
+
+
+#: A phase may only be consumed together with the phases it builds on.
+_PHASE_PREREQUISITES: Dict[Phase, FrozenSet[Phase]] = {
+    Phase.RT_PARTITION: frozenset(),
+    Phase.EQ1_RT_CHECK: frozenset({Phase.RT_PARTITION}),
+    Phase.MAXPERIOD_SECURITY_ALLOCATION: frozenset(
+        {Phase.RT_PARTITION, Phase.EQ1_RT_CHECK}
+    ),
+}
+
+
+@dataclass(frozen=True)
+class SharedPhases:
+    """Precomputed shared-phase results for one task set.
+
+    Every field is optional: the batch service only materialises the phases
+    some selected scheme declared, and the security allocation additionally
+    requires the Eq. 1 check to pass.  Plugins must therefore fall back to
+    computing a phase themselves when its field is ``None`` (the underlying
+    scheme implementations already do: their ``design`` methods accept the
+    precomputed artefacts as optional keyword arguments).
+    """
+
+    rt_allocation: Optional[Allocation] = None
+    rt_check: Optional[PartitionedAnalysisResult] = None
+    rt_by_core: Optional[Mapping[int, Sequence[RealTimeTask]]] = None
+    security_allocation: Optional[SecurityAllocation] = None
+
+    def rt_mapping(self) -> Optional[Mapping[str, int]]:
+        """The legacy RT task -> core mapping, when a partition is shared."""
+        return None if self.rt_allocation is None else self.rt_allocation.mapping
+
+
+class SchemePlugin:
+    """Interface every registered scheme implements.
+
+    A plugin is constructed per platform (via :attr:`SchemeSpec.factory`)
+    and turns one task set plus the shared-phase bundle into a
+    :class:`~repro.core.framework.SystemDesign`.  Raising
+    :class:`~repro.errors.UnschedulableError` or
+    :class:`~repro.errors.AllocationError` marks the task set as rejected
+    by the scheme (the batch service records it as unschedulable).
+    """
+
+    def design(self, taskset: TaskSet, shared: SharedPhases) -> SystemDesign:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """Registration record of one integration scheme.
+
+    Attributes
+    ----------
+    name:
+        Unique scheme identifier; keys every result record, sweep column,
+        checkpoint fingerprint and CLI selection.
+    factory:
+        Builds the scheme's plugin for a platform.
+    policy:
+        Runtime scheduling policy of the security tasks (drives the
+        simulator's core-binding rules).
+    adapts_periods:
+        Whether the scheme minimises security periods (``False`` for the
+        TMax family, whose periods stay at the designer maxima).
+    phases:
+        Shared phases the scheme consumes; the batch service computes the
+        union over the selected schemes once per task set.
+    canonical:
+        True for the paper's four schemes; ``canonical_names()`` (hence
+        ``SCHEME_NAMES``, the default sweep columns and the golden figure
+        pins) is derived from this flag in registration order.
+    description:
+        One-line summary shown by ``hydra-c schemes``.
+    """
+
+    name: str
+    factory: Callable[[Platform], SchemePlugin]
+    policy: SchedulingPolicy
+    adapts_periods: bool
+    phases: FrozenSet[Phase] = frozenset()
+    canonical: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or self.name != self.name.strip():
+            raise ConfigurationError(
+                f"scheme name {self.name!r} must be non-empty with no "
+                "surrounding whitespace"
+            )
+        if "," in self.name:
+            # "," is the CLI's --schemes list separator; a name containing
+            # it would be permanently unselectable from the command line.
+            raise ConfigurationError(
+                f"scheme name {self.name!r} must not contain ','"
+            )
+        for phase in self.phases:
+            missing = _PHASE_PREREQUISITES[phase] - self.phases
+            if missing:
+                raise ConfigurationError(
+                    f"scheme {self.name!r} declares phase {phase.value!r} "
+                    f"without its prerequisite(s) "
+                    f"{sorted(p.value for p in missing)}"
+                )
+
+
+class SchemeRegistry:
+    """Ordered name -> :class:`SchemeSpec` mapping with validation."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, SchemeSpec] = {}
+
+    # -- registration ----------------------------------------------------------
+
+    def register(self, spec: SchemeSpec) -> SchemeSpec:
+        """Add *spec*; duplicate names are an error (no silent override)."""
+        if spec.name in self._specs:
+            raise ConfigurationError(
+                f"scheme {spec.name!r} is already registered"
+            )
+        self._specs[spec.name] = spec
+        return spec
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get(self, name: str) -> SchemeSpec:
+        spec = self._specs.get(name)
+        if spec is None:
+            raise ConfigurationError(
+                f"unknown scheme {name!r}; registered schemes: "
+                f"{', '.join(self.names())}"
+            )
+        return spec
+
+    def names(self) -> Tuple[str, ...]:
+        """All registered scheme names, in registration order."""
+        return tuple(self._specs)
+
+    def canonical_names(self) -> Tuple[str, ...]:
+        """The paper's schemes, in registration (= paper legend) order."""
+        return tuple(
+            name for name, spec in self._specs.items() if spec.canonical
+        )
+
+    def resolve(
+        self, names: Optional[Sequence[str]] = None
+    ) -> Tuple[SchemeSpec, ...]:
+        """Validate a scheme selection and return its specs in given order.
+
+        ``None`` selects the canonical schemes.  Unknown or repeated names
+        raise :class:`~repro.errors.ConfigurationError` with a one-line
+        message (surfaced verbatim by the CLI).
+        """
+        if names is None:
+            names = self.canonical_names()
+        if isinstance(names, str):
+            # A bare string iterates character by character and would
+            # produce a baffling "unknown scheme 'H'" error.
+            raise ConfigurationError(
+                f"scheme selection must be a sequence of names, got the "
+                f"string {names!r} (did you mean [{names!r}]?)"
+            )
+        if not names:
+            raise ConfigurationError("scheme selection must not be empty")
+        seen = set()
+        specs = []
+        for name in names:
+            if name in seen:
+                raise ConfigurationError(
+                    f"scheme {name!r} selected more than once"
+                )
+            seen.add(name)
+            specs.append(self.get(name))
+        return tuple(specs)
+
+    def create(self, name: str, platform: Platform) -> SchemePlugin:
+        """Instantiate the plugin of scheme *name* for *platform*."""
+        return self.get(name).factory(platform)
+
+    # -- container protocol ----------------------------------------------------
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[SchemeSpec]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+#: The process-wide default registry.  The built-in schemes and variants are
+#: registered on import of :mod:`repro.schemes`.
+REGISTRY = SchemeRegistry()

@@ -1,0 +1,128 @@
+"""Scheme variants that exist because the registry makes them cheap.
+
+The paper evaluates exactly four schemes; the registry opens the design
+space around them.  This module holds the variant *implementations* that
+are not a pure re-parameterisation of an existing class:
+
+* :class:`RandomFitHydra` -- HYDRA's pipeline (fully partitioned security
+  tasks, per-core period minimisation) with the greedy *best-fit* core
+  choice replaced by a deterministic pseudo-random pick among the feasible
+  cores.  It lower-bounds what the allocation heuristic contributes:
+  whatever acceptance/period quality HYDRA has beyond HYDRA-RF is earned by
+  best-fit packing, not by the rest of the pipeline.  Both policies choose
+  from the same feasibility predicate
+  (:func:`repro.baselines.hydra.feasible_cores_for_security_task`), so the
+  comparison isolates exactly the packing rule.
+
+The re-parameterised HYDRA-C variants (first-fit / worst-fit RT
+partitioning, forced-greedy carry-in) need no code here -- their specs in
+:mod:`repro.schemes.builtin` simply construct
+:class:`~repro.core.framework.HydraC` with different knobs.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.baselines.hydra import (
+    Hydra,
+    PeriodPolicy,
+    SecurityAllocation,
+    feasible_cores_for_security_task,
+)
+from repro.errors import ConfigurationError
+from repro.model.platform import Platform
+from repro.model.tasks import RealTimeTask, SecurityTask
+from repro.model.taskset import TaskSet
+from repro.partitioning.heuristics import FitStrategy
+
+__all__ = ["RandomFitHydra"]
+
+
+class RandomFitHydra(Hydra):
+    """HYDRA with a deterministic random-fit allocation (lower bound).
+
+    The pick must be reproducible across processes and sweep resumes, so
+    "random" is a CRC32 hash of the task name and a fixed salt -- no global
+    RNG state, same choice for the same task set everywhere.
+    """
+
+    scheme_name = "HYDRA-RF"
+
+    #: Salt so the pick is not correlated with any other name-keyed hash.
+    _HASH_SALT = b"hydra-rf/"
+
+    @classmethod
+    def _taskset_salt(cls, taskset: TaskSet) -> bytes:
+        """Per-task-set contribution to the pick.
+
+        The generator names security tasks identically (``sec0``,
+        ``sec1``, ...) in every task set, so hashing the task name alone
+        would freeze the pick per task *index* across an entire sweep --
+        a fixed allocation rule, not a random-fit sample.  Folding the
+        task set's security parameters into the hash varies the pick per
+        task set while staying a pure function of the task set (hence
+        reproducible across processes and sweep resumes).
+        """
+        parts = [
+            f"{task.name}:{task.wcet}:{task.max_period}"
+            for task in taskset.security_by_priority()
+        ]
+        return zlib.crc32(";".join(parts).encode("utf-8")).to_bytes(4, "big")
+
+    def __init__(
+        self,
+        platform: Platform,
+        rt_partition_strategy: FitStrategy = FitStrategy.BEST_FIT,
+        period_policy: PeriodPolicy = PeriodPolicy.CORE_AWARE,
+    ) -> None:
+        # The override below always occupies cores at the maximum periods,
+        # which is wrong for the literal-greedy policy (it occupies at the
+        # response time and flags the allocation ``greedy``).
+        if period_policy is PeriodPolicy.GREEDY_MIN:
+            raise ConfigurationError(
+                "RandomFitHydra does not support the GREEDY_MIN period "
+                "policy; its allocation assumes max-period occupancy"
+            )
+        super().__init__(
+            platform,
+            rt_partition_strategy=rt_partition_strategy,
+            period_policy=period_policy,
+        )
+
+    def allocate_security(
+        self,
+        taskset: TaskSet,
+        rt_by_core: Mapping[int, Sequence[RealTimeTask]],
+    ) -> SecurityAllocation:
+        """Place each task on a pseudo-randomly chosen feasible core."""
+        security_by_core: Dict[int, List[Tuple[SecurityTask, int]]] = {
+            core.index: [] for core in self._platform.cores
+        }
+        mapping: Dict[str, int] = {}
+        responses: Dict[str, Optional[int]] = {}
+        taskset_salt = self._taskset_salt(taskset)
+
+        for task in taskset.security_by_priority():
+            feasible = feasible_cores_for_security_task(
+                task, rt_by_core, security_by_core, self._platform.num_cores
+            )
+            if not feasible:
+                responses[task.name] = None
+                return SecurityAllocation(
+                    mapping=mapping,
+                    response_times=responses,
+                    failed_task=task.name,
+                )
+            digest = zlib.crc32(
+                self._HASH_SALT + taskset_salt + task.name.encode("utf-8")
+            )
+            core_index, response, _utilization = feasible[digest % len(feasible)]
+            mapping[task.name] = core_index
+            responses[task.name] = response
+            # Like every non-greedy policy, occupy the core at the maximum
+            # period until the per-core minimisation pass.
+            security_by_core[core_index].append((task, task.max_period))
+
+        return SecurityAllocation(mapping=mapping, response_times=responses)

@@ -10,6 +10,7 @@ or against the unshared per-scheme entry points.
 import pytest
 
 from repro.baselines.hydra import Hydra, PeriodPolicy
+from repro.baselines.hydra_tmax import HydraTMax
 from repro.batch.orchestrator import build_specs
 from repro.batch.reference import reference_evaluate_one
 from repro.batch.results import SCHEME_NAMES, TasksetEvaluation
@@ -86,8 +87,8 @@ class TestSharedAllocation:
         for scheme_name in ("HYDRA", "HYDRA-TMax"):
             shared = designs[scheme_name]
             unshared = {
-                "HYDRA": service._hydra,
-                "HYDRA-TMax": service._hydra_tmax,
+                "HYDRA": Hydra(service.platform),
+                "HYDRA-TMax": HydraTMax(service.platform),
             }[scheme_name].design(taskset, allocation.mapping)
             assert shared.schedulable == unshared.schedulable
             assert shared.security_periods() == unshared.security_periods()
@@ -107,7 +108,7 @@ class TestSharedAllocation:
         greedy_allocation = greedy.allocate_security(taskset, rt_by_core)
         assert greedy_allocation.greedy
         with pytest.raises(ConfigurationError):
-            service._hydra.design(
+            Hydra(service.platform).design(
                 taskset,
                 allocation.mapping,
                 security_allocation=greedy_allocation,

@@ -157,8 +157,43 @@ class TestConfigFingerprint:
             {"tasksets_per_group": 9},
             {"seed": 8},
             {"utilization_groups": ((0.1, 0.2),)},
+            {"schemes": ("HYDRA-C", "GLOBAL-TMax")},
         ):
             import dataclasses
 
             other = dataclasses.replace(config, **tweak)
             assert config_fingerprint(other) != config_fingerprint(config)
+
+    def test_legacy_header_without_schemes_resumes_as_canonical(
+        self, tmp_path, config
+    ):
+        """Checkpoints written before the scheme registry carry no scheme
+        list; they were always the canonical four and must keep resuming."""
+        import dataclasses
+        import json
+
+        path = tmp_path / "legacy.jsonl"
+        JsonlResultStore(path, config).load()
+        header = json.loads(path.read_text().splitlines()[0])
+        del header["config"]["schemes"]
+        path.write_text(json.dumps(header, separators=(",", ":")) + "\n")
+
+        assert JsonlResultStore(path, config).load() == {}
+        variant = dataclasses.replace(config, schemes=("HYDRA-C", "HYDRA-RF"))
+        with pytest.raises(ConfigurationError, match="different sweep"):
+            JsonlResultStore(path, variant).load()
+
+    def test_resume_with_different_scheme_selection_rejected(
+        self, tmp_path, config
+    ):
+        """Each stored record holds one column per scheme, so silently
+        mixing rows from different ``--schemes`` runs must be impossible."""
+        import dataclasses
+
+        path = tmp_path / "sweep.jsonl"
+        JsonlResultStore(path, config).load()
+        reordered = dataclasses.replace(
+            config, schemes=tuple(reversed(config.schemes))
+        )
+        with pytest.raises(ConfigurationError, match="different sweep"):
+            JsonlResultStore(path, reordered).load()

@@ -58,6 +58,54 @@ class TestSweep:
         assert all(0.0 <= r <= 1.0 for r in ratios)
 
 
+class TestSchemeSelection:
+    """A registered variant selection flows through sweep and figures."""
+
+    VARIANT_SCHEMES = ("HYDRA-C", "HYDRA-RF", "HYDRA-C-GC")
+
+    @pytest.fixture(scope="class")
+    def variant_sweep(self):
+        config = ExperimentConfig(
+            num_cores=2,
+            tasksets_per_group=1,
+            utilization_groups=((0.05, 0.15), (0.35, 0.45), (0.65, 0.75)),
+            seed=123,
+            schemes=self.VARIANT_SCHEMES,
+        )
+        return run_sweep(config)
+
+    def test_columns_match_the_selection_in_order(self, variant_sweep):
+        for evaluation in variant_sweep.evaluations:
+            assert tuple(evaluation.schedulable) == self.VARIANT_SCHEMES
+            assert tuple(evaluation.periods) == self.VARIANT_SCHEMES
+
+    def test_fig7a_curves_derive_from_the_selection(self, variant_sweep):
+        result = compute_fig7a(variant_sweep)
+        assert tuple(result.acceptance) == self.VARIANT_SCHEMES
+        text = format_fig7a(result)
+        assert "HYDRA-RF" in text and "HYDRA-C-GC" in text
+
+    def test_hydra_c_relative_figures_reject_missing_schemes(
+        self, variant_sweep
+    ):
+        """compute_fig6/7b dereference HYDRA-C (and HYDRA); a sweep without
+        them must raise instead of rendering all-NaN tables."""
+        from repro.errors import ConfigurationError
+
+        # The variant sweep has HYDRA-C but no HYDRA -> fig6 ok, fig7b not.
+        compute_fig6(variant_sweep)
+        with pytest.raises(ConfigurationError, match="HYDRA"):
+            compute_fig7b(variant_sweep)
+
+    def test_parallel_variant_sweep_is_deterministic(self, variant_sweep):
+        import dataclasses
+
+        parallel = run_sweep(
+            dataclasses.replace(variant_sweep.config, n_jobs=2)
+        )
+        assert tuple(parallel.evaluations) == tuple(variant_sweep.evaluations)
+
+
 class TestFigureComputations:
     def test_fig6_distances_bounded_and_decreasing_overall(self, small_sweep):
         result = compute_fig6(small_sweep)

@@ -1,0 +1,138 @@
+"""Unit tests for the scheme registry and its derived single sources of truth."""
+
+import pytest
+
+from repro.batch.results import SCHEME_NAMES
+from repro.batch.service import BatchDesignService
+from repro.core.framework import SchedulingPolicy
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.model.platform import Platform
+from repro.schemes import (
+    REGISTRY,
+    Phase,
+    SchemePlugin,
+    SchemeRegistry,
+    SchemeSpec,
+)
+
+CANONICAL = ("HYDRA-C", "HYDRA", "GLOBAL-TMax", "HYDRA-TMax")
+
+
+def _spec(name="TEST-SCHEME", **overrides):
+    defaults = dict(
+        name=name,
+        factory=lambda platform: SchemePlugin(),
+        policy=SchedulingPolicy.PARTITIONED,
+        adapts_periods=True,
+        phases=frozenset(),
+    )
+    defaults.update(overrides)
+    return SchemeSpec(**defaults)
+
+
+class TestGlobalRegistry:
+    def test_canonical_names_are_the_papers_four_in_legend_order(self):
+        assert REGISTRY.canonical_names() == CANONICAL
+
+    def test_scheme_names_constant_derives_from_the_registry(self):
+        assert SCHEME_NAMES == REGISTRY.canonical_names()
+
+    def test_variants_are_registered(self):
+        for name in ("HYDRA-C-FF", "HYDRA-C-WF", "HYDRA-C-GC", "HYDRA-RF"):
+            assert name in REGISTRY
+            assert not REGISTRY.get(name).canonical
+
+    def test_every_spec_carries_consistent_metadata(self):
+        for spec in REGISTRY:
+            assert isinstance(spec.policy, SchedulingPolicy)
+            assert isinstance(spec.adapts_periods, bool)
+            for phase in spec.phases:
+                assert isinstance(phase, Phase)
+
+    def test_create_builds_a_plugin_per_platform(self):
+        plugin = REGISTRY.create("HYDRA-C", Platform.dual_core())
+        assert hasattr(plugin, "design")
+
+
+class TestRegistryBehaviour:
+    def test_registration_order_is_preserved(self):
+        registry = SchemeRegistry()
+        for name in ("B", "A", "C"):
+            registry.register(_spec(name))
+        assert registry.names() == ("B", "A", "C")
+
+    def test_duplicate_name_rejected(self):
+        registry = SchemeRegistry()
+        registry.register(_spec())
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.register(_spec())
+
+    def test_unknown_lookup_is_a_clean_one_line_error(self):
+        registry = SchemeRegistry()
+        registry.register(_spec("ONLY"))
+        with pytest.raises(ConfigurationError) as excinfo:
+            registry.get("NOPE")
+        message = str(excinfo.value)
+        assert "NOPE" in message and "ONLY" in message
+        assert "\n" not in message
+
+    def test_resolve_defaults_to_canonical(self):
+        specs = REGISTRY.resolve(None)
+        assert tuple(spec.name for spec in specs) == CANONICAL
+
+    def test_resolve_preserves_selection_order(self):
+        specs = REGISTRY.resolve(("GLOBAL-TMax", "HYDRA-C"))
+        assert tuple(spec.name for spec in specs) == ("GLOBAL-TMax", "HYDRA-C")
+
+    def test_resolve_rejects_duplicates_and_empty_selection(self):
+        with pytest.raises(ConfigurationError, match="more than once"):
+            REGISTRY.resolve(("HYDRA", "HYDRA"))
+        with pytest.raises(ConfigurationError, match="empty"):
+            REGISTRY.resolve(())
+
+    def test_resolve_rejects_a_bare_string(self):
+        """A string is a Sequence[str]; without a guard it would iterate
+        character by character into "unknown scheme 'H'"."""
+        with pytest.raises(ConfigurationError, match="sequence of names"):
+            REGISTRY.resolve("HYDRA-C")
+        with pytest.raises(ConfigurationError, match="sequence of names"):
+            ExperimentConfig(schemes="HYDRA-C")
+
+    def test_phase_prerequisites_enforced_at_spec_construction(self):
+        with pytest.raises(ConfigurationError, match="prerequisite"):
+            _spec(phases=frozenset({Phase.MAXPERIOD_SECURITY_ALLOCATION}))
+        with pytest.raises(ConfigurationError, match="prerequisite"):
+            _spec(phases=frozenset({Phase.EQ1_RT_CHECK}))
+
+    def test_blank_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _spec("")
+        with pytest.raises(ConfigurationError):
+            _spec(" padded ")
+
+    def test_name_with_cli_separator_rejected(self):
+        """',' is the --schemes separator; such a name could never be
+        selected from the command line."""
+        with pytest.raises(ConfigurationError, match="','"):
+            _spec("MY,SCHEME")
+
+
+class TestDerivedConsumers:
+    def test_service_scheme_names_follow_selection_order(self):
+        service = BatchDesignService(
+            2, scheme_names=("HYDRA-RF", "GLOBAL-TMax")
+        )
+        assert service.scheme_names == ("HYDRA-RF", "GLOBAL-TMax")
+
+    def test_service_rejects_unknown_scheme(self):
+        with pytest.raises(ConfigurationError, match="NOT-A-SCHEME"):
+            BatchDesignService(2, scheme_names=("HYDRA-C", "NOT-A-SCHEME"))
+
+    def test_experiment_config_normalises_and_validates_schemes(self):
+        config = ExperimentConfig(schemes=["HYDRA-C", "HYDRA-RF"])
+        assert config.schemes == ("HYDRA-C", "HYDRA-RF")
+        default = ExperimentConfig()
+        assert default.schemes == CANONICAL
+        with pytest.raises(ConfigurationError, match="NOT-A-SCHEME"):
+            ExperimentConfig(schemes=("NOT-A-SCHEME",))

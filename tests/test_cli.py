@@ -54,6 +54,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--report", "fig5"])
 
+    def test_schemes_option_default_and_parse(self):
+        assert build_parser().parse_args(["sweep"]).schemes is None
+        args = build_parser().parse_args(
+            ["sweep", "--schemes", "HYDRA-C,HYDRA-RF"]
+        )
+        assert args.schemes == "HYDRA-C,HYDRA-RF"
+
+    def test_schemes_subcommand_parses(self):
+        assert build_parser().parse_args(["schemes"]).command == "schemes"
+
 
 class TestMain:
     def test_fig5_small_run(self, capsys):
@@ -99,6 +109,114 @@ class TestMain:
         assert "Fig. 7a" in captured.out
         assert "Fig. 6" not in captured.out
         assert captured.err == ""
+
+    def test_schemes_listing(self, capsys):
+        from repro.schemes import REGISTRY
+
+        assert main(["schemes"]) == 0
+        output = capsys.readouterr().out
+        for name in REGISTRY.names():
+            assert name in output
+
+    def test_sweep_with_variant_schemes(self, capsys):
+        exit_code = main(
+            [
+                "sweep",
+                "--tasksets-per-group",
+                "1",
+                "--seed",
+                "5",
+                "--schemes",
+                "HYDRA-RF,GLOBAL-TMax",
+                "--report",
+                "fig7a",
+                "--quiet",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "HYDRA-RF" in output and "GLOBAL-TMax" in output
+
+    def test_sweep_without_hydra_c_drops_hydra_c_figures(self, capsys):
+        exit_code = main(
+            [
+                "sweep",
+                "--tasksets-per-group",
+                "1",
+                "--seed",
+                "5",
+                "--schemes",
+                "GLOBAL-TMax",
+                "--quiet",
+            ]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "Fig. 7a" in captured.out
+        assert "Fig. 6" not in captured.out
+        assert "Fig. 7b" not in captured.out
+
+    def test_unknown_scheme_is_a_clean_one_line_error(self, capsys):
+        exit_code = main(
+            ["sweep", "--tasksets-per-group", "1", "--schemes", "NOT-A-SCHEME"]
+        )
+        assert exit_code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "NOT-A-SCHEME" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_fig6_requires_hydra_c_in_schemes(self, capsys):
+        exit_code = main(
+            [
+                "fig6",
+                "--tasksets-per-group",
+                "1",
+                "--schemes",
+                "GLOBAL-TMax",
+            ]
+        )
+        assert exit_code == 2
+        captured = capsys.readouterr()
+        assert "HYDRA-C" in captured.err
+
+    def test_fig7b_requires_hydra_too(self, capsys):
+        """Fig. 7b's first series compares HYDRA-C against HYDRA, so a
+        selection without HYDRA must fail fast instead of printing NaNs."""
+        exit_code = main(
+            [
+                "sweep",
+                "--tasksets-per-group",
+                "1",
+                "--schemes",
+                "HYDRA-C,GLOBAL-TMax",
+                "--report",
+                "fig7b",
+                "--quiet",
+            ]
+        )
+        assert exit_code == 2
+        captured = capsys.readouterr()
+        assert "HYDRA" in captured.err
+        # report=all with the same selection drops fig7b but keeps fig6.
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--tasksets-per-group",
+                    "1",
+                    "--seed",
+                    "5",
+                    "--schemes",
+                    "HYDRA-C,GLOBAL-TMax",
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "Fig. 6" in output and "Fig. 7a" in output
+        assert "Fig. 7b" not in output
 
     def test_sweep_mismatched_checkpoint_is_a_clean_error(self, capsys, tmp_path):
         checkpoint = tmp_path / "cli.jsonl"
