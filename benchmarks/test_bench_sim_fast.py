@@ -1,0 +1,85 @@
+"""Benchmark: the event-compressed simulation backend vs. the tick oracle.
+
+The ISSUE-3 performance gate: on the rover observation window (45 000
+ticks, the Fig. 5 horizon), :class:`repro.sim.fast.EventCompressedSimulator`
+must simulate the HYDRA-C and HYDRA designs at least 5x faster than the
+frozen tick engine while producing *bit-identical* traces.  In practice the
+compression is two orders of magnitude (a few hundred scheduling events
+instead of 45 000 scheduler rounds); the 5x bar keeps the gate robust on
+noisy shared runners.
+"""
+
+import time
+
+import pytest
+
+from repro.campaign import CampaignSpec, JitterModel, format_campaign, run_campaign
+from repro.rover.case_study import ROVER_HORIZON_TICKS, RoverCaseStudy
+from repro.sim import EventCompressedSimulator, SimulationConfig, Simulator
+
+
+def test_bench_fast_backend_speedup(benchmark):
+    study = RoverCaseStudy()
+    designs = [study.hydra_c_design(), study.hydra_design()]
+    config = SimulationConfig(horizon=ROVER_HORIZON_TICKS)
+    timings = {}
+
+    def run_fast():
+        start = time.perf_counter()
+        traces = [
+            EventCompressedSimulator.from_design(design, config).run()
+            for design in designs
+        ]
+        timings["fast"] = time.perf_counter() - start
+        return traces
+
+    fast_traces = benchmark.pedantic(run_fast, rounds=1, iterations=1)
+
+    start = time.perf_counter()
+    tick_traces = [
+        Simulator.from_design(design, config).run() for design in designs
+    ]
+    timings["tick"] = time.perf_counter() - start
+
+    # Cross-validation on the benchmark workload itself: the fast backend
+    # must be an exact reimplementation, not an approximation.
+    assert fast_traces == tick_traces
+
+    speedup = timings["tick"] / timings["fast"]
+    benchmark.extra_info["tick_seconds"] = round(timings["tick"], 3)
+    benchmark.extra_info["fast_seconds"] = round(timings["fast"], 4)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    assert speedup >= 5.0, (
+        f"event-compressed backend only {speedup:.2f}x faster than the tick "
+        f"engine ({timings['fast']:.3f}s vs {timings['tick']:.3f}s)"
+    )
+
+
+def test_bench_campaign_throughput(benchmark):
+    """One paper-scale Fig. 5 campaign (35 trials, canonical schemes) on the
+    fast backend.
+
+    Prints the aggregate table but deliberately does *not* persist it to
+    ``figures_output.txt``: this module is part of the blocking
+    ``scripts/ci.sh bench`` gate, which must not rewrite the committed
+    figure artifact (the campaign's own pin is
+    ``benchmarks/campaign_golden.txt``).
+    """
+    spec = CampaignSpec(
+        num_trials=35,
+        horizon=ROVER_HORIZON_TICKS,
+        seed=2020,
+        jitter=JitterModel.uniform(250),
+        backend="fast",
+    )
+
+    result = benchmark.pedantic(
+        lambda: run_campaign(spec), rounds=1, iterations=1
+    )
+
+    print()
+    print(format_campaign(result))
+    # Fig. 5a direction: HYDRA-C detects intrusions faster than HYDRA.
+    speedup = result.detection_speedup("HYDRA-C", "HYDRA")
+    assert speedup > 0.0
+    benchmark.extra_info["detection_speedup"] = round(speedup, 3)

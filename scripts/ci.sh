@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
 # Continuous-integration entry point.
 #
-# Usage: scripts/ci.sh [tier1|bench|all]   (default: all)
+# Usage: scripts/ci.sh [tier1|smoke|bench|all]   (default: all)
 #
-# Two gates:
+# Three gates:
 #   tier1 -- the fast tier-1 suite (unit/property/integration, benchmarks
 #            excluded).  Deterministic; always blocking.
-#   bench -- the batch-service speedup gate (the batched pipeline must stay
-#            >= 2x faster than the frozen seed path in
-#            repro/batch/reference.py).  Wall-clock based, so on shared CI
-#            runners it is run as a separate, non-blocking workflow step;
-#            locally it is a hard gate.
+#   smoke -- the campaign smoke run: a tiny Monte Carlo attack campaign
+#            executed under BOTH simulation backends (event-compressed and
+#            tick oracle); their aggregate reports must match byte for
+#            byte.  Deterministic; always blocking.
+#   bench -- the speedup gates: the batched pipeline must stay >= 2x
+#            faster than the frozen seed path (repro/batch/reference.py)
+#            and the event-compressed simulation backend >= 5x faster than
+#            the tick engine on the rover horizon.  Wall-clock based, so on
+#            shared CI runners they run as a separate, non-blocking
+#            workflow step; locally they are a hard gate.
 #
 # The remaining benchmarks (full figure regenerations) are not run here --
 # they are the local `pytest benchmarks` workflow and rewrite
@@ -22,9 +27,9 @@ export PYTHONPATH="src${PYTHONPATH:+:${PYTHONPATH}}"
 
 stage="${1:-all}"
 case "$stage" in
-    tier1|bench|all) ;;
+    tier1|smoke|bench|all) ;;
     *)
-        echo "usage: $0 [tier1|bench|all]" >&2
+        echo "usage: $0 [tier1|smoke|bench|all]" >&2
         exit 64
         ;;
 esac
@@ -34,7 +39,22 @@ if [[ "$stage" == "tier1" || "$stage" == "all" ]]; then
     python -m pytest -x -q -m "not bench"
 fi
 
+if [[ "$stage" == "smoke" || "$stage" == "all" ]]; then
+    echo "== campaign smoke: tiny campaign under both simulation backends =="
+    campaign_args=(--trials 2 --horizon 9000 --schemes HYDRA-C,HYDRA
+                   --jitter 50 --quiet)
+    fast_report=$(python -m repro campaign "${campaign_args[@]}" --backend fast)
+    tick_report=$(python -m repro campaign "${campaign_args[@]}" --backend tick)
+    if [[ "$fast_report" != "$tick_report" ]]; then
+        echo "campaign smoke FAILED: fast and tick backends disagree" >&2
+        diff <(printf '%s\n' "$fast_report") <(printf '%s\n' "$tick_report") >&2 || true
+        exit 1
+    fi
+    printf '%s\n' "$fast_report"
+fi
+
 if [[ "$stage" == "bench" || "$stage" == "all" ]]; then
-    echo "== bench gate: batch-service speedup over the frozen seed path =="
-    python -m pytest -x -q benchmarks/test_bench_batch_service.py
+    echo "== bench gates: batch-service and fast-simulation speedups =="
+    python -m pytest -x -q benchmarks/test_bench_batch_service.py \
+        benchmarks/test_bench_sim_fast.py
 fi

@@ -27,8 +27,19 @@ go through the batch layer instead of calling schemes one by one::
         ExperimentConfig(num_cores=2, checkpoint_path="sweep.jsonl")
     )
 
+Monte Carlo security evaluations (the Fig. 5 rover trial at scale) go
+through the campaign layer, which runs on the event-compressed simulation
+backend::
+
+    from repro import CampaignSpec, run_campaign
+
+    result = run_campaign(
+        CampaignSpec(num_trials=500, checkpoint_path="campaign.jsonl")
+    )
+
 See DESIGN.md (repository root) for the system inventory including the
-batch layer, and EXPERIMENTS.md for the per-figure experiment index.
+batch, simulation and campaign layers, and EXPERIMENTS.md for the
+per-figure experiment index.
 """
 
 from repro.baselines import GlobalTMax, Hydra, HydraTMax
@@ -37,6 +48,12 @@ from repro.batch import (
     JsonlResultStore,
     SweepOrchestrator,
     run_batch_sweep,
+)
+from repro.campaign import (
+    CampaignResult,
+    CampaignSpec,
+    JitterModel,
+    run_campaign,
 )
 from repro.core import (
     CarryInStrategy,
@@ -70,7 +87,10 @@ __all__ = [
     "Allocation",
     "AllocationError",
     "BatchDesignService",
+    "CampaignResult",
+    "CampaignSpec",
     "CarryInStrategy",
+    "JitterModel",
     "ConfigurationError",
     "FitStrategy",
     "GlobalTMax",
@@ -99,6 +119,7 @@ __all__ = [
     "generate_taskset",
     "partition_rt_tasks",
     "run_batch_sweep",
+    "run_campaign",
     "select_periods",
     "__version__",
 ]

@@ -1,36 +1,26 @@
 """Resumable JSONL checkpoint store for sweep results.
 
-One line per completed sweep slot, written in job order, plus a header line
-that fingerprints the sweep configuration so a checkpoint can never be
-resumed against a different sweep.  The format is designed so that a killed
-and resumed sweep reproduces the uninterrupted checkpoint *byte for byte*:
-
-* lines are appended in job order and flushed to disk once per chunk;
-* ``json.dumps`` output is deterministic (insertion-ordered dicts, exact
-  float ``repr``, fixed separators);
-* a trailing partial line (the process died mid-write) is truncated away on
-  load before appending resumes.
-
-Slots whose task-set generation exhausted its retry budget are recorded as
-``null`` evaluations so a resumed run does not retry them.
+The checkpoint mechanics (fingerprint header, torn-write truncation,
+byte-for-byte resume) live in :class:`repro.storage.JsonlCheckpointStore`;
+this module binds them to the sweep: one ``result`` line per completed
+sweep slot, keyed by job index, with
+:class:`~repro.batch.results.TasksetEvaluation` payloads.  Slots whose
+task-set generation exhausted its retry budget are recorded as ``null``
+evaluations so a resumed run does not retry them.
 """
 
 from __future__ import annotations
 
-import json
-import os
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, Iterable, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
 
 from repro.batch.results import SCHEME_NAMES, TasksetEvaluation
-from repro.errors import ConfigurationError
+from repro.storage import JsonlCheckpointStore
 
 if TYPE_CHECKING:  # avoid a runtime cycle: experiments.sweep imports batch
     from repro.experiments.config import ExperimentConfig
 
 __all__ = ["JsonlResultStore", "config_fingerprint"]
-
-_FORMAT_VERSION = 1
 
 
 def config_fingerprint(config: "ExperimentConfig") -> Dict[str, object]:
@@ -54,162 +44,37 @@ def config_fingerprint(config: "ExperimentConfig") -> Dict[str, object]:
     }
 
 
-def _dump_line(payload: Dict[str, object]) -> str:
-    return json.dumps(payload, separators=(",", ":")) + "\n"
-
-
-class JsonlResultStore:
+class JsonlResultStore(JsonlCheckpointStore):
     """Append-only JSONL store of per-slot evaluations, keyed by job index."""
 
+    _fingerprint_field = "config"
+    _noun = "sweep"
+
     def __init__(self, path: Union[str, Path], config: "ExperimentConfig") -> None:
-        self._path = Path(path)
-        self._fingerprint = config_fingerprint(config)
+        super().__init__(path, config_fingerprint(config))
 
-    @property
-    def path(self) -> Path:
-        return self._path
-
-    # -- reading ---------------------------------------------------------------
-
-    def load(self) -> Dict[int, Optional[TasksetEvaluation]]:
-        """Read completed slots; create the store (header only) if absent.
-
-        Tolerates a truncated final line by physically trimming the file
-        back to the last complete line, so subsequent appends keep the file
-        identical to an uninterrupted run.  Raises
-        :class:`~repro.errors.ConfigurationError` when the header belongs to
-        a different sweep configuration.
-        """
-        if not self._path.exists():
-            return self._create()
-
-        raw = self._path.read_bytes()
-        complete, partial_offset = self._split_complete_lines(raw)
-        if not complete:
-            # Self-heal ONLY the kill-during-header-write window: the file
-            # is empty, or holds a strict prefix of the (deterministic)
-            # header line this store would write.  Anything else is some
-            # unrelated file the user pointed us at -- refuse to touch it.
-            expected_header = _dump_line(self._header()).encode("utf-8")
-            if raw and not expected_header.startswith(raw):
-                raise ConfigurationError(
-                    f"checkpoint {self._path} exists but is not a checkpoint "
-                    "file; refusing to overwrite it"
-                )
-            return self._create()
-
-        header = self._parse_line(complete[0])
-        if header.get("kind") != "header":
-            raise ConfigurationError(
-                f"checkpoint {self._path} does not start with a header line"
-            )
-        if header.get("version") != _FORMAT_VERSION:
-            raise ConfigurationError(
-                f"checkpoint {self._path} uses format version "
-                f"{header.get('version')}, expected {_FORMAT_VERSION}"
-            )
-        header_config = header.get("config")
-        if isinstance(header_config, dict) and "schemes" not in header_config:
+    def _normalise_header_fingerprint(self, fingerprint: object) -> object:
+        if isinstance(fingerprint, dict) and "schemes" not in fingerprint:
             # Checkpoints written before the scheme registry existed carry
             # no scheme list; they were always the canonical four, so treat
             # them as such instead of rejecting an unchanged sweep.
-            header_config = {**header_config, "schemes": list(SCHEME_NAMES)}
-        if header_config != self._fingerprint:
-            raise ConfigurationError(
-                f"checkpoint {self._path} was produced by a different sweep "
-                "configuration; refusing to resume (delete the file or point "
-                "the sweep at a fresh checkpoint path)"
-            )
-        # Only now that the file is confirmed to be OUR checkpoint may the
-        # torn trailing line be physically trimmed away.
-        if partial_offset is not None:
-            with self._path.open("r+b") as handle:
-                handle.truncate(partial_offset)
+            return {**fingerprint, "schemes": list(SCHEME_NAMES)}
+        return fingerprint
 
-        completed: Dict[int, Optional[TasksetEvaluation]] = {}
-        for line in complete[1:]:
-            record = self._parse_line(line)
-            if record.get("kind") != "result":
-                raise ConfigurationError(
-                    f"checkpoint {self._path} holds an unknown record kind "
-                    f"{record.get('kind')!r}"
-                )
-            payload = record["evaluation"]
-            completed[int(record["job"])] = (
-                TasksetEvaluation.from_json(payload) if payload is not None else None
-            )
-        return completed
-
-    def _header(self) -> Dict[str, object]:
+    def _encode_result(
+        self, entry: Tuple[int, Optional[TasksetEvaluation]]
+    ) -> Dict[str, object]:
+        job_index, evaluation = entry
         return {
-            "kind": "header",
-            "version": _FORMAT_VERSION,
-            "config": self._fingerprint,
+            "kind": "result",
+            "job": job_index,
+            "evaluation": evaluation.to_json() if evaluation is not None else None,
         }
 
-    def _parse_line(self, line: str) -> Dict[str, object]:
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError as exc:
-            raise ConfigurationError(
-                f"checkpoint {self._path} holds a non-JSON line: {exc}"
-            ) from exc
-        if not isinstance(record, dict):
-            raise ConfigurationError(
-                f"checkpoint {self._path} holds a non-record line"
-            )
-        return record
-
-    def _create(self) -> Dict[int, Optional[TasksetEvaluation]]:
-        """(Re)initialise the store with just a header line."""
-        self._path.parent.mkdir(parents=True, exist_ok=True)
-        with self._path.open("w", encoding="utf-8") as handle:
-            handle.write(_dump_line(self._header()))
-            handle.flush()
-            os.fsync(handle.fileno())
-        return {}
-
-    @staticmethod
-    def _split_complete_lines(
-        raw: bytes,
-    ) -> Tuple[list, Optional[int]]:
-        """Split *raw* into complete lines; report the partial-line offset."""
-        lines = []
-        offset = 0
-        while offset < len(raw):
-            newline = raw.find(b"\n", offset)
-            if newline == -1:
-                return lines, offset
-            lines.append(raw[offset:newline].decode("utf-8"))
-            offset = newline + 1
-        return lines, None
-
-    # -- writing ---------------------------------------------------------------
-
-    def append_chunk(
-        self,
-        entries: Iterable[Tuple[int, Optional[TasksetEvaluation]]],
-    ) -> None:
-        """Append one chunk of ``(job_index, evaluation-or-None)`` records.
-
-        The chunk is written with a single flush + fsync, making the chunk
-        the unit of checkpoint durability.
-        """
-        text = "".join(
-            _dump_line(
-                {
-                    "kind": "result",
-                    "job": job_index,
-                    "evaluation": (
-                        evaluation.to_json() if evaluation is not None else None
-                    ),
-                }
-            )
-            for job_index, evaluation in entries
+    def _decode_result(
+        self, record: Dict[str, object]
+    ) -> Tuple[int, Optional[TasksetEvaluation]]:
+        payload = record["evaluation"]
+        return int(record["job"]), (
+            TasksetEvaluation.from_json(payload) if payload is not None else None
         )
-        if not text:
-            return
-        with self._path.open("a", encoding="utf-8") as handle:
-            handle.write(text)
-            handle.flush()
-            os.fsync(handle.fileno())

@@ -1,0 +1,50 @@
+"""Monte Carlo attack-campaign subsystem (the Fig. 5 evaluation at scale).
+
+The paper measures intrusion-detection latency over 35 rover trials; this
+package turns that into a campaign engine: a :class:`CampaignSpec`
+(schemes x trial count x attack scenario x jitter model) is expanded into
+deterministic per-trial seeds, evaluated in chunks across worker processes
+on the event-compressed simulation backend (:mod:`repro.sim.fast`),
+checkpointed to a fingerprint-guarded JSONL store, and aggregated into
+detection-latency distributions per scheme -- reproducing Fig. 5 and
+extending it to every scheme in the registry.
+
+Layering mirrors :mod:`repro.batch` (spec -> runner -> store ->
+orchestrator -> aggregate); ``hydra-c campaign`` is the CLI entry point.
+"""
+
+from repro.campaign.aggregate import (
+    CampaignResult,
+    LatencyDistribution,
+    format_campaign,
+)
+from repro.campaign.orchestrator import (
+    CampaignOrchestrator,
+    CampaignProgress,
+    run_campaign,
+)
+from repro.campaign.spec import (
+    CampaignSpec,
+    JitterModel,
+    TrialSpec,
+    build_trial_specs,
+)
+from repro.campaign.store import CampaignResultStore
+from repro.campaign.trial import CampaignRunner, SchemeTrialOutcome, TrialRecord
+
+__all__ = [
+    "CampaignOrchestrator",
+    "CampaignProgress",
+    "CampaignResult",
+    "CampaignResultStore",
+    "CampaignRunner",
+    "CampaignSpec",
+    "JitterModel",
+    "LatencyDistribution",
+    "SchemeTrialOutcome",
+    "TrialRecord",
+    "TrialSpec",
+    "build_trial_specs",
+    "format_campaign",
+    "run_campaign",
+]

@@ -1,0 +1,157 @@
+"""Chunked, resumable orchestration of a Monte Carlo attack campaign.
+
+The execution model mirrors :class:`repro.batch.orchestrator.SweepOrchestrator`
+-- a campaign's deterministic trial list is evaluated in chunks, serially or
+across worker processes, each finished chunk is checkpointed to a
+:class:`~repro.campaign.store.CampaignResultStore`, and a restarted
+campaign skips every already-evaluated trial.  Because a trial is a pure
+function of ``(campaign seed, trial index)``, none of ``n_jobs``,
+``chunk_size``, the resume point or the simulation backend can change the
+result stream -- the determinism suite in
+``tests/campaign/test_campaign_orchestrator.py`` pins all four.  Trial
+seeds are prefix-stable, so a checkpoint also resumes under a *larger*
+``num_trials``: the stored prefix is reused and only the new suffix runs.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.campaign.aggregate import CampaignResult
+from repro.campaign.spec import CampaignSpec, TrialSpec, build_trial_specs
+from repro.campaign.store import CampaignResultStore
+from repro.campaign.trial import CampaignRunner, TrialRecord
+
+__all__ = ["CampaignProgress", "CampaignOrchestrator", "run_campaign"]
+
+
+@dataclass(frozen=True)
+class CampaignProgress:
+    """Snapshot handed to the progress callback after each chunk."""
+
+    completed_trials: int
+    total_trials: int
+    resumed_trials: int
+    chunk_index: int
+    num_chunks: int
+
+    @property
+    def fraction(self) -> float:
+        return self.completed_trials / self.total_trials if self.total_trials else 1.0
+
+
+ProgressCallback = Callable[[CampaignProgress], None]
+
+
+#: Per-process runner cache for the worker entry point: design integration
+#: (partitioning + period selection for every scheme) runs once per worker,
+#: not once per trial.
+_WORKER_RUNNERS: Dict[CampaignSpec, CampaignRunner] = {}
+
+
+def _run_trial_worker(args: Tuple[CampaignSpec, TrialSpec]) -> TrialRecord:
+    """Module-level (hence picklable) worker entry point."""
+    spec, trial = args
+    runner = _WORKER_RUNNERS.get(spec)
+    if runner is None:
+        runner = CampaignRunner(spec)
+        _WORKER_RUNNERS[spec] = runner
+    return runner.run_trial(trial)
+
+
+class CampaignOrchestrator:
+    """Drive one campaign to completion, chunk by chunk.
+
+    Parameters
+    ----------
+    spec:
+        The campaign parameters (including ``chunk_size`` and ``n_jobs``).
+    store:
+        Optional checkpoint store.  When ``None`` and the spec carries a
+        ``checkpoint_path``, a store is created there; with neither, the
+        campaign runs uncheckpointed.
+    progress:
+        Optional callback invoked after every chunk.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: Optional[CampaignResultStore] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        if store is None and spec.checkpoint_path is not None:
+            store = CampaignResultStore(spec.checkpoint_path, spec)
+        self._spec = spec
+        self._store = store
+        self._progress = progress
+        # Validates the scheme selection against the rover workload up
+        # front (every scheme must admit it) and serves the serial path.
+        self._runner = CampaignRunner(spec)
+
+    def run(self) -> CampaignResult:
+        """Evaluate every (remaining) trial and return the aggregate result."""
+        spec = self._spec
+        trials = build_trial_specs(spec)
+        completed: Dict[int, TrialRecord] = (
+            self._store.load() if self._store is not None else {}
+        )
+        resumed = len(completed)
+        pending = [
+            trial for trial in trials if trial.trial_index not in completed
+        ]
+        chunks = [
+            pending[start : start + spec.chunk_size]
+            for start in range(0, len(pending), spec.chunk_size)
+        ]
+
+        pool: Optional[ProcessPoolExecutor] = None
+        try:
+            if spec.n_jobs > 1 and pending:
+                pool = ProcessPoolExecutor(max_workers=spec.n_jobs)
+            for chunk_index, chunk in enumerate(chunks):
+                records = self._evaluate_chunk(chunk, pool)
+                completed.update(
+                    (record.trial_index, record) for record in records
+                )
+                if self._store is not None:
+                    self._store.append_chunk(records)
+                if self._progress is not None:
+                    self._progress(
+                        CampaignProgress(
+                            completed_trials=len(completed),
+                            total_trials=len(trials),
+                            resumed_trials=resumed,
+                            chunk_index=chunk_index + 1,
+                            num_chunks=len(chunks),
+                        )
+                    )
+        finally:
+            if pool is not None:
+                pool.shutdown()
+
+        records = tuple(completed[trial.trial_index] for trial in trials)
+        return CampaignResult(spec=spec, records=records)
+
+    def _evaluate_chunk(
+        self,
+        chunk: List[TrialSpec],
+        pool: Optional[ProcessPoolExecutor],
+    ) -> List[TrialRecord]:
+        if pool is None:
+            return [self._runner.run_trial(trial) for trial in chunk]
+        args = [(self._spec, trial) for trial in chunk]
+        # chunksize=1: trials are uniform in cost, but a checkpoint chunk
+        # should spread over every worker rather than serialise behind one.
+        return list(pool.map(_run_trial_worker, args, chunksize=1))
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: Optional[CampaignResultStore] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> CampaignResult:
+    """Convenience wrapper: build an orchestrator and run it."""
+    return CampaignOrchestrator(spec, store=store, progress=progress).run()

@@ -1,0 +1,191 @@
+"""Per-trial evaluation: designs, simulation, detection, result records.
+
+:class:`CampaignRunner` is the worker-side engine of a campaign.  Built
+once per process from a :class:`~repro.campaign.spec.CampaignSpec`, it
+resolves every selected scheme against the registry, integrates each one on
+the rover workload (honouring the rover's legacy RT partition where the
+scheme consumes it) and then evaluates trials: draw the trial's attacks and
+release jitter from its derived seed, simulate every scheme's design over
+the observation window with the configured backend, and replay the attacks
+against each trace.
+
+:class:`TrialRecord` is the JSON-round-trippable unit the checkpoint store
+persists -- everything the aggregation layer needs (per-attack detection
+latencies, context switches, migrations, preemptions per scheme), nothing
+it does not (no traces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.campaign.spec import CampaignSpec, TrialSpec
+from repro.errors import AllocationError, ConfigurationError, UnschedulableError
+from repro.model.platform import Platform
+from repro.partitioning.allocation import Allocation
+from repro.rover.case_study import (
+    rover_monitors,
+    rover_rt_allocation,
+    rover_taskset,
+)
+from repro.schemes import REGISTRY, SharedPhases
+from repro.security.attacks import generate_attacks
+from repro.security.detection import evaluate_detection
+from repro.sim.engine import SimulationConfig
+from repro.sim.fast import resolve_backend
+
+__all__ = ["SchemeTrialOutcome", "TrialRecord", "CampaignRunner"]
+
+
+@dataclass(frozen=True)
+class SchemeTrialOutcome:
+    """One scheme's numbers from one trial."""
+
+    latencies: Tuple[Optional[int], ...]
+    context_switches: int
+    migrations: int
+    preemptions: int
+
+    @property
+    def detected_latencies(self) -> List[int]:
+        return [latency for latency in self.latencies if latency is not None]
+
+    @property
+    def num_attacks(self) -> int:
+        return len(self.latencies)
+
+    @property
+    def num_detected(self) -> int:
+        return len(self.detected_latencies)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "latencies": list(self.latencies),
+            "context_switches": self.context_switches,
+            "migrations": self.migrations,
+            "preemptions": self.preemptions,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "SchemeTrialOutcome":
+        return cls(
+            latencies=tuple(
+                int(latency) if latency is not None else None
+                for latency in payload["latencies"]
+            ),
+            context_switches=int(payload["context_switches"]),
+            migrations=int(payload["migrations"]),
+            preemptions=int(payload["preemptions"]),
+        )
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """All schemes' outcomes for one trial (the checkpoint unit)."""
+
+    trial_index: int
+    seed: int
+    outcomes: Mapping[str, SchemeTrialOutcome]
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "trial_index": self.trial_index,
+            "seed": self.seed,
+            "schemes": {
+                scheme: outcome.to_json()
+                for scheme, outcome in self.outcomes.items()
+            },
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "TrialRecord":
+        return cls(
+            trial_index=int(payload["trial_index"]),
+            seed=int(payload["seed"]),
+            outcomes={
+                scheme: SchemeTrialOutcome.from_json(outcome)
+                for scheme, outcome in payload["schemes"].items()
+            },
+        )
+
+
+class CampaignRunner:
+    """Evaluate campaign trials for one spec (one instance per process).
+
+    Design integration happens once, up front: every selected scheme must
+    admit the rover workload, otherwise the campaign is misconfigured and
+    fails fast with a one-line :class:`~repro.errors.ConfigurationError`
+    (before any trial has been paid for).
+    """
+
+    def __init__(self, spec: CampaignSpec) -> None:
+        self._spec = spec
+        self._platform = Platform.dual_core(name="rpi3-rover")
+        self._taskset = rover_taskset()
+        self._monitors = rover_monitors(self._taskset)
+        self._simulator_cls = resolve_backend(spec.backend)
+        # The rover's legacy RT partition is the shared RT_PARTITION phase;
+        # schemes that do not consume it (GLOBAL-TMax, the re-partitioning
+        # variants) simply ignore the bundle.
+        shared = SharedPhases(rt_allocation=Allocation(dict(rover_rt_allocation())))
+        self._designs = {}
+        for name in spec.schemes:
+            plugin = REGISTRY.create(name, self._platform)
+            try:
+                design = plugin.design(self._taskset, shared)
+            except (UnschedulableError, AllocationError) as exc:
+                raise ConfigurationError(
+                    f"scheme {name!r} cannot schedule the rover workload: {exc}"
+                ) from exc
+            if not design.schedulable:
+                raise ConfigurationError(
+                    f"scheme {name!r} rejects the rover workload "
+                    f"(metadata: {design.metadata})"
+                )
+            self._designs[name] = design
+
+    @property
+    def spec(self) -> CampaignSpec:
+        return self._spec
+
+    @property
+    def designs(self):
+        return dict(self._designs)
+
+    def run_trial(self, trial: TrialSpec) -> TrialRecord:
+        """Evaluate one trial under every scheme (paired randomness)."""
+        spec = self._spec
+        rng = np.random.default_rng(trial.seed)
+        scenario = generate_attacks(
+            self._monitors,
+            spec.horizon,
+            rng=rng,
+            latest_injection_fraction=spec.latest_injection_fraction,
+        )
+        jitter: Dict[str, int] = {}
+        if spec.jitter.kind == "uniform":
+            # One offset per task, drawn in task-set order *after* the
+            # attacks so the attack stream matches the jitter-free campaign
+            # with the same seed.
+            jitter = {
+                task.name: int(rng.integers(0, spec.jitter.max_offset + 1))
+                for task in self._taskset.all_tasks
+            }
+        config = SimulationConfig(horizon=spec.horizon, release_jitter=jitter)
+
+        outcomes: Dict[str, SchemeTrialOutcome] = {}
+        for name, design in self._designs.items():
+            trace = self._simulator_cls.from_design(design, config).run()
+            detections = evaluate_detection(trace, self._monitors, scenario)
+            outcomes[name] = SchemeTrialOutcome(
+                latencies=tuple(result.latency for result in detections),
+                context_switches=trace.context_switches,
+                migrations=trace.migrations,
+                preemptions=trace.preemptions,
+            )
+        return TrialRecord(
+            trial_index=trial.trial_index, seed=trial.seed, outcomes=outcomes
+        )

@@ -9,7 +9,14 @@ Usage (installed as the ``hydra-c`` console script, also runnable as
     hydra-c fig7b --cores 2      # period-vector differences (Fig. 7b)
     hydra-c sweep --cores 2 --checkpoint run.jsonl   # one resumable sweep,
                                  # all three figure tables from a single run
+    hydra-c campaign --trials 500 --jobs 4 --checkpoint camp.jsonl
+                                 # Monte Carlo attack campaign on the rover
     hydra-c schemes              # list every registered integration scheme
+
+``campaign`` runs the Monte Carlo extension of the Fig. 5 security
+evaluation on the event-compressed simulation backend: paired attack
+trials across any set of registered schemes, resumable at chunk
+granularity, aggregated into detection-latency distributions.
 
 ``sweep`` runs the batched design-space sweep once and derives every
 synthetic figure from it; with ``--checkpoint`` the run is chunked into a
@@ -27,6 +34,13 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro.campaign import (
+    CampaignProgress,
+    CampaignSpec,
+    JitterModel,
+    format_campaign,
+    run_campaign,
+)
 from repro.errors import ReproError
 from repro.experiments import fig6_period_distance, fig7b_period_diff
 from repro.experiments.config import ExperimentConfig
@@ -84,6 +98,60 @@ def build_parser() -> argparse.ArgumentParser:
                 "(default: the paper's four; see 'hydra-c schemes')"
             ),
         )
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="Monte Carlo attack campaign on the rover (Fig. 5 at scale)",
+    )
+    campaign.add_argument(
+        "--trials", type=int, default=35, help="trials (paper Fig. 5: 35)"
+    )
+    campaign.add_argument(
+        "--horizon", type=int, default=45_000, help="observation window [ms]"
+    )
+    campaign.add_argument("--seed", type=int, default=2020)
+    campaign.add_argument(
+        "--schemes",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help=(
+            "comma-separated registered schemes to evaluate "
+            "(default: the paper's four; see 'hydra-c schemes')"
+        ),
+    )
+    campaign.add_argument(
+        "--backend",
+        choices=("fast", "tick"),
+        default="fast",
+        help="simulation backend (bit-identical; 'tick' is the slow oracle)",
+    )
+    campaign.add_argument(
+        "--jitter",
+        type=int,
+        default=0,
+        metavar="TICKS",
+        help="max uniform release offset per task and trial (0 = synchronous)",
+    )
+    campaign.add_argument(
+        "--jobs", type=int, default=1, help="worker processes"
+    )
+    campaign.add_argument(
+        "--chunk-size",
+        type=int,
+        default=8,
+        help="trials per checkpoint/progress chunk",
+    )
+    campaign.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="JSONL checkpoint store; rerunning the same command resumes",
+    )
+    campaign.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-chunk progress on stderr",
+    )
 
     subparsers.add_parser(
         "schemes", help="list the registered integration schemes"
@@ -190,6 +258,44 @@ def _format_schemes_table() -> str:
     return "\n".join(lines)
 
 
+def _campaign_spec(args: argparse.Namespace) -> CampaignSpec:
+    jitter = (
+        JitterModel.uniform(args.jitter) if args.jitter else JitterModel.none()
+    )
+    return CampaignSpec(
+        schemes=_parse_schemes(args.schemes),
+        num_trials=args.trials,
+        horizon=args.horizon,
+        seed=args.seed,
+        jitter=jitter,
+        backend=args.backend,
+        n_jobs=args.jobs,
+        chunk_size=args.chunk_size,
+        checkpoint_path=args.checkpoint,
+    )
+
+
+def _campaign_progress_printer(progress: CampaignProgress) -> None:
+    resumed = (
+        f" ({progress.resumed_trials} resumed from checkpoint)"
+        if progress.resumed_trials
+        else ""
+    )
+    print(
+        f"campaign: chunk {progress.chunk_index}/{progress.num_chunks} done, "
+        f"{progress.completed_trials}/{progress.total_trials} trials "
+        f"[{progress.fraction:.0%}]{resumed}",
+        file=sys.stderr,
+    )
+
+
+def _run_campaign(args: argparse.Namespace) -> str:
+    spec = _campaign_spec(args)
+    progress = None if args.quiet else _campaign_progress_printer
+    result = run_campaign(spec, progress=progress)
+    return format_campaign(result)
+
+
 def _progress_printer(progress: SweepProgress) -> None:
     resumed = (
         f" ({progress.resumed_jobs} resumed from checkpoint)"
@@ -256,6 +362,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(format_fig7a(run_fig7a(_sweep_config(args))))
         elif args.command == "sweep":
             print(_run_batch_sweep(args))
+        elif args.command == "campaign":
+            print(_run_campaign(args))
         elif args.command == "schemes":
             print(_format_schemes_table())
         else:  # pragma: no cover - argparse enforces choices

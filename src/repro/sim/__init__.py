@@ -16,9 +16,25 @@ The simulator produces a :class:`~repro.sim.trace.SimulationTrace` holding
 per-job execution slices, completion times, deadline misses, context-switch
 and migration counts -- everything the security evaluation
 (:mod:`repro.security`) and the Fig. 5 experiment need.
+
+Two interchangeable backends execute a design:
+
+* ``"tick"`` -- the original tick-accurate engine
+  (:class:`~repro.sim.engine.Simulator`), frozen as the slow oracle;
+* ``"fast"`` -- the event-compressed engine
+  (:class:`~repro.sim.fast.EventCompressedSimulator`), which jumps between
+  scheduling events and produces bit-identical traces.
+
+``resolve_backend(name)`` maps a backend name to its simulator class.
 """
 
 from repro.sim.engine import SimulationConfig, Simulator, simulate_design
+from repro.sim.fast import (
+    SIMULATOR_BACKENDS,
+    EventCompressedSimulator,
+    resolve_backend,
+    simulate_design_fast,
+)
 from repro.sim.schedulers import (
     GlobalFixedPriorityScheduler,
     PartitionedScheduler,
@@ -29,15 +45,19 @@ from repro.sim.schedulers import (
 from repro.sim.trace import ExecutionSlice, JobRecord, SimulationTrace
 
 __all__ = [
+    "EventCompressedSimulator",
     "ExecutionSlice",
     "GlobalFixedPriorityScheduler",
     "JobRecord",
     "PartitionedScheduler",
+    "SIMULATOR_BACKENDS",
     "SchedulerPolicy",
     "SemiPartitionedScheduler",
     "SimulationConfig",
     "SimulationTrace",
     "Simulator",
     "make_scheduler",
+    "resolve_backend",
     "simulate_design",
+    "simulate_design_fast",
 ]

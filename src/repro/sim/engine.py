@@ -107,6 +107,7 @@ class Simulator:
         self._security_allocation = dict(security_allocation or {})
         self._config = config or SimulationConfig(horizon=10_000)
         self._validate_bindings()
+        self._validate_release_jitter()
 
     # -- construction helpers ------------------------------------------------------
 
@@ -149,6 +150,22 @@ class Simulator:
                         f"security task {task.name!r} needs a core binding under "
                         "partitioned scheduling"
                     )
+
+    def _validate_release_jitter(self) -> None:
+        """Reject jitter entries naming tasks the task set does not contain.
+
+        A typo in a ``release_jitter`` key used to be silently ignored (the
+        run proceeded with the synchronous release the caller thought they
+        had perturbed); an unknown name is a configuration bug and must be
+        loud.
+        """
+        known = {task.name for task in self._taskset.all_tasks}
+        unknown = sorted(set(self._config.release_jitter) - known)
+        if unknown:
+            raise SimulationError(
+                f"release_jitter names unknown task(s) {unknown}; "
+                f"task set contains: {sorted(known)}"
+            )
 
     # -- main loop ----------------------------------------------------------------------
 

@@ -1,0 +1,12 @@
+"""Shared persistence primitives.
+
+Both resumable subsystems -- the design-space sweep (:mod:`repro.batch`)
+and the Monte Carlo attack campaign (:mod:`repro.campaign`) -- checkpoint
+their result streams through the same fingerprint-guarded, torn-write-safe
+JSONL mechanics.  :class:`JsonlCheckpointStore` holds that machinery once;
+each subsystem subclasses it with its record codec and fingerprint.
+"""
+
+from repro.storage.jsonl import JsonlCheckpointStore
+
+__all__ = ["JsonlCheckpointStore"]

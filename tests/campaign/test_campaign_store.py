@@ -1,0 +1,109 @@
+"""Unit tests for the campaign checkpoint store."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignResultStore,
+    CampaignSpec,
+    SchemeTrialOutcome,
+    TrialRecord,
+)
+from repro.errors import ConfigurationError
+
+
+def small_spec(**overrides):
+    defaults = dict(schemes=("HYDRA-C", "HYDRA"), num_trials=4, horizon=5_000, seed=5)
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+def record(index: int) -> TrialRecord:
+    return TrialRecord(
+        trial_index=index,
+        seed=1000 + index,
+        outcomes={
+            "HYDRA-C": SchemeTrialOutcome(
+                latencies=(10 + index, None),
+                context_switches=5,
+                migrations=1,
+                preemptions=0,
+            ),
+            "HYDRA": SchemeTrialOutcome(
+                latencies=(20 + index, 30),
+                context_switches=4,
+                migrations=0,
+                preemptions=2,
+            ),
+        },
+    )
+
+
+class TestRoundTrip:
+    def test_create_load_append_load(self, tmp_path):
+        spec = small_spec()
+        store = CampaignResultStore(tmp_path / "camp.jsonl", spec)
+        assert store.load() == {}
+        store.append_chunk([record(0), record(1)])
+        reloaded = CampaignResultStore(tmp_path / "camp.jsonl", spec).load()
+        assert reloaded == {0: record(0), 1: record(1)}
+
+    def test_outcome_json_roundtrip_preserves_none_latencies(self):
+        outcome = record(0).outcomes["HYDRA-C"]
+        assert SchemeTrialOutcome.from_json(
+            json.loads(json.dumps(outcome.to_json()))
+        ) == outcome
+
+
+class TestGuards:
+    def test_mismatched_campaign_rejected(self, tmp_path):
+        path = tmp_path / "camp.jsonl"
+        CampaignResultStore(path, small_spec()).load()
+        with pytest.raises(ConfigurationError, match="different campaign"):
+            CampaignResultStore(path, small_spec(seed=6)).load()
+
+    def test_execution_knobs_do_not_invalidate_checkpoint(self, tmp_path):
+        path = tmp_path / "camp.jsonl"
+        store = CampaignResultStore(path, small_spec(backend="fast"))
+        store.load()
+        store.append_chunk([record(0)])
+        resumed = CampaignResultStore(
+            path, small_spec(backend="tick", n_jobs=3, chunk_size=99)
+        ).load()
+        assert resumed == {0: record(0)}
+
+    def test_foreign_file_refused(self, tmp_path):
+        # A partial non-checkpoint line must not be mistaken for a torn
+        # header write...
+        partial = tmp_path / "notes.txt"
+        partial.write_text("do not clobber me", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="refusing"):
+            CampaignResultStore(partial, small_spec()).load()
+        # ...and a complete non-JSON line is rejected as corrupt, untouched.
+        complete = tmp_path / "notes2.txt"
+        complete.write_text("do not clobber me\n", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="non-JSON"):
+            CampaignResultStore(complete, small_spec()).load()
+        assert complete.read_text(encoding="utf-8") == "do not clobber me\n"
+
+    def test_torn_trailing_line_truncated_after_validation(self, tmp_path):
+        path = tmp_path / "camp.jsonl"
+        spec = small_spec()
+        store = CampaignResultStore(path, spec)
+        store.load()
+        store.append_chunk([record(0)])
+        intact = path.read_bytes()
+        path.write_bytes(intact + b'{"kind":"result","trial":{"trial_in')
+        reloaded = CampaignResultStore(path, spec).load()
+        assert reloaded == {0: record(0)}
+        assert path.read_bytes() == intact
+
+    def test_torn_header_self_heals(self, tmp_path):
+        path = tmp_path / "camp.jsonl"
+        spec = small_spec()
+        CampaignResultStore(path, spec).load()
+        full_header = path.read_bytes()
+        path.write_bytes(full_header[: len(full_header) // 2])
+        assert CampaignResultStore(path, spec).load() == {}
+        assert path.read_bytes() == full_header

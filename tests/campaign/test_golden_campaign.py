@@ -1,0 +1,58 @@
+"""Golden campaign pin: the determinism oracle for the campaign subsystem.
+
+``benchmarks/campaign_golden.txt`` holds the committed aggregate report of
+one small fixed-seed campaign (the canonical four schemes, 8 trials over
+the full rover horizon, uniform release jitter), the same role
+``benchmarks/figures_output.txt`` plays for the synthetic figures.  Any
+change to attack generation, jitter derivation, either simulation backend,
+detection replay or the aggregation math shows up here as a diff -- if the
+change is intentional, regenerate the file with
+``python -m tests.campaign.test_golden_campaign`` and commit the new pin.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import CampaignSpec, JitterModel, format_campaign, run_campaign
+
+GOLDEN_PATH = Path(__file__).parent.parent.parent / "benchmarks" / "campaign_golden.txt"
+
+#: The pinned campaign.  Small enough to run in well under a second on the
+#: fast backend, large enough to exercise every scheme, jitter and the
+#: percentile/CDF aggregation.
+GOLDEN_SPEC = dict(
+    schemes=None,  # the canonical four
+    num_trials=8,
+    horizon=45_000,
+    seed=2020,
+    jitter=JitterModel.uniform(250),
+)
+
+
+def regenerate() -> str:
+    result = run_campaign(CampaignSpec(backend="fast", **GOLDEN_SPEC))
+    return format_campaign(result) + "\n"
+
+
+@pytest.mark.slow
+def test_golden_campaign_pin_unchanged():
+    assert GOLDEN_PATH.exists(), (
+        f"missing golden pin {GOLDEN_PATH}; regenerate it with "
+        "python -m tests.campaign.test_golden_campaign"
+    )
+    assert regenerate() == GOLDEN_PATH.read_text(encoding="utf-8")
+
+
+@pytest.mark.slow
+def test_golden_campaign_pin_backend_independent():
+    """The tick oracle reproduces the committed pin byte for byte."""
+    result = run_campaign(CampaignSpec(backend="tick", **GOLDEN_SPEC))
+    assert format_campaign(result) + "\n" == GOLDEN_PATH.read_text(
+        encoding="utf-8"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - regeneration helper
+    GOLDEN_PATH.write_text(regenerate(), encoding="utf-8")
+    print(f"wrote {GOLDEN_PATH}")

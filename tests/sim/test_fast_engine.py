@@ -1,0 +1,312 @@
+"""Differential tests: the event-compressed backend vs. the tick oracle.
+
+The fast backend's contract is *bit-identical traces*: same execution
+slices in the same order, same job records, same context-switch /
+migration / preemption counters.  The tick engine stays frozen as the slow
+oracle, so every test here compares full :class:`SimulationTrace` objects
+(dataclass equality covers all fields) and, where monitors exist, the
+derived detection metrics too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError, SimulationError, UnschedulableError
+from repro.model import Platform, RealTimeTask, SecurityTask, TaskSet
+from repro.rover.case_study import RoverCaseStudy, rover_monitors
+from repro.schemes import REGISTRY, SharedPhases
+from repro.security.attacks import generate_attacks
+from repro.security.detection import evaluate_detection
+from repro.security.monitors import SecurityMonitor
+from repro.sim import (
+    EventCompressedSimulator,
+    SimulationConfig,
+    Simulator,
+    resolve_backend,
+    simulate_design,
+    simulate_design_fast,
+)
+
+
+def both_traces(taskset, num_cores, policy, config, **allocations):
+    """Run both backends on identical inputs and return (tick, fast)."""
+    tick = Simulator(taskset, num_cores, policy, config=config, **allocations).run()
+    fast = EventCompressedSimulator(
+        taskset, num_cores, policy, config=config, **allocations
+    ).run()
+    return tick, fast
+
+
+class TestBackendEqualitySimple:
+    @pytest.mark.parametrize("horizon", [1, 7, 100, 1_000])
+    def test_semi_partitioned_equal(self, simple_taskset, simple_allocation, horizon):
+        config = SimulationConfig(horizon=horizon)
+        tick, fast = both_traces(
+            simple_taskset,
+            2,
+            "semi-partitioned",
+            config,
+            rt_allocation=simple_allocation,
+        )
+        assert tick == fast
+
+    def test_partitioned_equal(self, simple_taskset, simple_allocation):
+        config = SimulationConfig(horizon=800)
+        tick, fast = both_traces(
+            simple_taskset,
+            2,
+            "partitioned",
+            config,
+            rt_allocation=simple_allocation,
+            security_allocation={"ids-a": 0, "ids-b": 1},
+        )
+        assert tick == fast
+
+    def test_global_equal(self, simple_taskset):
+        config = SimulationConfig(horizon=800)
+        tick, fast = both_traces(simple_taskset, 2, "global", config)
+        assert tick == fast
+
+    def test_release_jitter_equal(self, simple_taskset, simple_allocation):
+        config = SimulationConfig(
+            horizon=600,
+            release_jitter={"rt-fast": 3, "ids-a": 151, "rt-slow": 40},
+        )
+        tick, fast = both_traces(
+            simple_taskset,
+            2,
+            "semi-partitioned",
+            config,
+            rt_allocation=simple_allocation,
+        )
+        assert tick == fast
+
+    def test_overloaded_system_equal(self):
+        """An overloaded single core exercises deadline misses, starvation
+        and never-completing jobs (with the miss check disabled)."""
+        taskset = TaskSet.create(
+            [
+                RealTimeTask(name="hog", wcet=9, period=10),
+                RealTimeTask(name="starved", wcet=5, period=12),
+            ],
+            [SecurityTask(name="sec", wcet=4, max_period=50)],
+        )
+        config = SimulationConfig(horizon=500, fail_on_rt_deadline_miss=False)
+        tick, fast = both_traces(
+            taskset,
+            1,
+            "semi-partitioned",
+            config,
+            rt_allocation={"hog": 0, "starved": 0},
+        )
+        assert tick == fast
+        assert tick.deadline_misses()  # the scenario really is overloaded
+
+    def test_fast_backend_raises_same_rt_deadline_miss(self):
+        taskset = TaskSet.create(
+            [
+                RealTimeTask(name="hog", wcet=9, period=10),
+                RealTimeTask(name="starved", wcet=5, period=12),
+            ],
+            [],
+        )
+        config = SimulationConfig(horizon=100)
+        for backend in (Simulator, EventCompressedSimulator):
+            with pytest.raises(SimulationError, match="deadline miss"):
+                backend(
+                    taskset,
+                    1,
+                    "partitioned",
+                    rt_allocation={"hog": 0, "starved": 0},
+                    config=config,
+                ).run()
+
+
+class TestBackendEqualityRover:
+    def test_rover_designs_bit_identical(self):
+        study = RoverCaseStudy()
+        config = SimulationConfig(horizon=15_000)
+        for design in (study.hydra_c_design(), study.hydra_design()):
+            tick = Simulator.from_design(design, config).run()
+            fast = EventCompressedSimulator.from_design(design, config).run()
+            assert tick == fast
+
+    def test_rover_detection_metrics_identical(self):
+        study = RoverCaseStudy()
+        design = study.hydra_c_design()
+        monitors = rover_monitors()
+        config = SimulationConfig(horizon=15_000)
+        scenario = generate_attacks(
+            monitors, 15_000, rng=np.random.default_rng(42)
+        )
+        tick = Simulator.from_design(design, config).run()
+        fast = EventCompressedSimulator.from_design(design, config).run()
+        assert evaluate_detection(tick, monitors, scenario) == evaluate_detection(
+            fast, monitors, scenario
+        )
+
+
+#: Small security-task pool with coverage units so detection is evaluable.
+def _random_taskset(rng: np.random.Generator) -> TaskSet:
+    rt = []
+    for index in range(int(rng.integers(1, 4))):
+        period = int(rng.integers(20, 400))
+        wcet = int(rng.integers(1, max(2, period // 4)))
+        rt.append(RealTimeTask(name=f"rt{index}", wcet=wcet, period=period))
+    sec = []
+    for index in range(int(rng.integers(1, 4))):
+        max_period = int(rng.integers(100, 1500))
+        wcet = int(rng.integers(1, max(2, max_period // 6)))
+        sec.append(
+            SecurityTask(
+                name=f"sec{index}",
+                wcet=wcet,
+                max_period=max_period,
+                coverage_units=int(rng.integers(1, 24)),
+            )
+        )
+    return TaskSet.create(rt, sec)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    scheme=st.sampled_from(REGISTRY.names()),
+    design_seed=st.integers(min_value=0, max_value=2**32 - 1),
+    attack_seed=st.integers(min_value=0, max_value=2**32 - 1),
+    num_cores=st.integers(min_value=1, max_value=3),
+    horizon=st.integers(min_value=1, max_value=3_000),
+)
+def test_differential_registry_schemes(
+    scheme, design_seed, attack_seed, num_cores, horizon
+):
+    """Any registered scheme's design simulates identically on both backends,
+    including the detection metrics of a random attack scenario."""
+    rng = np.random.default_rng(design_seed)
+    taskset = _random_taskset(rng)
+    platform = Platform(num_cores=num_cores)
+    try:
+        design = REGISTRY.create(scheme, platform).design(taskset, SharedPhases())
+    except (UnschedulableError, AllocationError):
+        return  # the scheme rejected this random task set; nothing to compare
+    if not design.schedulable:
+        return
+    jitter = {
+        task.name: int(rng.integers(0, 100))
+        for task in taskset.all_tasks
+        if rng.random() < 0.5
+    }
+    tick = simulate_design(design, horizon, release_jitter=jitter)
+    fast = simulate_design_fast(design, horizon, release_jitter=jitter)
+    assert tick == fast
+
+    monitors = [
+        SecurityMonitor.for_task(task) for task in design.taskset.security_tasks
+    ]
+    scenario = generate_attacks(
+        monitors, horizon, rng=np.random.default_rng(attack_seed)
+    )
+    assert evaluate_detection(tick, monitors, scenario) == evaluate_detection(
+        fast, monitors, scenario
+    )
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    taskset_seed=st.integers(min_value=0, max_value=2**32 - 1),
+    policy=st.sampled_from(["partitioned", "semi-partitioned", "global"]),
+    num_cores=st.integers(min_value=1, max_value=4),
+    horizon=st.integers(min_value=1, max_value=2_000),
+)
+def test_differential_raw_policies(taskset_seed, policy, num_cores, horizon):
+    """Backend equality holds for arbitrary (even unschedulable) task sets
+    under every runtime policy, with random bindings and jitter."""
+    rng = np.random.default_rng(taskset_seed)
+    taskset = _random_taskset(rng)
+    rt_allocation = {
+        task.name: int(rng.integers(0, num_cores)) for task in taskset.rt_tasks
+    }
+    security_allocation = {
+        task.name: int(rng.integers(0, num_cores))
+        for task in taskset.security_tasks
+    }
+    jitter = {
+        task.name: int(rng.integers(0, 300))
+        for task in taskset.all_tasks
+        if rng.random() < 0.5
+    }
+    config = SimulationConfig(
+        horizon=horizon, fail_on_rt_deadline_miss=False, release_jitter=jitter
+    )
+    tick, fast = both_traces(
+        taskset,
+        num_cores,
+        policy,
+        config,
+        rt_allocation=rt_allocation,
+        security_allocation=security_allocation,
+    )
+    assert tick == fast
+
+
+class TestReleaseJitterValidation:
+    """Regression: unknown task names in release_jitter must be loud."""
+
+    @pytest.mark.parametrize(
+        "backend", [Simulator, EventCompressedSimulator]
+    )
+    def test_unknown_jitter_task_raises(
+        self, backend, simple_taskset, simple_allocation
+    ):
+        config = SimulationConfig(
+            horizon=100, release_jitter={"no-such-task": 5}
+        )
+        with pytest.raises(SimulationError, match="no-such-task"):
+            backend(
+                simple_taskset,
+                2,
+                "semi-partitioned",
+                rt_allocation=simple_allocation,
+                config=config,
+            )
+
+    def test_known_jitter_tasks_accepted(self, simple_taskset, simple_allocation):
+        config = SimulationConfig(
+            horizon=100, release_jitter={"rt-fast": 5, "ids-b": 7}
+        )
+        trace = Simulator(
+            simple_taskset,
+            2,
+            "semi-partitioned",
+            rt_allocation=simple_allocation,
+            config=config,
+        ).run()
+        assert trace.jobs_for_task("rt-fast")[0].release_time == 5
+
+    def test_simulate_design_propagates_validation(self):
+        design = RoverCaseStudy().hydra_c_design()
+        with pytest.raises(SimulationError, match="typo-task"):
+            simulate_design(design, 1_000, release_jitter={"typo-task": 1})
+
+
+class TestBackendResolver:
+    def test_resolves_both_backends(self):
+        assert resolve_backend("tick") is Simulator
+        assert resolve_backend("fast") is EventCompressedSimulator
+
+    def test_unknown_backend_is_an_error(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown simulation backend"):
+            resolve_backend("warp")

@@ -64,6 +64,19 @@ class TestParser:
     def test_schemes_subcommand_parses(self):
         assert build_parser().parse_args(["schemes"]).command == "schemes"
 
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.trials == 35
+        assert args.horizon == 45_000
+        assert args.backend == "fast"
+        assert args.jitter == 0
+        assert args.checkpoint is None
+        assert args.chunk_size == 8
+
+    def test_campaign_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--backend", "warp"])
+
 
 class TestMain:
     def test_fig5_small_run(self, capsys):
@@ -235,6 +248,79 @@ class TestMain:
         captured = capsys.readouterr()
         assert captured.err.startswith("error:")
         assert "different sweep configuration" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_campaign_small_run(self, capsys):
+        exit_code = main(
+            [
+                "campaign",
+                "--trials",
+                "2",
+                "--horizon",
+                "9000",
+                "--schemes",
+                "HYDRA-C,HYDRA",
+                "--jitter",
+                "50",
+            ]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "Monte Carlo attack campaign" in captured.out
+        assert "HYDRA-C" in captured.out
+        assert "jitter=uniform:50" in captured.out
+        assert "campaign: chunk" in captured.err
+
+    def test_campaign_backends_print_identical_reports(self, capsys):
+        argv = ["campaign", "--trials", "2", "--horizon", "6000", "--schemes",
+                "HYDRA-C,HYDRA", "--quiet"]
+        assert main(argv + ["--backend", "fast"]) == 0
+        fast_out = capsys.readouterr().out
+        assert main(argv + ["--backend", "tick"]) == 0
+        assert capsys.readouterr().out == fast_out
+
+    def test_campaign_checkpoint_resume_roundtrip(self, capsys, tmp_path):
+        checkpoint = tmp_path / "camp.jsonl"
+        argv = [
+            "campaign",
+            "--trials",
+            "3",
+            "--horizon",
+            "6000",
+            "--schemes",
+            "HYDRA-C",
+            "--checkpoint",
+            str(checkpoint),
+            "--quiet",
+        ]
+        assert main(argv) == 0
+        first_out = capsys.readouterr().out
+        first_bytes = checkpoint.read_bytes()
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first_out
+        assert checkpoint.read_bytes() == first_bytes
+
+    def test_campaign_mismatched_checkpoint_is_a_clean_error(self, capsys, tmp_path):
+        checkpoint = tmp_path / "camp.jsonl"
+        base = [
+            "campaign",
+            "--trials",
+            "2",
+            "--horizon",
+            "6000",
+            "--schemes",
+            "HYDRA-C",
+            "--checkpoint",
+            str(checkpoint),
+            "--quiet",
+        ]
+        assert main(base + ["--seed", "5"]) == 0
+        capsys.readouterr()
+        exit_code = main(base + ["--seed", "6"])
+        assert exit_code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "different campaign" in captured.err
         assert "Traceback" not in captured.err
 
     def test_sweep_checkpoint_resume_roundtrip(self, capsys, tmp_path):
