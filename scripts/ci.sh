@@ -5,17 +5,23 @@
 #
 # Three gates:
 #   tier1 -- the fast tier-1 suite (unit/property/integration, benchmarks
-#            excluded).  Deterministic; always blocking.
+#            excluded).  Runs the RTA-kernel-vs-frozen-reference
+#            differential smoke first so an analysis regression fails
+#            fast with a labelled gate.  Deterministic; always blocking.
 #   smoke -- the campaign smoke run: a tiny Monte Carlo attack campaign
 #            executed under BOTH simulation backends (event-compressed and
 #            tick oracle); their aggregate reports must match byte for
 #            byte.  Deterministic; always blocking.
 #   bench -- the speedup gates: the batched pipeline must stay >= 2x
-#            faster than the frozen seed path (repro/batch/reference.py)
+#            faster than the frozen seed path (repro/batch/reference.py),
+#            the RTA kernel >= 2x on the allocation-heavy Fig. 7a columns,
 #            and the event-compressed simulation backend >= 5x faster than
-#            the tick engine on the rover horizon.  Wall-clock based, so on
-#            shared CI runners they run as a separate, non-blocking
-#            workflow step; locally they are a hard gate.
+#            the tick engine on the rover horizon.  None of these rewrite
+#            benchmarks/figures_output.txt -- that is asserted after the
+#            stage, because a dirty golden pin means results changed.
+#            Wall-clock based, so on shared CI runners they run as a
+#            separate, non-blocking workflow step; locally they are a hard
+#            gate.
 #
 # The remaining benchmarks (full figure regenerations) are not run here --
 # they are the local `pytest benchmarks` workflow and rewrite
@@ -35,7 +41,9 @@ case "$stage" in
 esac
 
 if [[ "$stage" == "tier1" || "$stage" == "all" ]]; then
-    echo "== tier 1: pytest -m 'not bench' =="
+    echo "== tier 1a: RTA kernel vs frozen reference (differential smoke) =="
+    python -m pytest -x -q tests/rta
+    echo "== tier 1b: pytest -m 'not bench' =="
     python -m pytest -x -q -m "not bench"
 fi
 
@@ -54,7 +62,13 @@ if [[ "$stage" == "smoke" || "$stage" == "all" ]]; then
 fi
 
 if [[ "$stage" == "bench" || "$stage" == "all" ]]; then
-    echo "== bench gates: batch-service and fast-simulation speedups =="
+    echo "== bench gates: batch-service, RTA-kernel and fast-simulation speedups =="
     python -m pytest -x -q benchmarks/test_bench_batch_service.py \
+        benchmarks/test_bench_rta_kernel.py \
         benchmarks/test_bench_sim_fast.py
+    echo "== golden pin: benchmarks/figures_output.txt must be unchanged =="
+    if ! git diff --exit-code -- benchmarks/figures_output.txt; then
+        echo "bench stage FAILED: figures_output.txt changed (results drift)" >&2
+        exit 1
+    fi
 fi

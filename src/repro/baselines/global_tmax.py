@@ -7,6 +7,13 @@ the cost of binding RT tasks to cores for legacy compatibility: HYDRA-C
 keeps the RT tasks partitioned yet achieves a better acceptance ratio,
 because partitioning removes the carry-in pessimism the global analysis must
 assume for RT tasks.
+
+The analysis runs on the RTA kernel's global engine
+(:class:`repro.rta.GlobalRtaEngine`): memoised Eq. 2/Eq. 4 workload terms
+shared through the task set's :class:`~repro.rta.RtaContext` and the
+kernel's greedy Lemma 2 carry-in selection -- frozen-equal to
+:func:`repro.schedulability.global_rta.global_taskset_schedulable`, which
+stays as the oracle (pinned in ``tests/rta/``).
 """
 
 from __future__ import annotations
@@ -16,7 +23,7 @@ from typing import Dict, Mapping, Optional
 from repro.core.framework import SchedulingPolicy, SystemDesign
 from repro.model.platform import Platform
 from repro.model.taskset import TaskSet
-from repro.schedulability.global_rta import global_taskset_schedulable
+from repro.rta import RtaContext
 
 __all__ = ["GlobalTMax"]
 
@@ -37,16 +44,24 @@ class GlobalTMax:
         self,
         taskset: TaskSet,
         rt_allocation: Optional[Mapping[str, int]] = None,
+        *,
+        rta_context: Optional[RtaContext] = None,
     ) -> SystemDesign:
         """Analyse the task set under global scheduling at maximum periods.
 
         ``rt_allocation`` is accepted (and ignored) so that all schemes share
         a uniform ``design(taskset, rt_allocation)`` call signature in the
         experiment harness; under global scheduling no task is bound to a
-        core.
+        core.  ``rta_context`` is the task set's shared kernel context (one
+        is created internally when omitted).
         """
+        context = (
+            rta_context
+            if rta_context is not None
+            else RtaContext(self._platform.num_cores)
+        )
         pinned = taskset.with_security_at_max_period()
-        analysis = global_taskset_schedulable(pinned, self._platform)
+        analysis = context.global_engine().taskset_schedulable(pinned)
         metadata: Dict[str, object] = {}
         if not analysis.schedulable:
             metadata["unschedulable_task"] = analysis.first_failure

@@ -44,14 +44,11 @@ from repro.model.tasks import RealTimeTask, SecurityTask
 from repro.model.taskset import TaskSet
 from repro.partitioning.allocation import Allocation
 from repro.partitioning.heuristics import FitStrategy, partition_rt_tasks
+from repro.rta import CorePeriodAssigner, RtaContext, SecurityPacker
 from repro.schedulability.partitioned import (
     PartitionedAnalysisResult,
     partitioned_rt_schedulable,
     rt_tasks_by_core,
-)
-from repro.schedulability.uniprocessor import (
-    UniprocessorTask,
-    uniprocessor_response_time,
 )
 
 __all__ = [
@@ -59,6 +56,8 @@ __all__ = [
     "PeriodPolicy",
     "SecurityAllocation",
     "best_core_for_security_task",
+    "build_security_packer",
+    "choose_best_fit_core",
     "feasible_cores_for_security_task",
 ]
 
@@ -108,16 +107,19 @@ class SecurityAllocation:
         return self.failed_task is None
 
 
-def _rt_view(task: RealTimeTask) -> UniprocessorTask:
-    return UniprocessorTask(
-        name=task.name, wcet=task.wcet, period=task.period, deadline=task.deadline
-    )
-
-
-def _security_view(task: SecurityTask, period: int) -> UniprocessorTask:
-    return UniprocessorTask(
-        name=task.name, wcet=task.wcet, period=period, deadline=period
-    )
+def build_security_packer(
+    rt_by_core: Mapping[int, Sequence[RealTimeTask]],
+    security_by_core: Mapping[int, Sequence[Tuple[SecurityTask, int]]],
+    num_cores: int,
+    rta_context: Optional[RtaContext] = None,
+) -> SecurityPacker:
+    """A kernel packer reflecting the given per-core occupancy snapshot."""
+    context = rta_context if rta_context is not None else RtaContext(num_cores)
+    packer = SecurityPacker(context, rt_by_core, num_cores)
+    for core_index in range(num_cores):
+        for sec, period in security_by_core.get(core_index, ()):
+            packer.place(sec, core_index, period)
+    return packer
 
 
 def feasible_cores_for_security_task(
@@ -131,7 +133,9 @@ def feasible_cores_for_security_task(
     This is the single feasibility predicate every allocation policy
     (best-fit here, random-fit in :mod:`repro.schemes.variants`) chooses
     from -- policies differ only in which feasible core they pick, so the
-    predicate must not be duplicated per policy.
+    predicate must not be duplicated per policy.  It is answered by the
+    kernel's :class:`~repro.rta.SecurityPacker`; allocation loops keep a
+    live packer instead of calling this per-probe snapshot wrapper.
 
     Parameters
     ----------
@@ -146,22 +150,28 @@ def feasible_cores_for_security_task(
     core, in core order; ``utilization`` is the load already bound there
     (RT plus assumed-period security tasks).
     """
-    feasible: List[Tuple[int, int, float]] = []
-    for core_index in range(num_cores):
-        rt_views = [_rt_view(rt) for rt in rt_by_core.get(core_index, ())]
-        security_views = [
-            _security_view(sec, period)
-            for sec, period in security_by_core.get(core_index, ())
-        ]
-        higher = rt_views + security_views
-        response = uniprocessor_response_time(
-            task.wcet, higher, limit=task.max_period
-        )
-        if response is None:
-            continue
-        utilization = sum(view.utilization for view in higher)
-        feasible.append((core_index, response, utilization))
-    return feasible
+    packer = build_security_packer(rt_by_core, security_by_core, num_cores)
+    return packer.feasible_cores(task)
+
+
+def choose_best_fit_core(
+    feasible: Sequence[Tuple[int, int, float]],
+) -> Optional[Tuple[int, int]]:
+    """Best-fit rule over ``(core, response, utilization)`` triples.
+
+    Picks the *fullest* core -- the one with the highest current
+    utilization -- keeping the remaining cores' slack available for later,
+    possibly larger, tasks.  Ties are broken by the smaller response time,
+    then by core index, for determinism.
+    """
+    best: Optional[Tuple[float, int, int]] = None  # (-util, response, core)
+    for core_index, response, utilization in feasible:
+        key = (-utilization, response, core_index)
+        if best is None or key < best:
+            best = key
+    if best is None:
+        return None
+    return best[2], best[1]
 
 
 def best_core_for_security_task(
@@ -172,27 +182,16 @@ def best_core_for_security_task(
 ) -> Optional[Tuple[int, int]]:
     """Best-fit core choice for one security task.
 
-    Among the feasible cores (see :func:`feasible_cores_for_security_task`)
-    the classic best-fit rule picks the *fullest* core -- the one with the
-    highest current utilization -- keeping the remaining cores' slack
-    available for later, possibly larger, tasks.  Ties are broken by the
-    smaller response time, then by core index, for determinism.
-
     Returns
     -------
     ``(core_index, response_time)`` for the chosen core, or ``None`` if the
     task's response time exceeds ``T^max`` on every core.
     """
-    best: Optional[Tuple[float, int, int]] = None  # (-util, response, core)
-    for core_index, response, utilization in feasible_cores_for_security_task(
-        task, rt_by_core, security_by_core, num_cores
-    ):
-        key = (-utilization, response, core_index)
-        if best is None or key < best:
-            best = key
-    if best is None:
-        return None
-    return best[2], best[1]
+    return choose_best_fit_core(
+        feasible_cores_for_security_task(
+            task, rt_by_core, security_by_core, num_cores
+        )
+    )
 
 
 class Hydra:
@@ -238,6 +237,7 @@ class Hydra:
         rt_check: Optional[PartitionedAnalysisResult] = None,
         security_allocation: Optional[SecurityAllocation] = None,
         rt_by_core: Optional[Mapping[int, Sequence[RealTimeTask]]] = None,
+        rta_context: Optional[RtaContext] = None,
     ) -> SystemDesign:
         """Allocate the security tasks, adapt their periods, build the design.
 
@@ -248,8 +248,10 @@ class Hydra:
         exactly this task set and RT partition, so that callers evaluating
         several HYDRA variants can share them; see
         :class:`SecurityAllocation` for the sharing contract.
+        ``rta_context`` is the task set's shared kernel context (one is
+        created internally when omitted).
         """
-        allocation = self._resolve_rt_allocation(taskset, rt_allocation)
+        allocation = self._resolve_rt_allocation(taskset, rt_allocation, rta_context)
         if rt_check is None:
             rt_check = partitioned_rt_schedulable(
                 taskset, allocation.mapping, self._platform
@@ -267,7 +269,9 @@ class Hydra:
         response_times: Dict[str, Optional[int]] = dict(rt_check.response_times)
 
         if security_allocation is None:
-            security_allocation = self.allocate_security(taskset, rt_by_core)
+            security_allocation = self.allocate_security(
+                taskset, rt_by_core, rta_context=rta_context
+            )
         elif security_allocation.greedy != (
             self._period_policy is PeriodPolicy.GREEDY_MIN
         ):
@@ -295,7 +299,7 @@ class Hydra:
             )
 
         periods, final_responses = self._assign_periods(
-            taskset, rt_by_core, security_allocation.mapping
+            taskset, rt_by_core, security_allocation.mapping, rta_context
         )
         response_times.update(final_responses)
 
@@ -329,24 +333,30 @@ class Hydra:
         self,
         taskset: TaskSet,
         rt_by_core: Mapping[int, Sequence[RealTimeTask]],
+        rta_context: Optional[RtaContext] = None,
     ) -> SecurityAllocation:
         """Greedy best-fit allocation at the maximum periods.
 
         ``rt_by_core`` must group the RT tasks exactly as
         :func:`repro.schedulability.partitioned.rt_tasks_by_core` does (one
-        entry per platform core, tasks in priority order).
+        entry per platform core, tasks in priority order).  The placement
+        loop keeps one kernel :class:`~repro.rta.SecurityPacker` alive, so
+        successive probes against an unchanged core share their per-window
+        interference arithmetic; ``rta_context`` optionally supplies the
+        task set's shared kernel context.
         """
-        security_by_core: Dict[int, List[Tuple[SecurityTask, int]]] = {
-            core.index: [] for core in self._platform.cores
-        }
+        context = (
+            rta_context
+            if rta_context is not None
+            else RtaContext(self._platform.num_cores)
+        )
+        packer = SecurityPacker(context, rt_by_core, self._platform.num_cores)
         mapping: Dict[str, int] = {}
         responses: Dict[str, Optional[int]] = {}
         greedy = self._period_policy is PeriodPolicy.GREEDY_MIN
 
         for task in taskset.security_by_priority():
-            choice = best_core_for_security_task(
-                task, rt_by_core, security_by_core, self._platform.num_cores
-            )
+            choice = choose_best_fit_core(packer.feasible_cores(task))
             if choice is None:
                 responses[task.name] = None
                 return SecurityAllocation(
@@ -362,7 +372,7 @@ class Hydra:
             # shortest period it can; otherwise it occupies the core at its
             # maximum period until the per-core minimisation pass.
             assumed_period = response if greedy else task.max_period
-            security_by_core[core_index].append((task, assumed_period))
+            packer.place(task, core_index, assumed_period)
 
         return SecurityAllocation(
             mapping=mapping, response_times=responses, greedy=greedy
@@ -375,8 +385,14 @@ class Hydra:
         taskset: TaskSet,
         rt_by_core: Mapping[int, Sequence[RealTimeTask]],
         security_mapping: Mapping[str, int],
+        rta_context: Optional[RtaContext] = None,
     ) -> Tuple[Dict[str, int], Dict[str, Optional[int]]]:
         """Assign periods per the configured policy and report final WCRTs."""
+        context = (
+            rta_context
+            if rta_context is not None
+            else RtaContext(self._platform.num_cores)
+        )
         periods: Dict[str, int] = {}
         responses: Dict[str, Optional[int]] = {}
 
@@ -388,9 +404,11 @@ class Hydra:
             ]
             if not core_tasks:
                 continue
-            rt_views = [_rt_view(rt) for rt in rt_by_core.get(core_index, ())]
+            assigner = CorePeriodAssigner(
+                context, rt_by_core.get(core_index, ())
+            )
             core_periods, core_responses = self._assign_periods_on_core(
-                core_tasks, rt_views
+                core_tasks, assigner
             )
             periods.update(core_periods)
             responses.update(core_responses)
@@ -400,7 +418,7 @@ class Hydra:
     def _assign_periods_on_core(
         self,
         core_tasks: Sequence[SecurityTask],
-        rt_views: Sequence[UniprocessorTask],
+        assigner: CorePeriodAssigner,
     ) -> Tuple[Dict[str, int], Dict[str, Optional[int]]]:
         """Period assignment for the security tasks bound to a single core."""
         periods: Dict[str, int] = {task.name: task.max_period for task in core_tasks}
@@ -409,12 +427,13 @@ class Hydra:
             pass  # keep maxima
         elif self._period_policy is PeriodPolicy.GREEDY_MIN:
             for position, task in enumerate(core_tasks):
-                higher = list(rt_views) + [
-                    _security_view(hp, periods[hp.name])
-                    for hp in core_tasks[:position]
-                ]
-                response = uniprocessor_response_time(
-                    task.wcet, higher, limit=task.max_period
+                response = assigner.response_time(
+                    task.wcet,
+                    task.max_period,
+                    [
+                        (hp.wcet, periods[hp.name])
+                        for hp in core_tasks[:position]
+                    ],
                 )
                 periods[task.name] = (
                     response if response is not None else task.max_period
@@ -422,10 +441,10 @@ class Hydra:
         else:  # CORE_AWARE
             for position, task in enumerate(core_tasks):
                 periods[task.name] = self._core_aware_minimum_period(
-                    position, core_tasks, periods, rt_views
+                    position, core_tasks, periods, assigner
                 )
 
-        responses = self._core_response_times(core_tasks, periods, rt_views)
+        responses = self._core_response_times(core_tasks, periods, assigner)
         return periods, responses
 
     def _core_aware_minimum_period(
@@ -433,16 +452,15 @@ class Hydra:
         position: int,
         core_tasks: Sequence[SecurityTask],
         periods: Mapping[str, int],
-        rt_views: Sequence[UniprocessorTask],
+        assigner: CorePeriodAssigner,
     ) -> int:
         """Smallest period for ``core_tasks[position]`` keeping the core's
         lower-priority security tasks schedulable (per-core Algorithm 2)."""
         task = core_tasks[position]
-        higher = list(rt_views) + [
-            _security_view(hp, periods[hp.name]) for hp in core_tasks[:position]
-        ]
-        own_response = uniprocessor_response_time(
-            task.wcet, higher, limit=task.max_period
+        own_response = assigner.response_time(
+            task.wcet,
+            task.max_period,
+            [(hp.wcet, periods[hp.name]) for hp in core_tasks[:position]],
         )
         if own_response is None:  # pragma: no cover - allocation guarantees feasibility
             return task.max_period
@@ -452,12 +470,13 @@ class Hydra:
             trial[task.name] = candidate
             for lower_position in range(position + 1, len(core_tasks)):
                 lower = core_tasks[lower_position]
-                interference = list(rt_views) + [
-                    _security_view(hp, trial[hp.name])
-                    for hp in core_tasks[:lower_position]
-                ]
-                response = uniprocessor_response_time(
-                    lower.wcet, interference, limit=lower.max_period
+                response = assigner.response_time(
+                    lower.wcet,
+                    lower.max_period,
+                    [
+                        (hp.wcet, trial[hp.name])
+                        for hp in core_tasks[:lower_position]
+                    ],
                 )
                 if response is None:
                     return False
@@ -477,25 +496,30 @@ class Hydra:
         self,
         core_tasks: Sequence[SecurityTask],
         periods: Mapping[str, int],
-        rt_views: Sequence[UniprocessorTask],
+        assigner: CorePeriodAssigner,
     ) -> Dict[str, Optional[int]]:
         responses: Dict[str, Optional[int]] = {}
         for position, task in enumerate(core_tasks):
-            higher = list(rt_views) + [
-                _security_view(hp, periods[hp.name]) for hp in core_tasks[:position]
-            ]
-            responses[task.name] = uniprocessor_response_time(
-                task.wcet, higher, limit=task.max_period
+            responses[task.name] = assigner.response_time(
+                task.wcet,
+                task.max_period,
+                [(hp.wcet, periods[hp.name]) for hp in core_tasks[:position]],
             )
         return responses
 
     # -- helpers ------------------------------------------------------------------------
 
     def _resolve_rt_allocation(
-        self, taskset: TaskSet, rt_allocation: Optional[Mapping[str, int]]
+        self,
+        taskset: TaskSet,
+        rt_allocation: Optional[Mapping[str, int]],
+        rta_context: Optional[RtaContext] = None,
     ) -> Allocation:
         if rt_allocation is not None:
             return Allocation(dict(rt_allocation))
         return partition_rt_tasks(
-            taskset, self._platform, strategy=self._rt_partition_strategy
+            taskset,
+            self._platform,
+            strategy=self._rt_partition_strategy,
+            rta_context=rta_context,
         )

@@ -79,24 +79,29 @@ def build_specs(config: ExperimentConfig) -> List[TasksetSpec]:
 
 #: Per-process service cache for the worker entry point: building the
 #: service is cheap, but there is no reason to rebuild it per task set.
-_WORKER_SERVICES: Dict[Tuple[int, Tuple[str, ...]], BatchDesignService] = {}
+_WORKER_SERVICES: Dict[
+    Tuple[int, Tuple[str, ...], str], BatchDesignService
+] = {}
 
 
 def _evaluate_spec_worker(
-    args: Tuple[int, Tuple[str, ...], TasksetSpec],
+    args: Tuple[int, Tuple[str, ...], str, TasksetSpec],
 ) -> Optional[TasksetEvaluation]:
     """Module-level (hence picklable) worker entry point.
 
-    Scheme *names* travel to the worker; the specs themselves are resolved
-    against the worker's own registry (plugin factories are not picklable).
-    Custom schemes must therefore be registered at import time of a module
-    the workers also import -- see the :mod:`repro.schemes` docstring.
+    Scheme *names* (and the Algorithm 2 search mode) travel to the worker;
+    the specs themselves are resolved against the worker's own registry
+    (plugin factories are not picklable).  Custom schemes must therefore be
+    registered at import time of a module the workers also import -- see
+    the :mod:`repro.schemes` docstring.
     """
-    num_cores, scheme_names, spec = args
-    key = (num_cores, scheme_names)
+    num_cores, scheme_names, search_mode, spec = args
+    key = (num_cores, scheme_names, search_mode)
     service = _WORKER_SERVICES.get(key)
     if service is None:
-        service = BatchDesignService(num_cores, scheme_names=scheme_names)
+        service = BatchDesignService(
+            num_cores, scheme_names=scheme_names, search_mode=search_mode
+        )
         _WORKER_SERVICES[key] = service
     return service.evaluate_spec(spec)
 
@@ -128,7 +133,9 @@ class SweepOrchestrator:
         self._store = store
         self._progress = progress
         self._service = BatchDesignService(
-            config.num_cores, scheme_names=config.schemes
+            config.num_cores,
+            scheme_names=config.schemes,
+            search_mode=config.search_mode,
         )
 
     def run(self) -> SweepResult:
@@ -187,7 +194,12 @@ class SweepOrchestrator:
         if pool is None:
             return [self._service.evaluate_spec(spec) for spec in chunk]
         args = [
-            (self._config.num_cores, self._config.schemes, spec)
+            (
+                self._config.num_cores,
+                self._config.schemes,
+                self._config.search_mode,
+                spec,
+            )
             for spec in chunk
         ]
         # chunksize=1 so a checkpoint chunk spreads over every worker; task

@@ -8,7 +8,14 @@ repository shipped with before the batched service existed:
   Eq. 2-5 terms, one small-array NumPy pass per carry-in set per window);
 * the per-task-set orchestration that runs the four schemes independently,
   re-deriving the Eq. 1 RT analysis and the greedy security allocation for
-  each scheme that needs them.
+  each scheme that needs them;
+* the pre-kernel packing paths (frozen when the :mod:`repro.rta` kernel
+  took over the live layers): RT bin packing whose fit predicate re-runs
+  the full per-core analysis on every probe
+  (:func:`reference_partition_rt_tasks`), the HYDRA greedy best-fit
+  security allocation that rebuilds the higher-priority view list per
+  probe, and the GLOBAL-TMax design on the frozen
+  :mod:`repro.schedulability.global_rta` analysis.
 
 It exists for two reasons:
 
@@ -29,9 +36,6 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.baselines.global_tmax import GlobalTMax
-from repro.baselines.hydra import Hydra
-from repro.baselines.hydra_tmax import HydraTMax
 from repro.batch.results import SCHEME_NAMES, TasksetEvaluation
 from repro.core.analysis import (
     DEFAULT_EXACT_ENUMERATION_LIMIT,
@@ -46,19 +50,31 @@ from repro.generation.taskset_generator import (
     TasksetGenerator,
 )
 from repro.model.platform import Platform
-from repro.model.tasks import RealTimeTask
+from repro.model.tasks import RealTimeTask, SecurityTask
 from repro.model.taskset import TaskSet
-from repro.partitioning.heuristics import partition_rt_tasks
+from repro.partitioning.allocation import Allocation
 from repro.schedulability.carry_in import (
     count_carry_in_sets,
     enumerate_carry_in_sets,
 )
-from repro.schedulability.partitioned import partitioned_rt_schedulable
+from repro.schedulability.global_rta import global_taskset_schedulable
+from repro.schedulability.partitioned import (
+    partitioned_rt_schedulable,
+    rt_tasks_by_core,
+)
+from repro.schedulability.uniprocessor import (
+    UniprocessorTask,
+    core_is_schedulable,
+    uniprocessor_response_time,
+)
 
 __all__ = [
     "reference_security_response_time",
     "reference_select_periods",
     "reference_design_hydra_c",
+    "reference_partition_rt_tasks",
+    "reference_design_hydra",
+    "reference_design_global_tmax",
     "reference_evaluate_one",
 ]
 
@@ -320,14 +336,256 @@ def reference_design_hydra_c(
     )
 
 
+# ---------------------------------------------------------------------------
+# Frozen pre-kernel packing and baseline paths
+# ---------------------------------------------------------------------------
+#
+# These are verbatim behavioural copies of the live layers as they stood
+# before the repro.rta kernel took them over: every "does it fit?" probe
+# re-runs the full per-core analysis, every allocation probe rebuilds the
+# higher-priority view list, nothing is shared between schemes.  They are
+# the compute profile the kernel benchmarks gate against and the oracle the
+# differential suites compare with.
+
+
+def _reference_rt_view(task: RealTimeTask) -> UniprocessorTask:
+    return UniprocessorTask(
+        name=task.name, wcet=task.wcet, period=task.period, deadline=task.deadline
+    )
+
+
+def _reference_security_view(task: SecurityTask, period: int) -> UniprocessorTask:
+    return UniprocessorTask(
+        name=task.name, wcet=task.wcet, period=period, deadline=period
+    )
+
+
+def _reference_fits_on_core(
+    candidate: RealTimeTask, existing: Sequence[RealTimeTask]
+) -> bool:
+    """The seed fit predicate: full per-core Eq. 1 re-analysis per probe."""
+    combined = sorted(
+        list(existing) + [candidate], key=lambda t: (t.priority, t.name)
+    )
+    return core_is_schedulable([_reference_rt_view(task) for task in combined])
+
+
+def reference_partition_rt_tasks(
+    taskset: TaskSet, platform: Platform
+) -> Allocation:
+    """The seed best-fit RT partitioner (pre-kernel, probe = full re-check)."""
+    if not taskset.rt_tasks:
+        return Allocation.empty()
+
+    order = sorted(taskset.rt_tasks, key=lambda t: (-t.utilization, t.name))
+    per_core: Dict[int, List[RealTimeTask]] = {
+        core.index: [] for core in platform.cores
+    }
+    utilizations = [0.0] * platform.num_cores
+    mapping: Dict[str, int] = {}
+
+    for task in order:
+        feasible = [
+            core_index
+            for core_index in range(platform.num_cores)
+            if _reference_fits_on_core(task, per_core[core_index])
+        ]
+        if not feasible:
+            raise AllocationError(
+                f"RT task {task.name!r} (U={task.utilization:.3f}) does not fit "
+                f"on any of the {platform.num_cores} cores under best-fit packing"
+            )
+        chosen = max(feasible, key=lambda core: (utilizations[core], -core))
+        per_core[chosen].append(task)
+        utilizations[chosen] += task.utilization
+        mapping[task.name] = chosen
+
+    return Allocation(mapping)
+
+
+def _reference_feasible_cores(
+    task: SecurityTask,
+    rt_by_core: Mapping[int, Sequence[RealTimeTask]],
+    security_by_core: Mapping[int, Sequence[Tuple[SecurityTask, int]]],
+    num_cores: int,
+) -> List[Tuple[int, int, float]]:
+    """The seed feasibility predicate (view lists rebuilt per probe)."""
+    feasible: List[Tuple[int, int, float]] = []
+    for core_index in range(num_cores):
+        rt_views = [_reference_rt_view(rt) for rt in rt_by_core.get(core_index, ())]
+        security_views = [
+            _reference_security_view(sec, period)
+            for sec, period in security_by_core.get(core_index, ())
+        ]
+        higher = rt_views + security_views
+        response = uniprocessor_response_time(
+            task.wcet, higher, limit=task.max_period
+        )
+        if response is None:
+            continue
+        utilization = sum(view.utilization for view in higher)
+        feasible.append((core_index, response, utilization))
+    return feasible
+
+
+def _reference_allocate_security(
+    platform: Platform,
+    taskset: TaskSet,
+    rt_by_core: Mapping[int, Sequence[RealTimeTask]],
+) -> Tuple[Dict[str, int], Optional[str]]:
+    """The seed greedy best-fit allocation at the maximum periods."""
+    security_by_core: Dict[int, List[Tuple[SecurityTask, int]]] = {
+        core.index: [] for core in platform.cores
+    }
+    mapping: Dict[str, int] = {}
+    for task in taskset.security_by_priority():
+        best: Optional[Tuple[float, int, int]] = None  # (-util, response, core)
+        for core_index, response, utilization in _reference_feasible_cores(
+            task, rt_by_core, security_by_core, platform.num_cores
+        ):
+            key = (-utilization, response, core_index)
+            if best is None or key < best:
+                best = key
+        if best is None:
+            return mapping, task.name
+        core_index = best[2]
+        mapping[task.name] = core_index
+        security_by_core[core_index].append((task, task.max_period))
+    return mapping, None
+
+
+def _reference_core_aware_periods(
+    core_tasks: Sequence[SecurityTask],
+    rt_views: Sequence[UniprocessorTask],
+) -> Dict[str, int]:
+    """The seed per-core period minimisation (HYDRA's CORE_AWARE policy)."""
+    periods: Dict[str, int] = {task.name: task.max_period for task in core_tasks}
+
+    for position, task in enumerate(core_tasks):
+        higher = list(rt_views) + [
+            _reference_security_view(hp, periods[hp.name])
+            for hp in core_tasks[:position]
+        ]
+        own_response = uniprocessor_response_time(
+            task.wcet, higher, limit=task.max_period
+        )
+        if own_response is None:  # pragma: no cover - allocation guarantees fit
+            continue
+
+        def lower_priority_ok(candidate: int) -> bool:
+            trial = dict(periods)
+            trial[task.name] = candidate
+            for lower_position in range(position + 1, len(core_tasks)):
+                lower = core_tasks[lower_position]
+                interference = list(rt_views) + [
+                    _reference_security_view(hp, trial[hp.name])
+                    for hp in core_tasks[:lower_position]
+                ]
+                response = uniprocessor_response_time(
+                    lower.wcet, interference, limit=lower.max_period
+                )
+                if response is None:
+                    return False
+            return True
+
+        low, high, best = own_response, task.max_period, task.max_period
+        while low <= high:
+            mid = (low + high) // 2
+            if lower_priority_ok(mid):
+                best = mid
+                high = mid - 1
+            else:
+                low = mid + 1
+        periods[task.name] = best
+
+    return periods
+
+
+def reference_design_hydra(
+    platform: Platform,
+    taskset: TaskSet,
+    rt_allocation: Mapping[str, int],
+    pin_periods_to_max: bool = False,
+) -> SystemDesign:
+    """The seed HYDRA design path (``pin_periods_to_max`` -> HYDRA-TMax)."""
+    scheme = "HYDRA-TMax" if pin_periods_to_max else "HYDRA"
+    rt_check = partitioned_rt_schedulable(taskset, rt_allocation, platform)
+    if not rt_check.schedulable:
+        raise UnschedulableError(
+            "legacy RT tasks are not schedulable under the given partition: "
+            f"{rt_check.unschedulable_tasks}"
+        )
+    rt_by_core = rt_tasks_by_core(taskset, rt_allocation, platform)
+    mapping, failed_task = _reference_allocate_security(
+        platform, taskset, rt_by_core
+    )
+    if failed_task is not None:
+        return SystemDesign(
+            scheme=scheme,
+            policy=SchedulingPolicy.PARTITIONED,
+            taskset=taskset,
+            platform=platform,
+            schedulable=False,
+            metadata={"unschedulable_task": failed_task},
+        )
+
+    periods: Dict[str, int] = {}
+    for core_index in range(platform.num_cores):
+        core_tasks = [
+            task
+            for task in taskset.security_by_priority()
+            if mapping.get(task.name) == core_index
+        ]
+        if not core_tasks:
+            continue
+        if pin_periods_to_max:
+            periods.update(
+                {task.name: task.max_period for task in core_tasks}
+            )
+        else:
+            rt_views = [
+                _reference_rt_view(rt) for rt in rt_by_core.get(core_index, ())
+            ]
+            periods.update(_reference_core_aware_periods(core_tasks, rt_views))
+
+    return SystemDesign(
+        scheme=scheme,
+        policy=SchedulingPolicy.PARTITIONED,
+        taskset=taskset.with_security_periods(periods),
+        platform=platform,
+        schedulable=True,
+    )
+
+
+def reference_design_global_tmax(
+    platform: Platform, taskset: TaskSet
+) -> SystemDesign:
+    """The seed GLOBAL-TMax design path (frozen global analysis)."""
+    pinned = taskset.with_security_at_max_period()
+    analysis = global_taskset_schedulable(pinned, platform)
+    return SystemDesign(
+        scheme="GLOBAL-TMax",
+        policy=SchedulingPolicy.GLOBAL,
+        taskset=pinned,
+        platform=platform,
+        schedulable=analysis.schedulable,
+        response_times=dict(analysis.response_times),
+    )
+
+
 def reference_evaluate_one(
     num_cores: int,
     group_index: int,
     normalized_range: Tuple[float, float],
     seed: int,
     max_generation_attempts: int = 50,
+    scheme_names: Optional[Sequence[str]] = None,
 ) -> Optional[TasksetEvaluation]:
-    """The seed sweep's per-slot evaluation: four independent scheme runs."""
+    """The seed sweep's per-slot evaluation: independent scheme runs.
+
+    ``scheme_names`` restricts the evaluated columns (default: the paper's
+    four); only the canonical schemes have frozen seed paths.
+    """
     platform = Platform(num_cores=num_cores)
     generator = TasksetGenerator(
         TasksetGenerationConfig(num_cores=num_cores), seed=seed
@@ -340,7 +598,7 @@ def reference_evaluate_one(
         normalized = float(rng.uniform(*normalized_range))
         candidate = generator.generate_normalized(normalized)
         try:
-            rt_allocation = partition_rt_tasks(candidate, platform)
+            rt_allocation = reference_partition_rt_tasks(candidate, platform)
         except AllocationError:
             continue
         taskset = candidate
@@ -351,16 +609,21 @@ def reference_evaluate_one(
     def design_for(name: str) -> SystemDesign:
         if name == "HYDRA-C":
             return reference_design_hydra_c(platform, taskset, rt_allocation.mapping)
-        scheme = {
-            "HYDRA": Hydra,
-            "GLOBAL-TMax": GlobalTMax,
-            "HYDRA-TMax": HydraTMax,
-        }[name](platform)
-        return scheme.design(taskset, rt_allocation.mapping)
+        if name == "GLOBAL-TMax":
+            return reference_design_global_tmax(platform, taskset)
+        if name in ("HYDRA", "HYDRA-TMax"):
+            return reference_design_hydra(
+                platform,
+                taskset,
+                rt_allocation.mapping,
+                pin_periods_to_max=(name == "HYDRA-TMax"),
+            )
+        raise KeyError(f"no frozen seed path for scheme {name!r}")
 
+    selected = tuple(scheme_names) if scheme_names is not None else SCHEME_NAMES
     schedulable: Dict[str, bool] = {}
     periods: Dict[str, Optional[Dict[str, int]]] = {}
-    for name in SCHEME_NAMES:
+    for name in selected:
         try:
             design = design_for(name)
         except UnschedulableError:

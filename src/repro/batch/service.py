@@ -20,18 +20,25 @@ declares the phases it consumes, and the service materialises exactly the
 union of the selected schemes' declarations -- no name-based special
 cases, so a newly registered scheme participates in the sharing without
 touching this module.
+
+Beneath the phases sits the RTA kernel: the service creates one
+:class:`repro.rta.RtaContext` per task set and threads it through
+generation-time partitioning, the Eq. 1 check, the security allocation and
+every plugin, so all of them share the same workload memos and incremental
+core states.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.baselines.hydra import Hydra
 from repro.batch.results import TasksetEvaluation
 from repro.core.framework import SystemDesign
+from repro.core.period_selection import SearchMode, normalise_search_mode
 from repro.errors import AllocationError, ConfigurationError, UnschedulableError
 from repro.generation.taskset_generator import (
     TasksetGenerationConfig,
@@ -41,11 +48,15 @@ from repro.model.platform import Platform
 from repro.model.taskset import TaskSet
 from repro.partitioning.allocation import Allocation
 from repro.partitioning.heuristics import partition_rt_tasks
-from repro.schedulability.partitioned import (
-    partitioned_rt_schedulable,
-    rt_tasks_by_core,
+from repro.rta import RtaContext, partitioned_rt_check
+from repro.schedulability.partitioned import rt_tasks_by_core
+from repro.schemes import (
+    REGISTRY,
+    DesignOptions,
+    Phase,
+    SchemeRegistry,
+    SharedPhases,
 )
-from repro.schemes import REGISTRY, Phase, SchemeRegistry, SharedPhases
 
 __all__ = ["TasksetSpec", "BatchDesignService", "MAX_GENERATION_ATTEMPTS"]
 
@@ -85,6 +96,9 @@ class BatchDesignService:
     registry:
         Scheme registry to resolve names against (the process-wide default
         unless a test injects its own).
+    search_mode:
+        HYDRA-C's Algorithm 2 period-search mode, applied to every plugin
+        that honours it (see :class:`repro.schemes.DesignOptions`).
     """
 
     def __init__(
@@ -93,15 +107,21 @@ class BatchDesignService:
         scheme_names: Optional[Sequence[str]] = None,
         max_generation_attempts: int = MAX_GENERATION_ATTEMPTS,
         registry: SchemeRegistry = REGISTRY,
+        search_mode: Union[SearchMode, str] = SearchMode.BINARY,
     ) -> None:
         if num_cores < 1:
             raise ConfigurationError("num_cores must be >= 1")
         self._platform = Platform(num_cores=num_cores)
         self._specs = registry.resolve(scheme_names)
         self._scheme_names = tuple(spec.name for spec in self._specs)
+        self._options = DesignOptions(
+            search_mode=normalise_search_mode(search_mode)
+        )
         self._plugins = tuple(
             spec.factory(self._platform) for spec in self._specs
         )
+        for plugin in self._plugins:
+            plugin.configure(self._options)
         self._needed_phases: FrozenSet[Phase] = frozenset().union(
             *(spec.phases for spec in self._specs)
         )
@@ -121,7 +141,11 @@ class BatchDesignService:
 
     # -- generation ------------------------------------------------------------
 
-    def generate(self, spec: TasksetSpec) -> Optional[Tuple[TaskSet, Allocation]]:
+    def generate(
+        self,
+        spec: TasksetSpec,
+        rta_context: Optional[RtaContext] = None,
+    ) -> Optional[Tuple[TaskSet, Allocation]]:
         """Generate the task set of *spec* (with its legacy RT partition).
 
         Replicates the original sweep's regeneration loop exactly: draw a
@@ -137,7 +161,9 @@ class BatchDesignService:
             normalized = float(rng.uniform(*spec.normalized_range))
             candidate = generator.generate_normalized(normalized)
             try:
-                allocation = partition_rt_tasks(candidate, self._platform)
+                allocation = partition_rt_tasks(
+                    candidate, self._platform, rta_context=rta_context
+                )
             except AllocationError:
                 continue
             return candidate, allocation
@@ -146,13 +172,16 @@ class BatchDesignService:
     # -- shared phases ---------------------------------------------------------
 
     def _compute_shared_phases(
-        self, taskset: TaskSet, rt_allocation: Allocation
+        self,
+        taskset: TaskSet,
+        rt_allocation: Allocation,
+        rta_context: RtaContext,
     ) -> SharedPhases:
         """Materialise the union of the selected schemes' declared phases."""
         needed = self._needed_phases
         rt_check = (
-            partitioned_rt_schedulable(
-                taskset, rt_allocation.mapping, self._platform
+            partitioned_rt_check(
+                taskset, rt_allocation.mapping, self._platform, rta_context
             )
             if Phase.EQ1_RT_CHECK in needed
             else None
@@ -168,19 +197,23 @@ class BatchDesignService:
                 taskset, rt_allocation.mapping, self._platform
             )
             security_allocation = self._maxperiod_allocator.allocate_security(
-                taskset, rt_by_core
+                taskset, rt_by_core, rta_context=rta_context
             )
         return SharedPhases(
             rt_allocation=rt_allocation,
             rt_check=rt_check,
             rt_by_core=rt_by_core,
             security_allocation=security_allocation,
+            rta_context=rta_context,
         )
 
     # -- evaluation ------------------------------------------------------------
 
     def design_all(
-        self, taskset: TaskSet, rt_allocation: Allocation
+        self,
+        taskset: TaskSet,
+        rt_allocation: Allocation,
+        rta_context: Optional[RtaContext] = None,
     ) -> Dict[str, Optional[SystemDesign]]:
         """Run every selected scheme on one task set, sharing common phases.
 
@@ -189,9 +222,13 @@ class BatchDesignService:
         :class:`~repro.errors.UnschedulableError` /
         :class:`~repro.errors.AllocationError` (it could not even set up
         its RT configuration for this task set).  Each shared phase runs at
-        most once, regardless of how many schemes consume it.
+        most once, regardless of how many schemes consume it, and all of
+        them -- plus the plugins -- run on one task-set-wide
+        :class:`~repro.rta.RtaContext`.
         """
-        shared = self._compute_shared_phases(taskset, rt_allocation)
+        if rta_context is None:
+            rta_context = RtaContext(self._platform.num_cores)
+        shared = self._compute_shared_phases(taskset, rt_allocation, rta_context)
         designs: Dict[str, Optional[SystemDesign]] = {}
         for name, plugin in zip(self._scheme_names, self._plugins):
             try:
@@ -205,9 +242,10 @@ class BatchDesignService:
         taskset: TaskSet,
         rt_allocation: Allocation,
         group_index: int = 0,
+        rta_context: Optional[RtaContext] = None,
     ) -> TasksetEvaluation:
         """Evaluate one task set against every scheme and build the record."""
-        designs = self.design_all(taskset, rt_allocation)
+        designs = self.design_all(taskset, rt_allocation, rta_context=rta_context)
         schedulable: Dict[str, bool] = {}
         periods: Dict[str, Optional[Dict[str, int]]] = {}
         for name in self._scheme_names:
@@ -235,11 +273,21 @@ class BatchDesignService:
         )
 
     def evaluate_spec(self, spec: TasksetSpec) -> Optional[TasksetEvaluation]:
-        """Generate and evaluate one sweep slot (``None`` if generation fails)."""
-        generated = self.generate(spec)
+        """Generate and evaluate one sweep slot (``None`` if generation fails).
+
+        One :class:`~repro.rta.RtaContext` spans the whole slot --
+        generation-time partitioning and every scheme phase -- so the
+        slot's kernel activity (solves, shortcut accepts, shared caches)
+        aggregates in one place.
+        """
+        rta_context = RtaContext(self._platform.num_cores)
+        generated = self.generate(spec, rta_context=rta_context)
         if generated is None:
             return None
         taskset, allocation = generated
         return self.evaluate_taskset(
-            taskset, allocation, group_index=spec.group_index
+            taskset,
+            allocation,
+            group_index=spec.group_index,
+            rta_context=rta_context,
         )

@@ -31,7 +31,10 @@ def config_fingerprint(config: "ExperimentConfig") -> Dict[str, object]:
     count or chunking must be allowed, because neither affects the result
     stream.  The selected scheme list *is* included: every stored record
     holds one column per scheme, so resuming with a different ``--schemes``
-    set would silently mix incompatible result rows.
+    set would silently mix incompatible result rows.  The Algorithm 2
+    ``search_mode`` is included as well -- the modes are
+    equivalence-tested, but a checkpoint documents the configuration that
+    produced it, so a resume under a different mode is rejected.
     """
     return {
         "num_cores": config.num_cores,
@@ -41,6 +44,7 @@ def config_fingerprint(config: "ExperimentConfig") -> Dict[str, object]:
         ],
         "seed": config.seed,
         "schemes": list(config.schemes),
+        "search_mode": config.search_mode,
     }
 
 
@@ -54,11 +58,17 @@ class JsonlResultStore(JsonlCheckpointStore):
         super().__init__(path, config_fingerprint(config))
 
     def _normalise_header_fingerprint(self, fingerprint: object) -> object:
-        if isinstance(fingerprint, dict) and "schemes" not in fingerprint:
-            # Checkpoints written before the scheme registry existed carry
-            # no scheme list; they were always the canonical four, so treat
-            # them as such instead of rejecting an unchanged sweep.
-            return {**fingerprint, "schemes": list(SCHEME_NAMES)}
+        if isinstance(fingerprint, dict):
+            if "schemes" not in fingerprint:
+                # Checkpoints written before the scheme registry existed
+                # carry no scheme list; they were always the canonical
+                # four, so treat them as such instead of rejecting an
+                # unchanged sweep.
+                fingerprint = {**fingerprint, "schemes": list(SCHEME_NAMES)}
+            if "search_mode" not in fingerprint:
+                # Pre-kernel checkpoints predate the --search-mode knob and
+                # were always produced by the binary Algorithm 2 search.
+                fingerprint = {**fingerprint, "search_mode": "binary"}
         return fingerprint
 
     def _encode_result(

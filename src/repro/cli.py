@@ -22,10 +22,12 @@ granularity, aggregated into detection-latency distributions.
 synthetic figure from it; with ``--checkpoint`` the run is chunked into a
 JSONL store and a rerun of the same command resumes where it stopped.  The
 synthetic sweeps accept ``--tasksets-per-group`` (paper value: 250),
-``--jobs`` for parallel evaluation and ``--schemes`` to pick which
+``--jobs`` for parallel evaluation, ``--schemes`` to pick which
 registered schemes to evaluate (default: the paper's four; see
 ``hydra-c schemes`` for the full list, including the parameterised
-HYDRA-C/HYDRA variants the scheme registry adds).
+HYDRA-C/HYDRA variants the scheme registry adds) and ``--search-mode``
+to pick HYDRA-C's Algorithm 2 period search (binary/linear; identical
+periods either way, but checkpoint-fingerprint relevant).
 """
 
 from __future__ import annotations
@@ -96,6 +98,16 @@ def build_parser() -> argparse.ArgumentParser:
             help=(
                 "comma-separated registered schemes to evaluate "
                 "(default: the paper's four; see 'hydra-c schemes')"
+            ),
+        )
+        sub.add_argument(
+            "--search-mode",
+            choices=("binary", "linear"),
+            default="binary",
+            help=(
+                "HYDRA-C Algorithm 2 period search (identical periods "
+                "either way; linear is the ablation mode and is "
+                "checkpoint-fingerprint relevant)"
             ),
         )
 
@@ -208,6 +220,7 @@ def _sweep_config(args: argparse.Namespace) -> ExperimentConfig:
         seed=args.seed,
         n_jobs=args.jobs,
         schemes=_parse_schemes(args.schemes),
+        search_mode=args.search_mode,
     )
 
 
@@ -220,6 +233,7 @@ def _batch_sweep_config(args: argparse.Namespace) -> ExperimentConfig:
         chunk_size=args.chunk_size,
         checkpoint_path=args.checkpoint,
         schemes=_parse_schemes(args.schemes),
+        search_mode=args.search_mode,
     )
 
 

@@ -1,49 +1,32 @@
 """Worst-case response-time analysis for migrating security tasks.
 
-This module implements Section 4.1-4.4 of the paper: the response time of a
-security task ``tau_s`` that may run on any core, at a priority below every
-RT task, while the RT tasks stay statically partitioned.
+The Eq. 6-8 engine itself now lives in the unified RTA kernel
+(:mod:`repro.rta.migrating`); this module keeps the historical public API
+-- every name importable here before the kernel existed still is -- plus
+the whole-task-set conveniences that sit naturally above the engine.
 
-The busy-window recurrence (Eq. 6-7) combines two interference sources:
-
-1. **Partitioned RT tasks** (Eq. 2-3).  On each core the RT workload is
-   maximised by a synchronous release (Lemma 1); the per-core workload is
-   clamped to ``x - C_s + 1`` and the clamped per-core terms are summed over
-   all cores.
-2. **Higher-priority security tasks** (Eq. 4-5).  These migrate like
-   ``tau_s`` itself, so they are treated exactly as in global response-time
-   analysis: at most ``M - 1`` of them are carry-in tasks (Lemma 2), the
-   carry-in workload uses the task's own known response time, and each
-   task's workload is clamped to ``x - C_s + 1``.
-
-The final response time is the maximum over admissible carry-in sets of the
-per-set fixed point (Eq. 8).  Because the exhaustive enumeration grows
-combinatorially, a greedy per-iteration selection (which upper-bounds the
-exact value and is the standard approach of Guan et al.) is also provided;
-:class:`CarryInStrategy` selects between them.
-
-Implementation note: the interference terms are evaluated with small NumPy
-arrays rather than per-task Python loops.  Near the schedulability boundary
-the fixed-point iteration advances by only a few ticks per step (the
-well-known "crawl" of global response-time analysis), so the per-iteration
-cost dominates the design-space sweeps of Figs. 6-7; vectorising it keeps
-the full Table-3 experiment tractable in pure Python.
+See :mod:`repro.rta` for the kernel's layout and
+:class:`repro.rta.RtaContext` for how consumers of one task set share
+their workload arithmetic.  Passing ``rta_context`` to the helpers below
+routes their RT workload caches through that shared context; omitting it
+preserves the historical per-call behaviour.
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.model.platform import Platform
 from repro.model.tasks import RealTimeTask
 from repro.model.taskset import TaskSet
-from repro.schedulability.carry_in import (
-    count_carry_in_sets,
-    enumerate_carry_in_sets,
+from repro.rta.migrating import (
+    DEFAULT_EXACT_ENUMERATION_LIMIT,
+    SCALAR_TERMS_THRESHOLD,
+    CarryInStrategy,
+    RtWorkloadCache,
+    SecurityTaskState,
+    _OmegaMemo,  # noqa: F401  (historical import path for tests/tools)
+    security_response_time,
 )
 from repro.schedulability.workload import interference_bound, periodic_workload
 
@@ -55,135 +38,9 @@ __all__ = [
     "security_response_time",
     "analyze_security_tasks",
     "hydra_c_taskset_schedulable",
+    "DEFAULT_EXACT_ENUMERATION_LIMIT",
+    "SCALAR_TERMS_THRESHOLD",
 ]
-
-#: Above this many carry-in sets the AUTO strategy switches from exact
-#: enumeration (Eq. 8) to the greedy per-iteration bound.  The greedy bound
-#: is never optimistic, so this is purely a speed/accuracy knob.
-DEFAULT_EXACT_ENUMERATION_LIMIT = 32
-
-#: Up to this many higher-priority security tasks the per-window
-#: interference terms are computed with plain integer arithmetic instead of
-#: NumPy: ufunc call overhead dominates on such short operand vectors.
-SCALAR_TERMS_THRESHOLD = 32
-
-
-class CarryInStrategy(str, enum.Enum):
-    """How the worst-case carry-in set of Eq. 8 is searched.
-
-    * ``EXACT``  -- enumerate every admissible carry-in set and take the
-      maximum of the per-set fixed points (the paper's Eq. 8, exact but
-      exponential in the number of higher-priority security tasks).
-    * ``GREEDY`` -- inside each fixed-point iteration pick the ``M - 1``
-      tasks whose carry-in delta is largest (Guan-style).  Never optimistic
-      with respect to ``EXACT``; much faster.
-    * ``AUTO``   -- use ``EXACT`` while the number of carry-in sets is below
-      a threshold, otherwise ``GREEDY``.
-    """
-
-    EXACT = "exact"
-    GREEDY = "greedy"
-    AUTO = "auto"
-
-
-@dataclass(frozen=True)
-class SecurityTaskState:
-    """Snapshot of a higher-priority security task as seen by the analysis.
-
-    ``period`` is the period currently assigned to the task (either its
-    final adapted period or, earlier in Algorithm 1, its maximum period);
-    ``response_time`` is its already-computed WCRT, needed by the carry-in
-    workload bound (Eq. 4).
-    """
-
-    name: str
-    wcet: int
-    period: int
-    response_time: int
-
-    def __post_init__(self) -> None:
-        if self.wcet <= 0 or self.period <= 0:
-            raise ValueError("wcet and period must be positive")
-        if self.response_time < self.wcet:
-            raise ValueError(
-                f"response_time={self.response_time} smaller than wcet={self.wcet} "
-                f"for {self.name!r}"
-            )
-
-
-# ---------------------------------------------------------------------------
-# RT-task interference
-# ---------------------------------------------------------------------------
-
-
-class RtWorkloadCache:
-    """Memoised, vectorised per-core RT workload sums.
-
-    The RT tasks and their partition never change while security periods are
-    being explored, so the per-core synchronous-release workload (Eq. 2
-    summed per core) is a pure function of the window length.  Period
-    selection evaluates many windows repeatedly (the binary search
-    re-analyses every lower-priority task for each candidate period), which
-    makes this cache worthwhile; the evaluation itself is a single NumPy
-    pass over all RT tasks with a ``bincount`` reduction per core.
-    """
-
-    def __init__(
-        self, rt_tasks_by_core: Mapping[int, Sequence[RealTimeTask]]
-    ) -> None:
-        core_ids: List[int] = []
-        wcets: List[int] = []
-        periods: List[int] = []
-        core_indices = sorted(rt_tasks_by_core)
-        position_of = {core: position for position, core in enumerate(core_indices)}
-        for core, tasks in rt_tasks_by_core.items():
-            for task in tasks:
-                core_ids.append(position_of[core])
-                wcets.append(task.wcet)
-                periods.append(task.period)
-        self._num_cores = len(core_indices)
-        self._core_ids = np.asarray(core_ids, dtype=np.int64)
-        self._wcets = np.asarray(wcets, dtype=np.int64)
-        self._periods = np.asarray(periods, dtype=np.int64)
-        self._cache: Dict[int, np.ndarray] = {}
-        self._interference_cache: Dict[Tuple[int, int], int] = {}
-
-    def per_core_workloads(self, window: int) -> np.ndarray:
-        """Un-clamped RT workload on each core for the given window."""
-        cached = self._cache.get(window)
-        if cached is not None:
-            return cached
-        if self._wcets.size == 0:
-            workloads = np.zeros(self._num_cores, dtype=np.int64)
-        else:
-            per_task = (window // self._periods) * self._wcets + np.minimum(
-                window % self._periods, self._wcets
-            )
-            workloads = np.bincount(
-                self._core_ids, weights=per_task, minlength=self._num_cores
-            ).astype(np.int64)
-        self._cache[window] = workloads
-        return workloads
-
-    def interference(self, window: int, security_wcet: int) -> int:
-        """Clamped and summed RT interference (first summand of Eq. 6).
-
-        Scalar results are memoised per ``(window, security_wcet)``: a
-        period-selection run analyses the same task (fixed ``C_s``) at the
-        same windows many times while exploring candidate periods of the
-        tasks above it, and the RT partition never changes.
-        """
-        cap = window - security_wcet + 1
-        if cap <= 0:
-            return 0
-        key = (window, security_wcet)
-        cached = self._interference_cache.get(key)
-        if cached is not None:
-            return cached
-        workloads = self.per_core_workloads(window)
-        result = int(np.minimum(workloads, cap).sum())
-        self._interference_cache[key] = result
-        return result
 
 
 def rt_interference(
@@ -205,251 +62,6 @@ def rt_interference(
         )
         total += interference_bound(core_workload, window, security_wcet)
     return total
-
-
-# ---------------------------------------------------------------------------
-# Higher-priority security-task interference
-# ---------------------------------------------------------------------------
-
-
-class _OmegaMemo:
-    """Per-window memo of the total interference ``Omega(x)`` of Eq. 6.
-
-    One memo serves a single :func:`security_response_time` call, where the
-    task under analysis (hence ``C_s`` and the higher-priority states) is
-    fixed.  The fixed-point iterations of *every* carry-in set of Eq. 8 walk
-    largely overlapping window trajectories, so the expensive part -- the
-    clamped RT workload plus the non-carry-in/carry-in security terms
-    (Eq. 2-5) -- is computed once per distinct window and the per-set
-    totals reduce to a dictionary lookup plus a handful of scalar adds.
-
-    Below :data:`SCALAR_TERMS_THRESHOLD` higher-priority tasks the terms are
-    evaluated with plain integer arithmetic: the per-call overhead of NumPy
-    ufuncs exceeds the loop cost on such short operand vectors.  Larger
-    state counts use the vectorised pass.
-    """
-
-    def __init__(
-        self,
-        rt_cache: RtWorkloadCache,
-        states: Sequence[SecurityTaskState],
-        security_wcet: int,
-        max_carry_in: int,
-    ) -> None:
-        self._rt_cache = rt_cache
-        self._security_wcet = security_wcet
-        self._max_carry_in = max_carry_in
-        if len(states) <= SCALAR_TERMS_THRESHOLD:
-            # (wcet, period, xbar shift of Eq. 4: C - 1 + T - R)
-            self._scalar_tasks: Optional[List[Tuple[int, int, int]]] = [
-                (s.wcet, s.period, s.wcet - 1 + s.period - s.response_time)
-                for s in states
-            ]
-            self._wcets = self._periods = self._shifts = None
-        else:
-            self._scalar_tasks = None
-            self._wcets = np.asarray([s.wcet for s in states], dtype=np.int64)
-            self._periods = np.asarray([s.period for s in states], dtype=np.int64)
-            responses = np.asarray(
-                [s.response_time for s in states], dtype=np.int64
-            )
-            self._shifts = self._wcets - 1 + self._periods - responses
-        #: window -> (RT interference + sum of clamped non-carry-in terms)
-        self._base: Dict[int, int] = {}
-        #: window -> per-task carry-in minus non-carry-in delta (python ints)
-        self._deltas: Dict[int, List[int]] = {}
-        #: window -> greedy total (base + top max_carry_in positive deltas)
-        self._greedy: Dict[int, int] = {}
-
-    def _terms_scalar(self, window: int, cap: int) -> Tuple[int, List[int]]:
-        nc_sum = 0
-        deltas: List[int] = []
-        for wcet, period, shift in self._scalar_tasks:
-            quotient, remainder = divmod(window, period)
-            nc = quotient * wcet + (remainder if remainder < wcet else wcet)
-            if nc > cap:
-                nc = cap
-            shifted = window - shift
-            if shifted < 0:
-                shifted = 0
-            quotient, remainder = divmod(shifted, period)
-            ci = quotient * wcet + (remainder if remainder < wcet else wcet)
-            ci += window if window < wcet - 1 else wcet - 1
-            if ci > cap:
-                ci = cap
-            nc_sum += nc
-            deltas.append(ci - nc)
-        return nc_sum, deltas
-
-    def _terms_vector(self, window: int, cap: int) -> Tuple[int, List[int]]:
-        # Non-carry-in workload (Eq. 2/5) with a scalar window; the
-        # division broadcasts, avoiding a full_like allocation per call.
-        nc = (window // self._periods) * self._wcets + np.minimum(
-            window % self._periods, self._wcets
-        )
-        shifted = np.maximum(window - self._shifts, 0)
-        ci = (shifted // self._periods) * self._wcets + np.minimum(
-            shifted % self._periods, self._wcets
-        )
-        ci += np.minimum(window, self._wcets - 1)
-        np.minimum(nc, cap, out=nc)
-        np.minimum(ci, cap, out=ci)
-        return int(nc.sum()), (ci - nc).tolist()
-
-    def _materialise(self, window: int) -> Tuple[int, List[int]]:
-        base = self._base.get(window)
-        if base is not None:
-            return base, self._deltas[window]
-        rt = self._rt_cache.interference(window, self._security_wcet)
-        if self._scalar_tasks is not None and not self._scalar_tasks:
-            deltas: List[int] = []
-            base = rt
-        else:
-            cap = max(window - self._security_wcet + 1, 0)
-            if self._scalar_tasks is not None:
-                nc_sum, deltas = self._terms_scalar(window, cap)
-            else:
-                nc_sum, deltas = self._terms_vector(window, cap)
-            base = rt + nc_sum
-        self._base[window] = base
-        self._deltas[window] = deltas
-        return base, deltas
-
-    def total_for_set(self, window: int, carry_in_indices: Tuple[int, ...]) -> int:
-        """``Omega(x)`` with an explicitly fixed carry-in set (Eq. 8)."""
-        base, deltas = self._materialise(window)
-        total = base
-        for index in carry_in_indices:
-            total += deltas[index]
-        return total
-
-    def greedy_total(self, window: int) -> int:
-        """``Omega(x)`` maximised greedily per window (Lemma 2 bound)."""
-        cached = self._greedy.get(window)
-        if cached is not None:
-            return cached
-        base, deltas = self._materialise(window)
-        total = base
-        if self._max_carry_in > 0 and deltas:
-            positive = sorted((d for d in deltas if d > 0), reverse=True)
-            total += sum(positive[: self._max_carry_in])
-        self._greedy[window] = total
-        return total
-
-
-# ---------------------------------------------------------------------------
-# Fixed-point searches (Eq. 7)
-# ---------------------------------------------------------------------------
-
-
-def _solve_fixed_point(
-    security_wcet: int,
-    limit: int,
-    num_cores: int,
-    omega,
-) -> Optional[int]:
-    """Iterate Eq. 7 (``x = floor(Omega(x)/M) + C_s``) from ``x = C_s``.
-
-    ``omega(window)`` must return the total interference (RT plus
-    higher-priority security) for the given window.  Returns the least fixed
-    point, or ``None`` once the iterate exceeds ``limit``.
-    """
-    window = security_wcet
-    while True:
-        candidate = omega(window) // num_cores + security_wcet
-        if candidate == window:
-            return window
-        if candidate > limit:
-            return None
-        window = candidate
-
-
-def security_response_time(
-    security_wcet: int,
-    limit: int,
-    rt_tasks_by_core: Mapping[int, Sequence[RealTimeTask]],
-    higher_security: Sequence[SecurityTaskState],
-    num_cores: int,
-    strategy: CarryInStrategy = CarryInStrategy.AUTO,
-    exact_enumeration_limit: int = DEFAULT_EXACT_ENUMERATION_LIMIT,
-    rt_cache: Optional[RtWorkloadCache] = None,
-) -> Optional[int]:
-    """WCRT of a migrating security task (paper Eq. 6-8).
-
-    Parameters
-    ----------
-    security_wcet:
-        WCET ``C_s`` of the task under analysis.
-    limit:
-        Abort threshold, normally ``T^max_s``: if the response time exceeds
-        it the task is trivially unschedulable and ``None`` is returned.
-    rt_tasks_by_core:
-        The statically partitioned RT tasks, grouped by core index.
-    higher_security:
-        States (period + known WCRT) of the security tasks with higher
-        priority than the task under analysis, in any order.
-    num_cores:
-        Number of identical cores ``M``.
-    strategy:
-        How the carry-in set of Eq. 8 is explored (see
-        :class:`CarryInStrategy`).
-    rt_cache:
-        Optional pre-built :class:`RtWorkloadCache` for the same
-        ``rt_tasks_by_core`` partition; callers that analyse many tasks or
-        periods against the same RT partition should share one.
-
-    Returns
-    -------
-    The worst-case response time in ticks, or ``None`` if it exceeds
-    ``limit``.
-    """
-    if security_wcet <= 0:
-        raise ValueError("security_wcet must be positive")
-    if limit <= 0:
-        raise ValueError("limit must be positive")
-    if num_cores <= 0:
-        raise ValueError("num_cores must be positive")
-    if security_wcet > limit:
-        return None
-    if rt_cache is None:
-        rt_cache = RtWorkloadCache(rt_tasks_by_core)
-
-    max_carry_in = num_cores - 1
-    memo = _OmegaMemo(rt_cache, higher_security, security_wcet, max_carry_in)
-
-    if strategy is CarryInStrategy.AUTO:
-        sets = count_carry_in_sets(len(higher_security), max_carry_in)
-        strategy = (
-            CarryInStrategy.EXACT
-            if sets <= exact_enumeration_limit
-            else CarryInStrategy.GREEDY
-        )
-
-    if strategy is CarryInStrategy.GREEDY:
-        return _solve_fixed_point(
-            security_wcet, limit, num_cores, memo.greedy_total
-        )
-
-    # Exact: Eq. 8 -- maximise the per-partition fixed point.  If any
-    # partition exceeds the limit, so does the maximum.  The memo is shared
-    # across partitions: their fixed-point trajectories overlap heavily, so
-    # each distinct window is materialised only once.
-    worst: int = 0
-    for carry_in_indices in enumerate_carry_in_sets(
-        len(higher_security), max_carry_in
-    ):
-        response = _solve_fixed_point(
-            security_wcet,
-            limit,
-            num_cores,
-            lambda window, chosen=carry_in_indices: memo.total_for_set(
-                window, chosen
-            ),
-        )
-        if response is None:
-            return None
-        worst = max(worst, response)
-    return worst
 
 
 # ---------------------------------------------------------------------------
@@ -482,6 +94,7 @@ def analyze_security_tasks(
     platform: Platform,
     periods: Optional[Mapping[str, int]] = None,
     strategy: CarryInStrategy = CarryInStrategy.AUTO,
+    rta_context=None,
 ) -> Dict[str, Optional[int]]:
     """Compute the WCRT of every security task, in priority order.
 
@@ -499,7 +112,10 @@ def analyze_security_tasks(
     so that callers get a complete (if pessimistic) picture.
     """
     rt_by_core = _group_rt_tasks(taskset, rt_allocation, platform)
-    rt_cache = RtWorkloadCache(rt_by_core)
+    if rta_context is not None:
+        rt_cache = rta_context.rt_workload_cache(rt_by_core)
+    else:
+        rt_cache = RtWorkloadCache(rt_by_core)
     overrides = dict(periods or {})
     results: Dict[str, Optional[int]] = {}
     states: List[SecurityTaskState] = []
@@ -533,6 +149,7 @@ def hydra_c_taskset_schedulable(
     rt_allocation: Mapping[str, int],
     platform: Platform,
     strategy: CarryInStrategy = CarryInStrategy.AUTO,
+    rta_context=None,
 ) -> bool:
     """True if every security task meets ``R_s <= T^max_s`` under HYDRA-C.
 
@@ -542,6 +159,6 @@ def hydra_c_taskset_schedulable(
     """
     at_max = taskset.with_security_at_max_period()
     responses = analyze_security_tasks(
-        at_max, rt_allocation, platform, strategy=strategy
+        at_max, rt_allocation, platform, strategy=strategy, rta_context=rta_context
     )
     return all(response is not None for response in responses.values())

@@ -154,6 +154,7 @@ class HydraC:
         rt_allocation: Optional[Mapping[str, int]] = None,
         *,
         rt_check: Optional[PartitionedAnalysisResult] = None,
+        rta_context=None,
     ) -> SystemDesign:
         """Integrate the security tasks of *taskset* and return the design.
 
@@ -168,11 +169,13 @@ class HydraC:
         exactly this task set and allocation; callers that evaluate the same
         task set under several schemes (:class:`repro.batch.BatchDesignService`)
         pass it to avoid repeating the per-core RT response-time analysis.
+        ``rta_context`` is the task set's shared :class:`repro.rta.RtaContext`
+        (one is created internally when omitted).
 
         The returned design has ``schedulable=False`` (and no assigned
         periods) when the security tasks cannot meet their maximum periods.
         """
-        allocation = self._resolve_rt_allocation(taskset, rt_allocation)
+        allocation = self._resolve_rt_allocation(taskset, rt_allocation, rta_context)
         if rt_check is None:
             rt_check = partitioned_rt_schedulable(
                 taskset, allocation.mapping, self._platform
@@ -189,6 +192,7 @@ class HydraC:
             self._platform,
             strategy=self._carry_in_strategy,
             search_mode=self._search_mode,
+            rta_context=rta_context,
         )
         response_times: Dict[str, Optional[int]] = dict(rt_check.response_times)
         response_times.update(selection.response_times)
@@ -236,10 +240,16 @@ class HydraC:
     # -- helpers --------------------------------------------------------------------
 
     def _resolve_rt_allocation(
-        self, taskset: TaskSet, rt_allocation: Optional[Mapping[str, int]]
+        self,
+        taskset: TaskSet,
+        rt_allocation: Optional[Mapping[str, int]],
+        rta_context=None,
     ) -> Allocation:
         if rt_allocation is not None:
             return Allocation(dict(rt_allocation))
         return partition_rt_tasks(
-            taskset, self._platform, strategy=self._rt_partition_strategy
+            taskset,
+            self._platform,
+            strategy=self._rt_partition_strategy,
+            rta_context=rta_context,
         )

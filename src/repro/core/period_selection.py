@@ -24,7 +24,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.errors import UnschedulableError
+from repro.errors import ConfigurationError, UnschedulableError
 from repro.model.platform import Platform
 from repro.model.tasks import RealTimeTask, SecurityTask
 from repro.model.taskset import TaskSet
@@ -37,6 +37,7 @@ from repro.core.analysis import (
 
 __all__ = [
     "SearchMode",
+    "normalise_search_mode",
     "PeriodSelectionResult",
     "PeriodSelector",
     "select_periods",
@@ -49,6 +50,22 @@ class SearchMode(str, enum.Enum):
 
     BINARY = "binary"
     LINEAR = "linear"
+
+
+def normalise_search_mode(value) -> SearchMode:
+    """Coerce a ``SearchMode`` or its string value, with a one-line error.
+
+    The single validator behind ``ExperimentConfig.search_mode`` and
+    ``BatchDesignService(search_mode=...)``, so every surface rejects an
+    unknown mode with the same message.
+    """
+    try:
+        return SearchMode(value)
+    except ValueError:
+        raise ConfigurationError(
+            f"unknown search mode {value!r}; expected one of "
+            f"{', '.join(mode.value for mode in SearchMode)}"
+        )
 
 
 @dataclass(frozen=True)
@@ -109,6 +126,7 @@ class PeriodSelector:
         platform: Platform,
         strategy: CarryInStrategy = CarryInStrategy.AUTO,
         search_mode: SearchMode = SearchMode.BINARY,
+        rta_context=None,
     ) -> None:
         self._taskset = taskset
         self._platform = platform
@@ -128,7 +146,13 @@ class PeriodSelector:
                     f"the {platform.num_cores}-core platform"
                 )
             self._rt_by_core[core_index].append(task)
-        self._rt_cache = RtWorkloadCache(self._rt_by_core)
+        # With a shared kernel context the per-partition RT workload cache
+        # is sourced from (and shared through) it; standalone selectors
+        # keep their private cache, as before the kernel existed.
+        if rta_context is not None:
+            self._rt_cache = rta_context.rt_workload_cache(self._rt_by_core)
+        else:
+            self._rt_cache = RtWorkloadCache(self._rt_by_core)
         self._analysis_calls = 0
 
     # -- low-level response-time plumbing -------------------------------------
@@ -289,6 +313,7 @@ def select_periods(
     platform: Platform,
     strategy: CarryInStrategy = CarryInStrategy.AUTO,
     search_mode: SearchMode = SearchMode.BINARY,
+    rta_context=None,
 ) -> PeriodSelectionResult:
     """Run HYDRA-C period adaptation (Algorithm 1) on a task set.
 
@@ -305,6 +330,8 @@ def select_periods(
         Carry-in exploration strategy for the underlying WCRT analysis.
     search_mode:
         Binary (default, Algorithm 2) or linear period search.
+    rta_context:
+        Optional shared :class:`repro.rta.RtaContext` of this task set.
 
     Examples
     --------
@@ -318,7 +345,12 @@ def select_periods(
     (True, 3)
     """
     selector = PeriodSelector(
-        taskset, rt_allocation, platform, strategy=strategy, search_mode=search_mode
+        taskset,
+        rt_allocation,
+        platform,
+        strategy=strategy,
+        search_mode=search_mode,
+        rta_context=rta_context,
     )
     return selector.select()
 

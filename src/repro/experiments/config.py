@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.period_selection import SearchMode, normalise_search_mode
 from repro.errors import ConfigurationError
 from repro.generation.taskset_generator import TasksetGenerationConfig
 from repro.schemes import REGISTRY
@@ -72,6 +73,13 @@ class ExperimentConfig:
         columns).  ``None`` selects the paper's four canonical schemes.
         Validated against :data:`repro.schemes.REGISTRY` and normalised to
         a tuple, so it participates in the checkpoint fingerprint.
+    search_mode:
+        HYDRA-C's Algorithm 2 period-search mode (``"binary"`` or
+        ``"linear"``).  Both modes select identical periods (feasibility is
+        monotone in the period; pinned by ``tests/core``), so this is a
+        performance/ablation knob -- but it is still part of the checkpoint
+        fingerprint, so a resume under a different mode is rejected instead
+        of silently mixing runs.
     """
 
     num_cores: int = 2
@@ -82,11 +90,15 @@ class ExperimentConfig:
     chunk_size: int = 25
     checkpoint_path: Optional[str] = None
     schemes: Optional[Sequence[str]] = None
+    search_mode: str = SearchMode.BINARY.value
 
     def __post_init__(self) -> None:
         resolved = REGISTRY.resolve(self.schemes)
         object.__setattr__(
             self, "schemes", tuple(spec.name for spec in resolved)
+        )
+        object.__setattr__(
+            self, "search_mode", normalise_search_mode(self.search_mode).value
         )
         if self.num_cores < 1:
             raise ConfigurationError("num_cores must be >= 1")

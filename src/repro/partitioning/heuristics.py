@@ -16,6 +16,15 @@ Three classic strategies are provided:
 
 Tasks are considered in decreasing-utilization order (the usual "-decreasing"
 variants), which both improves packing and makes the outcome deterministic.
+
+The fit predicate runs on the RTA kernel (:mod:`repro.rta`): each core is
+an incremental :class:`~repro.rta.CoreState`, a probe re-analyses only the
+candidate and the tasks below its priority position, and the accept-only
+Liu & Layland / Bini-bound shortcuts skip the exact fixed point where they
+already prove admissibility.  Placement decisions are identical to the
+frozen full-re-analysis predicate
+(:func:`repro.batch.reference.reference_partition_rt_tasks` pins this in
+``tests/rta/``).
 """
 
 from __future__ import annotations
@@ -25,10 +34,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import AllocationError
 from repro.model.platform import Platform
-from repro.model.tasks import RealTimeTask
 from repro.model.taskset import TaskSet
 from repro.partitioning.allocation import Allocation
-from repro.schedulability.uniprocessor import UniprocessorTask, core_is_schedulable
+from repro.rta import Admission, CoreState, RtaContext, rt_task_view
 
 __all__ = ["FitStrategy", "partition_rt_tasks", "partition_utilizations"]
 
@@ -39,22 +47,6 @@ class FitStrategy(str, enum.Enum):
     FIRST_FIT = "first-fit"
     BEST_FIT = "best-fit"
     WORST_FIT = "worst-fit"
-
-
-def _as_uniprocessor(task: RealTimeTask) -> UniprocessorTask:
-    return UniprocessorTask(
-        name=task.name, wcet=task.wcet, period=task.period, deadline=task.deadline
-    )
-
-
-def _fits_on_core(
-    candidate: RealTimeTask, existing: Sequence[RealTimeTask]
-) -> bool:
-    """True if *candidate* plus *existing* pass Eq. 1 on a single core."""
-    combined = sorted(
-        list(existing) + [candidate], key=lambda t: (t.priority, t.name)
-    )
-    return core_is_schedulable([_as_uniprocessor(task) for task in combined])
 
 
 def _choose_core(
@@ -74,12 +66,16 @@ def partition_rt_tasks(
     taskset: TaskSet,
     platform: Platform,
     strategy: FitStrategy = FitStrategy.BEST_FIT,
+    rta_context: Optional[RtaContext] = None,
 ) -> Allocation:
     """Partition the RT tasks of *taskset* onto the platform's cores.
 
     Tasks are placed in decreasing-utilization order; a placement is only
     admissible if the exact response-time analysis still passes for every
-    task already on the core (and for the newcomer).
+    task already on the core (and for the newcomer) -- answered
+    incrementally by the kernel :class:`~repro.rta.CoreState` per core.
+    ``rta_context`` optionally supplies the task set's shared kernel
+    context (the batch service threads one through all phases).
 
     Raises
     ------
@@ -91,20 +87,26 @@ def partition_rt_tasks(
     if not taskset.rt_tasks:
         return Allocation.empty()
 
+    context = rta_context if rta_context is not None else RtaContext(platform)
     order = sorted(
         taskset.rt_tasks, key=lambda t: (-t.utilization, t.name)
     )
-    per_core: Dict[int, List[RealTimeTask]] = {
-        core.index: [] for core in platform.cores
-    }
+    states: List[CoreState] = [
+        context.core_state() for _ in range(platform.num_cores)
+    ]
     utilizations = [0.0] * platform.num_cores
     mapping: Dict[str, int] = {}
 
     for task in order:
+        view = rt_task_view(task)
+        admissions: List[Admission] = [
+            states[core_index].admit(view)
+            for core_index in range(platform.num_cores)
+        ]
         feasible = [
             core_index
-            for core_index in range(platform.num_cores)
-            if _fits_on_core(task, per_core[core_index])
+            for core_index, admission in enumerate(admissions)
+            if admission.admitted
         ]
         if not feasible:
             raise AllocationError(
@@ -113,7 +115,7 @@ def partition_rt_tasks(
                 f"{strategy.value} packing"
             )
         chosen = _choose_core(feasible, utilizations, strategy)
-        per_core[chosen].append(task)
+        states[chosen] = admissions[chosen].state
         utilizations[chosen] += task.utilization
         mapping[task.name] = chosen
 

@@ -1,0 +1,153 @@
+"""The per-task-set RTA context: one Eq. 1-5 engine for every consumer.
+
+Every layer of the design space -- RT bin packing (Eq. 1 probes), the
+Eq. 1 legacy-partition check, the HYDRA/HYDRA-TMax greedy security
+allocation, GLOBAL-TMax's carry-in-limited global analysis and HYDRA-C's
+period selection -- solves the same response-time mathematics.  An
+:class:`RtaContext` is the shared state those consumers thread through one
+task set:
+
+* :class:`~repro.rta.migrating.RtWorkloadCache` instances cached per RT
+  partition layout, so period selection and ad-hoc migrating-task analyses
+  of the same partition share their per-window RT interference (the
+  memoised term granularity of the kernel: per-core workloads by window,
+  clamped interference by ``(window, wcet)``, per-core Eq. 1 demand by
+  window on :class:`~repro.rta.core_state.CoreState` -- profiling showed
+  finer per-``(wcet, period, window)`` term memos lose to the shared
+  inline kernels of :mod:`repro.rta.terms` inside a solve);
+* factories for the incremental per-core states
+  (:class:`~repro.rta.core_state.CoreState`) and the global engine
+  (:class:`~repro.rta.global_fp.GlobalRtaEngine`);
+* the ``quick_accept`` switch for the accept-only admission shortcuts and
+  a :class:`KernelStats` counter block making their activity observable
+  (benchmarks report it; tests assert the shortcuts actually fire).
+
+Contexts are cheap (a handful of dicts); create one per task set.  The
+batch service does exactly that and passes it to every shared phase; see
+``DESIGN.md`` ("RTA kernel" layer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.model.platform import Platform
+from repro.model.tasks import RealTimeTask
+from repro.rta.core_state import CoreState, TaskView
+from repro.rta.global_fp import GlobalRtaEngine
+from repro.rta.migrating import RtWorkloadCache
+
+__all__ = ["KernelStats", "RtaContext", "rt_task_view"]
+
+
+@dataclass
+class KernelStats:
+    """Counters of kernel activity, reset per context (= per task set)."""
+
+    exact_solves: int = 0
+    ll_accepts: int = 0
+    bound_accepts: int = 0
+
+    @property
+    def quick_accepts(self) -> int:
+        return self.ll_accepts + self.bound_accepts
+
+
+def rt_task_view(task: RealTimeTask) -> TaskView:
+    """Kernel view of an RT task, ordered by ``(priority, name)``."""
+    return TaskView(
+        name=task.name,
+        wcet=task.wcet,
+        period=task.period,
+        deadline=task.deadline,
+        key=(task.priority, task.name),
+    )
+
+
+def _partition_key(
+    rt_tasks_by_core: Mapping[int, Sequence[RealTimeTask]],
+) -> Tuple[Tuple[int, Tuple[Tuple[int, int], ...]], ...]:
+    """Hashable identity of an RT partition's workload-relevant layout."""
+    return tuple(
+        (core, tuple((task.wcet, task.period) for task in rt_tasks_by_core[core]))
+        for core in sorted(rt_tasks_by_core)
+    )
+
+
+class RtaContext:
+    """Shared Eq. 1-5 state for analysing one task set.
+
+    Parameters
+    ----------
+    num_cores:
+        Platform size ``M`` (a :class:`~repro.model.platform.Platform` is
+        also accepted).
+    quick_accept:
+        Enables the accept-only admission shortcuts of
+        :class:`~repro.rta.core_state.CoreState`.  They can never flip an
+        admission outcome (``tests/rta/test_quick_accept.py``); disable
+        only to measure their effect or to force every probe through the
+        exact fixed point.
+    """
+
+    def __init__(self, num_cores, quick_accept: bool = True) -> None:
+        if isinstance(num_cores, Platform):
+            num_cores = num_cores.num_cores
+        if num_cores < 1:
+            raise ValueError("num_cores must be >= 1")
+        self.num_cores = int(num_cores)
+        self.quick_accept = quick_accept
+        self.stats = KernelStats()
+        self._rt_caches: Dict[object, RtWorkloadCache] = {}
+        self._global_engine: Optional[GlobalRtaEngine] = None
+
+    # -- factories -------------------------------------------------------------
+
+    def core_state(self, views: Iterable[TaskView] = ()) -> CoreState:
+        """A per-core state seeded with *views* (assumed already admitted).
+
+        The seeded tasks are *not* re-verified -- callers seed states with
+        task groups whose schedulability is established elsewhere (e.g. the
+        legacy RT partition a security packer probes against).  Views must
+        arrive in priority order.
+        """
+        entries = tuple(views)
+        utilization = 0.0
+        for view in entries:
+            utilization += view.utilization
+        rm_consistent = all(
+            entries[i].period <= entries[i + 1].period
+            for i in range(len(entries) - 1)
+        )
+        implicit = all(view.deadline == view.period for view in entries)
+        return CoreState(
+            self,
+            entries,
+            utilization=utilization,
+            rm_consistent=rm_consistent,
+            implicit_deadlines=implicit,
+        )
+
+    def rt_workload_cache(
+        self, rt_tasks_by_core: Mapping[int, Sequence[RealTimeTask]]
+    ) -> RtWorkloadCache:
+        """The shared per-partition RT workload cache (Eq. 2-3 summand).
+
+        Cached by the partition's ``(core, (wcet, period)...)`` layout, so
+        every consumer analysing the same partition of this task set --
+        HYDRA-C period selection, whole-task-set helpers, the batch
+        service's phases -- shares one cache.
+        """
+        key = _partition_key(rt_tasks_by_core)
+        cache = self._rt_caches.get(key)
+        if cache is None:
+            cache = RtWorkloadCache(rt_tasks_by_core)
+            self._rt_caches[key] = cache
+        return cache
+
+    def global_engine(self) -> GlobalRtaEngine:
+        """The context's global fixed-priority engine (GLOBAL-TMax)."""
+        if self._global_engine is None:
+            self._global_engine = GlobalRtaEngine(self, self.num_cores)
+        return self._global_engine

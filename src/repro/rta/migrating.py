@@ -1,0 +1,397 @@
+"""Kernel engine for migrating security tasks (paper Eq. 6-8).
+
+This is the HYDRA-C response-time engine that previously lived in
+:mod:`repro.core.analysis` (which now re-exports it, so the historical
+public API is unchanged).  It implements Section 4.1-4.4 of the paper: the
+response time of a security task that may run on any core, at a priority
+below every RT task, while the RT tasks stay statically partitioned.
+
+The busy-window recurrence (Eq. 6-7) combines two interference sources:
+
+1. **Partitioned RT tasks** (Eq. 2-3).  On each core the RT workload is
+   maximised by a synchronous release (Lemma 1); the per-core workload is
+   clamped to ``x - C_s + 1`` and the clamped per-core terms are summed over
+   all cores.
+2. **Higher-priority security tasks** (Eq. 4-5).  These migrate like the
+   task under analysis, so they are treated exactly as in global
+   response-time analysis: at most ``M - 1`` of them are carry-in tasks
+   (Lemma 2), the carry-in workload uses the task's own known response
+   time, and each task's workload is clamped to ``x - C_s + 1``.
+
+The final response time is the maximum over admissible carry-in sets of the
+per-set fixed point (Eq. 8), or the greedy per-iteration bound;
+:class:`CarryInStrategy` selects between them.
+
+Kernel integration: callers that evaluate many tasks/periods against the
+same RT partition share a :class:`RtWorkloadCache`; with an
+:class:`~repro.rta.context.RtaContext` the cache is sourced from (and
+shared through) the context, keyed by the partition's ``(wcet, period)``
+layout, so every consumer of one task set -- period selection, the batch
+service's phases, ad-hoc analyses -- prices each RT workload window once.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.model.tasks import RealTimeTask
+from repro.rta.terms import greedy_positive_sum, scalar_terms, vector_terms
+from repro.schedulability.carry_in import (
+    count_carry_in_sets,
+    enumerate_carry_in_sets,
+)
+
+__all__ = [
+    "CarryInStrategy",
+    "RtWorkloadCache",
+    "SecurityTaskState",
+    "security_response_time",
+    "DEFAULT_EXACT_ENUMERATION_LIMIT",
+    "SCALAR_TERMS_THRESHOLD",
+]
+
+#: Above this many carry-in sets the AUTO strategy switches from exact
+#: enumeration (Eq. 8) to the greedy per-iteration bound.  The greedy bound
+#: is never optimistic, so this is purely a speed/accuracy knob.
+DEFAULT_EXACT_ENUMERATION_LIMIT = 32
+
+#: Up to this many higher-priority security tasks the per-window
+#: interference terms are computed with plain integer arithmetic instead of
+#: NumPy: ufunc call overhead dominates on such short operand vectors.
+SCALAR_TERMS_THRESHOLD = 32
+
+
+class CarryInStrategy(str, enum.Enum):
+    """How the worst-case carry-in set of Eq. 8 is searched.
+
+    * ``EXACT``  -- enumerate every admissible carry-in set and take the
+      maximum of the per-set fixed points (the paper's Eq. 8, exact but
+      exponential in the number of higher-priority security tasks).
+    * ``GREEDY`` -- inside each fixed-point iteration pick the ``M - 1``
+      tasks whose carry-in delta is largest (Guan-style).  Never optimistic
+      with respect to ``EXACT``; much faster.
+    * ``AUTO``   -- use ``EXACT`` while the number of carry-in sets is below
+      a threshold, otherwise ``GREEDY``.
+    """
+
+    EXACT = "exact"
+    GREEDY = "greedy"
+    AUTO = "auto"
+
+
+@dataclass(frozen=True)
+class SecurityTaskState:
+    """Snapshot of a higher-priority security task as seen by the analysis.
+
+    ``period`` is the period currently assigned to the task (either its
+    final adapted period or, earlier in Algorithm 1, its maximum period);
+    ``response_time`` is its already-computed WCRT, needed by the carry-in
+    workload bound (Eq. 4).
+    """
+
+    name: str
+    wcet: int
+    period: int
+    response_time: int
+
+    def __post_init__(self) -> None:
+        if self.wcet <= 0 or self.period <= 0:
+            raise ValueError("wcet and period must be positive")
+        if self.response_time < self.wcet:
+            raise ValueError(
+                f"response_time={self.response_time} smaller than wcet={self.wcet} "
+                f"for {self.name!r}"
+            )
+
+
+class RtWorkloadCache:
+    """Memoised, vectorised per-core RT workload sums.
+
+    The RT tasks and their partition never change while security periods are
+    being explored, so the per-core synchronous-release workload (Eq. 2
+    summed per core) is a pure function of the window length.  Period
+    selection evaluates many windows repeatedly (the binary search
+    re-analyses every lower-priority task for each candidate period), which
+    makes this cache worthwhile; the evaluation itself is a single NumPy
+    pass over all RT tasks with a ``bincount`` reduction per core.
+    """
+
+    def __init__(
+        self, rt_tasks_by_core: Mapping[int, Sequence[RealTimeTask]]
+    ) -> None:
+        core_ids: List[int] = []
+        wcets: List[int] = []
+        periods: List[int] = []
+        core_indices = sorted(rt_tasks_by_core)
+        position_of = {core: position for position, core in enumerate(core_indices)}
+        for core, tasks in rt_tasks_by_core.items():
+            for task in tasks:
+                core_ids.append(position_of[core])
+                wcets.append(task.wcet)
+                periods.append(task.period)
+        self._num_cores = len(core_indices)
+        self._core_ids = np.asarray(core_ids, dtype=np.int64)
+        self._wcets = np.asarray(wcets, dtype=np.int64)
+        self._periods = np.asarray(periods, dtype=np.int64)
+        self._cache: Dict[int, np.ndarray] = {}
+        self._interference_cache: Dict[Tuple[int, int], int] = {}
+
+    def per_core_workloads(self, window: int) -> np.ndarray:
+        """Un-clamped RT workload on each core for the given window."""
+        cached = self._cache.get(window)
+        if cached is not None:
+            return cached
+        if self._wcets.size == 0:
+            workloads = np.zeros(self._num_cores, dtype=np.int64)
+        else:
+            per_task = (window // self._periods) * self._wcets + np.minimum(
+                window % self._periods, self._wcets
+            )
+            workloads = np.bincount(
+                self._core_ids, weights=per_task, minlength=self._num_cores
+            ).astype(np.int64)
+        self._cache[window] = workloads
+        return workloads
+
+    def interference(self, window: int, security_wcet: int) -> int:
+        """Clamped and summed RT interference (first summand of Eq. 6).
+
+        Scalar results are memoised per ``(window, security_wcet)``: a
+        period-selection run analyses the same task (fixed ``C_s``) at the
+        same windows many times while exploring candidate periods of the
+        tasks above it, and the RT partition never changes.
+        """
+        cap = window - security_wcet + 1
+        if cap <= 0:
+            return 0
+        key = (window, security_wcet)
+        cached = self._interference_cache.get(key)
+        if cached is not None:
+            return cached
+        workloads = self.per_core_workloads(window)
+        result = int(np.minimum(workloads, cap).sum())
+        self._interference_cache[key] = result
+        return result
+
+
+class _OmegaMemo:
+    """Per-window memo of the total interference ``Omega(x)`` of Eq. 6.
+
+    One memo serves a single :func:`security_response_time` call, where the
+    task under analysis (hence ``C_s`` and the higher-priority states) is
+    fixed.  The fixed-point iterations of *every* carry-in set of Eq. 8 walk
+    largely overlapping window trajectories, so the expensive part -- the
+    clamped RT workload plus the non-carry-in/carry-in security terms
+    (Eq. 2-5) -- is computed once per distinct window and the per-set
+    totals reduce to a dictionary lookup plus a handful of scalar adds.
+
+    Below :data:`SCALAR_TERMS_THRESHOLD` higher-priority tasks the terms are
+    evaluated with plain integer arithmetic: the per-call overhead of NumPy
+    ufuncs exceeds the loop cost on such short operand vectors.  Larger
+    state counts use the vectorised pass.
+    """
+
+    def __init__(
+        self,
+        rt_cache: RtWorkloadCache,
+        states: Sequence[SecurityTaskState],
+        security_wcet: int,
+        max_carry_in: int,
+    ) -> None:
+        self._rt_cache = rt_cache
+        self._security_wcet = security_wcet
+        self._max_carry_in = max_carry_in
+        if len(states) <= SCALAR_TERMS_THRESHOLD:
+            # (wcet, period, xbar shift of Eq. 4: C - 1 + T - R)
+            self._scalar_tasks: Optional[List[Tuple[int, int, int]]] = [
+                (s.wcet, s.period, s.wcet - 1 + s.period - s.response_time)
+                for s in states
+            ]
+            self._wcets = self._periods = self._shifts = None
+        else:
+            self._scalar_tasks = None
+            self._wcets = np.asarray([s.wcet for s in states], dtype=np.int64)
+            self._periods = np.asarray([s.period for s in states], dtype=np.int64)
+            responses = np.asarray(
+                [s.response_time for s in states], dtype=np.int64
+            )
+            self._shifts = self._wcets - 1 + self._periods - responses
+        #: window -> (RT interference + sum of clamped non-carry-in terms)
+        self._base: Dict[int, int] = {}
+        #: window -> per-task carry-in minus non-carry-in delta (python ints)
+        self._deltas: Dict[int, List[int]] = {}
+        #: window -> greedy total (base + top max_carry_in positive deltas)
+        self._greedy: Dict[int, int] = {}
+
+    def _terms_scalar(self, window: int, cap: int) -> Tuple[int, List[int]]:
+        return scalar_terms(window, cap, self._scalar_tasks)
+
+    def _terms_vector(self, window: int, cap: int) -> Tuple[int, List[int]]:
+        nc, ci = vector_terms(
+            window, cap, self._wcets, self._periods, self._shifts
+        )
+        return int(nc.sum()), (ci - nc).tolist()
+
+    def _materialise(self, window: int) -> Tuple[int, List[int]]:
+        base = self._base.get(window)
+        if base is not None:
+            return base, self._deltas[window]
+        rt = self._rt_cache.interference(window, self._security_wcet)
+        if self._scalar_tasks is not None and not self._scalar_tasks:
+            deltas: List[int] = []
+            base = rt
+        else:
+            cap = max(window - self._security_wcet + 1, 0)
+            if self._scalar_tasks is not None:
+                nc_sum, deltas = self._terms_scalar(window, cap)
+            else:
+                nc_sum, deltas = self._terms_vector(window, cap)
+            base = rt + nc_sum
+        self._base[window] = base
+        self._deltas[window] = deltas
+        return base, deltas
+
+    def total_for_set(self, window: int, carry_in_indices: Tuple[int, ...]) -> int:
+        """``Omega(x)`` with an explicitly fixed carry-in set (Eq. 8)."""
+        base, deltas = self._materialise(window)
+        total = base
+        for index in carry_in_indices:
+            total += deltas[index]
+        return total
+
+    def greedy_total(self, window: int) -> int:
+        """``Omega(x)`` maximised greedily per window (Lemma 2 bound)."""
+        cached = self._greedy.get(window)
+        if cached is not None:
+            return cached
+        base, deltas = self._materialise(window)
+        total = base + greedy_positive_sum(deltas, self._max_carry_in)
+        self._greedy[window] = total
+        return total
+
+
+# ---------------------------------------------------------------------------
+# Fixed-point searches (Eq. 7)
+# ---------------------------------------------------------------------------
+
+
+def _solve_fixed_point(
+    security_wcet: int,
+    limit: int,
+    num_cores: int,
+    omega,
+) -> Optional[int]:
+    """Iterate Eq. 7 (``x = floor(Omega(x)/M) + C_s``) from ``x = C_s``.
+
+    ``omega(window)`` must return the total interference (RT plus
+    higher-priority security) for the given window.  Returns the least fixed
+    point, or ``None`` once the iterate exceeds ``limit``.
+    """
+    window = security_wcet
+    while True:
+        candidate = omega(window) // num_cores + security_wcet
+        if candidate == window:
+            return window
+        if candidate > limit:
+            return None
+        window = candidate
+
+
+def security_response_time(
+    security_wcet: int,
+    limit: int,
+    rt_tasks_by_core: Mapping[int, Sequence[RealTimeTask]],
+    higher_security: Sequence[SecurityTaskState],
+    num_cores: int,
+    strategy: CarryInStrategy = CarryInStrategy.AUTO,
+    exact_enumeration_limit: int = DEFAULT_EXACT_ENUMERATION_LIMIT,
+    rt_cache: Optional[RtWorkloadCache] = None,
+    rta_context=None,
+) -> Optional[int]:
+    """WCRT of a migrating security task (paper Eq. 6-8).
+
+    Parameters
+    ----------
+    security_wcet:
+        WCET ``C_s`` of the task under analysis.
+    limit:
+        Abort threshold, normally ``T^max_s``: if the response time exceeds
+        it the task is trivially unschedulable and ``None`` is returned.
+    rt_tasks_by_core:
+        The statically partitioned RT tasks, grouped by core index.
+    higher_security:
+        States (period + known WCRT) of the security tasks with higher
+        priority than the task under analysis, in any order.
+    num_cores:
+        Number of identical cores ``M``.
+    strategy:
+        How the carry-in set of Eq. 8 is explored (see
+        :class:`CarryInStrategy`).
+    rt_cache:
+        Optional pre-built :class:`RtWorkloadCache` for the same
+        ``rt_tasks_by_core`` partition; callers that analyse many tasks or
+        periods against the same RT partition should share one.
+    rta_context:
+        Optional :class:`~repro.rta.context.RtaContext`; when given (and no
+        explicit ``rt_cache``), the cache is sourced from the context so
+        every consumer of the task set shares it.
+
+    Returns
+    -------
+    The worst-case response time in ticks, or ``None`` if it exceeds
+    ``limit``.
+    """
+    if security_wcet <= 0:
+        raise ValueError("security_wcet must be positive")
+    if limit <= 0:
+        raise ValueError("limit must be positive")
+    if num_cores <= 0:
+        raise ValueError("num_cores must be positive")
+    if security_wcet > limit:
+        return None
+    if rt_cache is None:
+        if rta_context is not None:
+            rt_cache = rta_context.rt_workload_cache(rt_tasks_by_core)
+        else:
+            rt_cache = RtWorkloadCache(rt_tasks_by_core)
+
+    max_carry_in = num_cores - 1
+    memo = _OmegaMemo(rt_cache, higher_security, security_wcet, max_carry_in)
+
+    if strategy is CarryInStrategy.AUTO:
+        sets = count_carry_in_sets(len(higher_security), max_carry_in)
+        strategy = (
+            CarryInStrategy.EXACT
+            if sets <= exact_enumeration_limit
+            else CarryInStrategy.GREEDY
+        )
+
+    if strategy is CarryInStrategy.GREEDY:
+        return _solve_fixed_point(
+            security_wcet, limit, num_cores, memo.greedy_total
+        )
+
+    # Exact: Eq. 8 -- maximise the per-partition fixed point.  If any
+    # partition exceeds the limit, so does the maximum.  The memo is shared
+    # across partitions: their fixed-point trajectories overlap heavily, so
+    # each distinct window is materialised only once.
+    worst: int = 0
+    for carry_in_indices in enumerate_carry_in_sets(
+        len(higher_security), max_carry_in
+    ):
+        response = _solve_fixed_point(
+            security_wcet,
+            limit,
+            num_cores,
+            lambda window, chosen=carry_in_indices: memo.total_for_set(
+                window, chosen
+            ),
+        )
+        if response is None:
+            return None
+        worst = max(worst, response)
+    return worst

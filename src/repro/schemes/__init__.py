@@ -36,6 +36,7 @@ POSIX ``fork`` default the parent's registrations are inherited.
 
 from repro.schemes.registry import (
     REGISTRY,
+    DesignOptions,
     Phase,
     SchemePlugin,
     SchemeRegistry,
@@ -56,6 +57,7 @@ from repro.schemes.variants import RandomFitHydra  # noqa: E402
 
 __all__ = [
     "REGISTRY",
+    "DesignOptions",
     "Phase",
     "SchemePlugin",
     "SchemeRegistry",

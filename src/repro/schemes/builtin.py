@@ -26,8 +26,10 @@ from repro.core.framework import HydraC, SchedulingPolicy, SystemDesign
 from repro.model.platform import Platform
 from repro.model.taskset import TaskSet
 from repro.partitioning.heuristics import FitStrategy
+from repro.core.period_selection import SearchMode
 from repro.schemes.registry import (
     REGISTRY,
+    DesignOptions,
     Phase,
     SchemePlugin,
     SchemeRegistry,
@@ -60,7 +62,29 @@ class _RelabelingPlugin(SchemePlugin):
         return dataclasses.replace(design, scheme=self._name)
 
 
-class HydraCPlugin(_RelabelingPlugin):
+class _HydraCBasedPlugin(_RelabelingPlugin):
+    """Base for plugins wrapping :class:`HydraC`: rebuild on configure.
+
+    Subclasses implement :meth:`_build` from their own knobs plus the
+    shared ``self._search_mode``; ``configure`` threads every future
+    :class:`DesignOptions` knob through one place instead of per plugin.
+    """
+
+    def __init__(self, platform: Platform, name: str) -> None:
+        super().__init__(name)
+        self._platform = platform
+        self._search_mode = SearchMode.BINARY
+        self._impl = self._build()
+
+    def _build(self) -> HydraC:
+        raise NotImplementedError
+
+    def configure(self, options: DesignOptions) -> None:
+        self._search_mode = options.search_mode
+        self._impl = self._build()
+
+
+class HydraCPlugin(_HydraCBasedPlugin):
     """HYDRA-C on the legacy RT partition (canonical + carry-in variants)."""
 
     def __init__(
@@ -69,23 +93,34 @@ class HydraCPlugin(_RelabelingPlugin):
         name: str = "HYDRA-C",
         carry_in_strategy: CarryInStrategy = CarryInStrategy.AUTO,
     ) -> None:
-        super().__init__(name)
-        self._impl = HydraC(platform, carry_in_strategy=carry_in_strategy)
+        self._carry_in_strategy = carry_in_strategy
+        super().__init__(platform, name)
+
+    def _build(self) -> HydraC:
+        return HydraC(
+            self._platform,
+            carry_in_strategy=self._carry_in_strategy,
+            search_mode=self._search_mode,
+        )
 
     def design(self, taskset: TaskSet, shared: SharedPhases) -> SystemDesign:
         return self._relabel(
             self._impl.design(
-                taskset, shared.rt_mapping(), rt_check=shared.rt_check
+                taskset,
+                shared.rt_mapping(),
+                rt_check=shared.rt_check,
+                rta_context=shared.rta_context,
             )
         )
 
 
-class RepartitioningHydraCPlugin(_RelabelingPlugin):
+class RepartitioningHydraCPlugin(_HydraCBasedPlugin):
     """HYDRA-C that discards the legacy partition and packs RT tasks itself.
 
     Consumes *no* shared phase: the legacy allocation and its Eq. 1 check do
     not apply to a different partition, so the plugin lets
-    :class:`~repro.core.framework.HydraC` derive both.  A task set whose RT
+    :class:`~repro.core.framework.HydraC` derive both (its own partitioning
+    still runs on a kernel context of its own).  A task set whose RT
     tasks do not fit under the variant's packing strategy raises
     :class:`~repro.errors.AllocationError`, which the batch service records
     as a rejection.
@@ -94,8 +129,15 @@ class RepartitioningHydraCPlugin(_RelabelingPlugin):
     def __init__(
         self, platform: Platform, name: str, strategy: FitStrategy
     ) -> None:
-        super().__init__(name)
-        self._impl = HydraC(platform, rt_partition_strategy=strategy)
+        self._strategy = strategy
+        super().__init__(platform, name)
+
+    def _build(self) -> HydraC:
+        return HydraC(
+            self._platform,
+            rt_partition_strategy=self._strategy,
+            search_mode=self._search_mode,
+        )
 
     def design(self, taskset: TaskSet, shared: SharedPhases) -> SystemDesign:
         return self._relabel(self._impl.design(taskset))
@@ -137,19 +179,27 @@ class HydraFamilyPlugin(_RelabelingPlugin):
                     shared.security_allocation if share else None
                 ),
                 rt_by_core=shared.rt_by_core if share else None,
+                rta_context=shared.rta_context,
             )
         )
 
 
 class GlobalTMaxPlugin(_RelabelingPlugin):
-    """GLOBAL-TMax: ignores every partition-related phase."""
+    """GLOBAL-TMax: ignores every partition-related phase.
+
+    It still runs on the task set's shared kernel context, so its
+    fixed-point solves are counted in the same
+    :class:`~repro.rta.KernelStats` as every other scheme's activity.
+    """
 
     def __init__(self, platform: Platform, name: str = "GLOBAL-TMax") -> None:
         super().__init__(name)
         self._impl = GlobalTMax(platform)
 
     def design(self, taskset: TaskSet, shared: SharedPhases) -> SystemDesign:
-        return self._relabel(self._impl.design(taskset))
+        return self._relabel(
+            self._impl.design(taskset, rta_context=shared.rta_context)
+        )
 
 
 def register_builtin_schemes(registry: SchemeRegistry = REGISTRY) -> None:

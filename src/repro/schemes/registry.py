@@ -54,14 +54,17 @@ from typing import (
 
 from repro.baselines.hydra import SecurityAllocation
 from repro.core.framework import SchedulingPolicy, SystemDesign
+from repro.core.period_selection import SearchMode
 from repro.errors import ConfigurationError
 from repro.model.platform import Platform
 from repro.model.tasks import RealTimeTask
 from repro.model.taskset import TaskSet
 from repro.partitioning.allocation import Allocation
+from repro.rta import RtaContext
 from repro.schedulability.partitioned import PartitionedAnalysisResult
 
 __all__ = [
+    "DesignOptions",
     "Phase",
     "SharedPhases",
     "SchemePlugin",
@@ -90,6 +93,20 @@ _PHASE_PREREQUISITES: Dict[Phase, FrozenSet[Phase]] = {
 
 
 @dataclass(frozen=True)
+class DesignOptions:
+    """Cross-scheme design-time knobs the evaluation pipeline threads through.
+
+    ``search_mode`` is HYDRA-C's Algorithm 2 period-search mode (binary or
+    linear; both select identical periods -- feasibility is monotone in the
+    period -- so this is a performance/ablation knob).  It participates in
+    the sweep checkpoint fingerprint, so resuming a checkpoint under a
+    different mode is rejected rather than silently mixed.
+    """
+
+    search_mode: SearchMode = SearchMode.BINARY
+
+
+@dataclass(frozen=True)
 class SharedPhases:
     """Precomputed shared-phase results for one task set.
 
@@ -99,12 +116,19 @@ class SharedPhases:
     computing a phase themselves when its field is ``None`` (the underlying
     scheme implementations already do: their ``design`` methods accept the
     precomputed artefacts as optional keyword arguments).
+
+    ``rta_context`` is the task set's shared RTA-kernel context
+    (:class:`repro.rta.RtaContext`); unlike the other fields it is not a
+    capability-gated *result* but the substrate the phases were computed
+    on -- plugins pass it down so their own analyses join the task set's
+    shared workload memos.
     """
 
     rt_allocation: Optional[Allocation] = None
     rt_check: Optional[PartitionedAnalysisResult] = None
     rt_by_core: Optional[Mapping[int, Sequence[RealTimeTask]]] = None
     security_allocation: Optional[SecurityAllocation] = None
+    rta_context: Optional[RtaContext] = None
 
     def rt_mapping(self) -> Optional[Mapping[str, int]]:
         """The legacy RT task -> core mapping, when a partition is shared."""
@@ -120,7 +144,14 @@ class SchemePlugin:
     :class:`~repro.errors.UnschedulableError` or
     :class:`~repro.errors.AllocationError` marks the task set as rejected
     by the scheme (the batch service records it as unschedulable).
+
+    After construction the pipeline calls :meth:`configure` with the run's
+    :class:`DesignOptions`; plugins whose scheme honours a knob override it
+    (the default is a no-op, so existing factories stay valid).
     """
+
+    def configure(self, options: DesignOptions) -> None:
+        """Apply cross-scheme design options (default: nothing to apply)."""
 
     def design(self, taskset: TaskSet, shared: SharedPhases) -> SystemDesign:
         raise NotImplementedError

@@ -23,19 +23,19 @@ partitioning, forced-greedy carry-in) need no code here -- their specs in
 from __future__ import annotations
 
 import zlib
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence
 
 from repro.baselines.hydra import (
     Hydra,
     PeriodPolicy,
     SecurityAllocation,
-    feasible_cores_for_security_task,
 )
 from repro.errors import ConfigurationError
 from repro.model.platform import Platform
-from repro.model.tasks import RealTimeTask, SecurityTask
+from repro.model.tasks import RealTimeTask
 from repro.model.taskset import TaskSet
 from repro.partitioning.heuristics import FitStrategy
+from repro.rta import RtaContext, SecurityPacker
 
 __all__ = ["RandomFitHydra"]
 
@@ -95,19 +95,26 @@ class RandomFitHydra(Hydra):
         self,
         taskset: TaskSet,
         rt_by_core: Mapping[int, Sequence[RealTimeTask]],
+        rta_context: Optional[RtaContext] = None,
     ) -> SecurityAllocation:
-        """Place each task on a pseudo-randomly chosen feasible core."""
-        security_by_core: Dict[int, List[Tuple[SecurityTask, int]]] = {
-            core.index: [] for core in self._platform.cores
-        }
+        """Place each task on a pseudo-randomly chosen feasible core.
+
+        The feasibility triples come from the same kernel
+        :class:`~repro.rta.SecurityPacker` predicate the best-fit
+        allocation uses -- only the pick differs.
+        """
+        context = (
+            rta_context
+            if rta_context is not None
+            else RtaContext(self._platform.num_cores)
+        )
+        packer = SecurityPacker(context, rt_by_core, self._platform.num_cores)
         mapping: Dict[str, int] = {}
         responses: Dict[str, Optional[int]] = {}
         taskset_salt = self._taskset_salt(taskset)
 
         for task in taskset.security_by_priority():
-            feasible = feasible_cores_for_security_task(
-                task, rt_by_core, security_by_core, self._platform.num_cores
-            )
+            feasible = packer.feasible_cores(task)
             if not feasible:
                 responses[task.name] = None
                 return SecurityAllocation(
@@ -123,6 +130,6 @@ class RandomFitHydra(Hydra):
             responses[task.name] = response
             # Like every non-greedy policy, occupy the core at the maximum
             # period until the per-core minimisation pass.
-            security_by_core[core_index].append((task, task.max_period))
+            packer.place(task, core_index, task.max_period)
 
         return SecurityAllocation(mapping=mapping, response_times=responses)

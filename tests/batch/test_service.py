@@ -136,7 +136,7 @@ class TestServiceConfiguration:
             raise AssertionError("rt check should not run for a global-only service")
 
         monkeypatch.setattr(
-            service_module, "partitioned_rt_schedulable", counting_rt_check
+            service_module, "partitioned_rt_check", counting_rt_check
         )
         service = BatchDesignService(2, scheme_names=("GLOBAL-TMax",))
         spec = build_specs(cross_validation_config)[0]
@@ -147,6 +147,34 @@ class TestServiceConfiguration:
     def test_unknown_scheme_rejected(self):
         with pytest.raises(ConfigurationError):
             BatchDesignService(2, scheme_names=("HYDRA-C", "NOT-A-SCHEME"))
+
+    def test_unknown_search_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="search mode"):
+            BatchDesignService(2, search_mode="quadratic")
+
+    def test_search_mode_reaches_the_period_search(self):
+        """``search_mode`` must actually drive Algorithm 2 inside the
+        plugins: identical periods either way (monotone feasibility), but
+        the linear scan performs far more WCRT computations."""
+        binary = BatchDesignService(2, scheme_names=("HYDRA-C",))
+        linear = BatchDesignService(
+            2, scheme_names=("HYDRA-C",), search_mode="linear"
+        )
+        spec = TasksetSpec(
+            job_index=0, group_index=3, normalized_range=(0.35, 0.45), seed=77
+        )
+        taskset, allocation = binary.generate(spec)
+        from_binary = binary.design_all(taskset, allocation)["HYDRA-C"]
+        from_linear = linear.design_all(taskset, allocation)["HYDRA-C"]
+        assert from_binary.schedulable and from_linear.schedulable
+        assert (
+            from_binary.taskset.security_period_vector()
+            == from_linear.taskset.security_period_vector()
+        )
+        assert (
+            from_linear.metadata["analysis_calls"]
+            > from_binary.metadata["analysis_calls"]
+        )
 
     def test_invalid_core_count_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -159,7 +187,7 @@ class TestServiceConfiguration:
 
         attempts = []
 
-        def always_fails(taskset, platform):
+        def always_fails(taskset, platform, rta_context=None):
             attempts.append(taskset)
             raise AllocationError("forced for the retry-budget test")
 

@@ -158,6 +158,7 @@ class TestConfigFingerprint:
             {"seed": 8},
             {"utilization_groups": ((0.1, 0.2),)},
             {"schemes": ("HYDRA-C", "GLOBAL-TMax")},
+            {"search_mode": "linear"},
         ):
             import dataclasses
 
@@ -182,6 +183,37 @@ class TestConfigFingerprint:
         variant = dataclasses.replace(config, schemes=("HYDRA-C", "HYDRA-RF"))
         with pytest.raises(ConfigurationError, match="different sweep"):
             JsonlResultStore(path, variant).load()
+
+    def test_legacy_header_without_search_mode_resumes_as_binary(
+        self, tmp_path, config
+    ):
+        """Pre-kernel checkpoints predate ``--search-mode``; they were
+        always produced by the binary Algorithm 2 search and must keep
+        resuming under the default config."""
+        import dataclasses
+        import json
+
+        path = tmp_path / "legacy-mode.jsonl"
+        JsonlResultStore(path, config).load()
+        header = json.loads(path.read_text().splitlines()[0])
+        del header["config"]["search_mode"]
+        path.write_text(json.dumps(header, separators=(",", ":")) + "\n")
+
+        assert JsonlResultStore(path, config).load() == {}
+        linear = dataclasses.replace(config, search_mode="linear")
+        with pytest.raises(ConfigurationError, match="different sweep"):
+            JsonlResultStore(path, linear).load()
+
+    def test_resume_with_different_search_mode_rejected(self, tmp_path, config):
+        """The search mode is fingerprint-relevant: a resume under the
+        other Algorithm 2 mode is rejected instead of silently mixed."""
+        import dataclasses
+
+        path = tmp_path / "mode.jsonl"
+        JsonlResultStore(path, config).load()
+        linear = dataclasses.replace(config, search_mode="linear")
+        with pytest.raises(ConfigurationError, match="different sweep"):
+            JsonlResultStore(path, linear).load()
 
     def test_resume_with_different_scheme_selection_rejected(
         self, tmp_path, config

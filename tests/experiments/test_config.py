@@ -55,3 +55,19 @@ class TestExperimentConfig:
         config = ExperimentConfig(chunk_size=3, checkpoint_path="sweep.jsonl")
         assert config.chunk_size == 3
         assert config.checkpoint_path == "sweep.jsonl"
+
+    def test_search_mode_defaults_to_binary(self):
+        assert ExperimentConfig().search_mode == "binary"
+
+    def test_search_mode_accepts_enum_and_string(self):
+        from repro.core.period_selection import SearchMode
+
+        assert ExperimentConfig(search_mode="linear").search_mode == "linear"
+        assert (
+            ExperimentConfig(search_mode=SearchMode.LINEAR).search_mode
+            == "linear"
+        )
+
+    def test_unknown_search_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="search mode"):
+            ExperimentConfig(search_mode="quadratic")

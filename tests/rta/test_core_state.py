@@ -1,0 +1,135 @@
+"""Unit tests for the kernel's incremental per-core state."""
+
+import pytest
+
+from repro.rta import RtaContext, TaskView
+from repro.schedulability.uniprocessor import (
+    UniprocessorTask,
+    uniprocessor_response_time,
+)
+
+
+def view(name, wcet, period, deadline=None, key=None):
+    return TaskView(
+        name=name,
+        wcet=wcet,
+        period=period,
+        deadline=deadline if deadline is not None else period,
+        key=key if key is not None else (period, name),
+    )
+
+
+class TestTaskView:
+    def test_rejects_non_positive_parameters(self):
+        with pytest.raises(ValueError):
+            view("a", 0, 10)
+        with pytest.raises(ValueError):
+            view("a", 1, 0)
+        with pytest.raises(ValueError):
+            view("a", 1, 10, deadline=0)
+
+    def test_utilization(self):
+        assert view("a", 2, 8).utilization == 0.25
+
+
+class TestAdmission:
+    def test_empty_core_admits_anything_schedulable(self):
+        state = RtaContext(2).core_state()
+        admission = state.admit(view("a", 3, 10), need_response=True)
+        assert admission.admitted
+        assert admission.response == 3
+
+    def test_rejects_task_missing_its_deadline(self):
+        context = RtaContext(2, quick_accept=False)
+        state = context.core_state()
+        state = state.admit(view("hog", 6, 10)).state
+        admission = state.admit(view("late", 5, 10, key=(11, "late")))
+        assert not admission.admitted
+        assert admission.state is None
+
+    def test_mid_insertion_rechecks_lower_priority_tasks(self):
+        """A higher-priority insertion that breaks an existing task is
+        rejected even though the newcomer itself is schedulable."""
+        context = RtaContext(2, quick_accept=False)
+        state = context.core_state()
+        # 'lo' fits alone: R = 6 <= 10.
+        state = state.admit(view("lo", 6, 10)).state
+        # 'hi' (inserted above) fits by itself but pushes 'lo' to 6+5 > 10.
+        admission = state.admit(view("hi", 5, 9, key=(9, "hi")))
+        assert not admission.admitted
+
+    def test_prefix_tasks_keep_cached_responses(self):
+        context = RtaContext(2, quick_accept=False)
+        state = context.core_state()
+        state = state.admit(view("hi", 2, 8), need_response=True).state
+        state = state.admit(view("lo", 3, 20), need_response=True).state
+        assert state.response_time("hi") == 2
+        assert state.response_time("lo") == 5
+
+    def test_lazy_response_matches_frozen_solver(self):
+        context = RtaContext(2)
+        state = context.core_state()
+        tasks = [view("a", 2, 9), view("b", 3, 15), view("c", 1, 40)]
+        for v in tasks:
+            state = state.admit(v).state
+        frozen = [UniprocessorTask(v.name, v.wcet, v.period) for v in tasks]
+        for position, v in enumerate(tasks):
+            expected = uniprocessor_response_time(
+                v.wcet, frozen[:position], limit=v.period
+            )
+            assert state.response_time(v.name) == expected
+
+    def test_response_time_unknown_name_raises(self):
+        state = RtaContext(2).core_state()
+        with pytest.raises(KeyError):
+            state.response_time("ghost")
+
+    def test_probe_response_matches_frozen_solver(self):
+        context = RtaContext(2)
+        state = context.core_state(
+            [view("rt0", 2, 10), view("rt1", 4, 30, key=(30, "rt1"))]
+        )
+        frozen = [
+            UniprocessorTask("rt0", 2, 10),
+            UniprocessorTask("rt1", 4, 30),
+        ]
+        probe = view("sec", 5, 200, key=(10**6, "sec"))
+        assert state.probe_response(probe, 200) == uniprocessor_response_time(
+            5, frozen, limit=200
+        )
+        # Second probe against the same state reuses the demand memo and
+        # still matches.
+        probe2 = view("sec2", 7, 500, key=(10**6 + 1, "sec2"))
+        assert state.probe_response(probe2, 500) == uniprocessor_response_time(
+            7, frozen, limit=500
+        )
+
+    def test_utilization_accumulates_in_insertion_order(self):
+        context = RtaContext(2)
+        state = context.core_state()
+        values = [(3, 10), (7, 23), (1, 40)]
+        total = 0.0
+        for index, (wcet, period) in enumerate(values):
+            v = view(f"t{index}", wcet, period, key=(index, f"t{index}"))
+            state = state.admit(v).state
+            total += wcet / period
+        assert state.utilization == total
+
+
+class TestContextStats:
+    def test_exact_solves_are_counted(self):
+        context = RtaContext(2, quick_accept=False)
+        state = context.core_state()
+        state.admit(view("a", 3, 10), need_response=True)
+        assert context.stats.exact_solves == 1
+        assert context.stats.quick_accepts == 0
+
+    def test_ll_quick_accept_skips_the_exact_fixed_point(self):
+        context = RtaContext(2)
+        state = context.core_state()
+        # Two tasks at 10% utilization each: far below the LL bound, RM
+        # order, implicit deadlines -> the whole-core shortcut fires.
+        state = state.admit(view("a", 1, 10)).state
+        state.admit(view("b", 2, 20))
+        assert context.stats.ll_accepts >= 1
+        assert context.stats.exact_solves == 0

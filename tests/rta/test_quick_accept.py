@@ -1,0 +1,191 @@
+"""The accept-only admission shortcuts can never flip an admission outcome.
+
+The kernel's Liu & Layland and Bini-bound shortcuts skip the exact Eq. 1
+fixed point when they already prove schedulability.  Both are *sufficient*
+tests, so the only way they could change behaviour is by accepting a task
+the exact analysis rejects -- these suites pin that they never do, by
+running the same admission streams with the shortcuts enabled and
+disabled, and against the frozen reference analysis.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch.reference import reference_partition_rt_tasks
+from repro.errors import AllocationError
+from repro.generation.taskset_generator import (
+    TasksetGenerationConfig,
+    TasksetGenerator,
+)
+from repro.model import Platform
+from repro.partitioning.heuristics import FitStrategy, partition_rt_tasks
+from repro.rta import RtaContext, TaskView
+from repro.schedulability.uniprocessor import (
+    UniprocessorTask,
+    core_is_schedulable,
+    liu_layland_bound,
+    response_time_upper_bound,
+)
+
+
+@st.composite
+def task_views(draw, index):
+    period = draw(st.integers(min_value=2, max_value=60))
+    wcet = draw(st.integers(min_value=1, max_value=period))
+    implicit = draw(st.booleans())
+    deadline = (
+        period if implicit else draw(st.integers(min_value=wcet, max_value=period))
+    )
+    return TaskView(
+        name=f"t{index}",
+        wcet=wcet,
+        period=period,
+        deadline=deadline,
+        key=(period, f"t{index}"),
+    )
+
+
+@st.composite
+def admission_streams(draw):
+    count = draw(st.integers(min_value=1, max_value=8))
+    views = [draw(task_views(index)) for index in range(count)]
+    # Priority order = RM by (period, name); zero-slack and overloaded
+    # streams arise naturally from wcet == period draws.
+    return sorted(views, key=lambda v: v.key)
+
+
+def run_stream(views, quick_accept):
+    """Admit *views* in order; return per-step verdicts and the context."""
+    context = RtaContext(2, quick_accept=quick_accept)
+    state = context.core_state()
+    verdicts = []
+    for v in views:
+        admission = state.admit(v)
+        verdicts.append(admission.admitted)
+        if admission.admitted:
+            state = admission.state
+        else:
+            break
+    return verdicts, context
+
+
+class TestShortcutsNeverFlipAdmission:
+    @given(admission_streams())
+    @settings(max_examples=200, deadline=None)
+    def test_quick_accept_on_equals_off(self, views):
+        with_shortcuts, _ = run_stream(views, quick_accept=True)
+        without, _ = run_stream(views, quick_accept=False)
+        assert with_shortcuts == without
+
+    @given(admission_streams())
+    @settings(max_examples=200, deadline=None)
+    def test_quick_accept_equals_frozen_full_analysis(self, views):
+        verdicts, _ = run_stream(views, quick_accept=True)
+        frozen = [
+            UniprocessorTask(v.name, v.wcet, v.period, v.deadline) for v in views
+        ]
+        # Every verdict in the stream (all-admitted prefixes plus the first
+        # rejection, where the loop stops) must match the frozen whole-core
+        # analysis of the same prefix.
+        for step, verdict in enumerate(verdicts):
+            assert verdict == core_is_schedulable(frozen[: step + 1]), (views, step)
+
+    def test_shortcuts_fire_on_real_workloads(self):
+        """The shortcuts are not dead code: a representative Table-3 stream
+        takes both the LL and the bound fast path at least once."""
+        generator = TasksetGenerator(
+            TasksetGenerationConfig(num_cores=2), seed=99
+        )
+        context = RtaContext(2)
+        platform = Platform.dual_core()
+        fired_sets = 0
+        for normalized in (0.2, 0.35, 0.5, 0.65):
+            taskset = generator.generate_normalized(normalized)
+            try:
+                partition_rt_tasks(taskset, platform, rta_context=context)
+            except AllocationError:
+                continue
+            fired_sets += 1
+        assert fired_sets > 0
+        assert context.stats.ll_accepts > 0
+        assert context.stats.quick_accepts > 0
+
+
+class TestBoundSoundness:
+    """The wired-in bounds themselves stay sound oracles."""
+
+    @given(admission_streams())
+    @settings(max_examples=150, deadline=None)
+    def test_exact_response_never_exceeds_bini_bound(self, views):
+        context = RtaContext(2, quick_accept=False)
+        state = context.core_state()
+        for v in views:
+            prefix = [
+                UniprocessorTask(p.name, p.wcet, p.period, p.deadline)
+                for p in state.tasks
+            ]
+            bound = response_time_upper_bound(v.wcet, prefix)
+            admission = state.admit(v, need_response=True)
+            if bound is not None and admission.admitted:
+                assert admission.response <= bound
+            if not admission.admitted:
+                break
+            state = admission.state
+
+    @given(st.integers(min_value=1, max_value=50))
+    @settings(max_examples=50, deadline=None)
+    def test_ll_bound_is_decreasing_toward_ln2(self, n):
+        assert 0.6931 < liu_layland_bound(n) <= 1.0
+        if n > 1:
+            assert liu_layland_bound(n) < liu_layland_bound(n - 1)
+
+
+class TestPartitioningDecisionsUnchanged:
+    """Kernel partitioning (shortcuts on) = frozen full-re-analysis packing."""
+
+    @pytest.mark.parametrize("seed", [7, 21, 1303])
+    def test_best_fit_partitions_match_the_frozen_reference(self, seed):
+        generator = TasksetGenerator(
+            TasksetGenerationConfig(num_cores=2), seed=seed
+        )
+        platform = Platform.dual_core()
+        rng = np.random.default_rng(seed)
+        compared = 0
+        for _ in range(12):
+            taskset = generator.generate_normalized(float(rng.uniform(0.1, 0.9)))
+            try:
+                frozen = reference_partition_rt_tasks(taskset, platform)
+            except AllocationError:
+                with pytest.raises(AllocationError):
+                    partition_rt_tasks(taskset, platform)
+                continue
+            kernel = partition_rt_tasks(taskset, platform)
+            assert kernel.mapping == frozen.mapping
+            compared += 1
+        assert compared > 0
+
+    @pytest.mark.parametrize(
+        "strategy", [FitStrategy.FIRST_FIT, FitStrategy.BEST_FIT, FitStrategy.WORST_FIT]
+    )
+    def test_strategies_agree_with_and_without_shortcuts(self, strategy):
+        generator = TasksetGenerator(
+            TasksetGenerationConfig(num_cores=4), seed=55
+        )
+        platform = Platform.quad_core()
+        for normalized in (0.25, 0.5, 0.75):
+            taskset = generator.generate_normalized(normalized)
+            outcomes = []
+            for quick in (True, False):
+                try:
+                    allocation = partition_rt_tasks(
+                        taskset,
+                        platform,
+                        strategy=strategy,
+                        rta_context=RtaContext(platform, quick_accept=quick),
+                    )
+                    outcomes.append(allocation.mapping)
+                except AllocationError:
+                    outcomes.append(None)
+            assert outcomes[0] == outcomes[1]

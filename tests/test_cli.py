@@ -64,6 +64,16 @@ class TestParser:
     def test_schemes_subcommand_parses(self):
         assert build_parser().parse_args(["schemes"]).command == "schemes"
 
+    def test_search_mode_default_and_parse(self):
+        for command in ("fig6", "fig7a", "fig7b", "sweep"):
+            assert build_parser().parse_args([command]).search_mode == "binary"
+        args = build_parser().parse_args(["sweep", "--search-mode", "linear"])
+        assert args.search_mode == "linear"
+
+    def test_unknown_search_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--search-mode", "quadratic"])
+
     def test_campaign_defaults(self):
         args = build_parser().parse_args(["campaign"])
         assert args.trials == 35
@@ -244,6 +254,46 @@ class TestMain:
         assert main(base + ["--seed", "5"]) == 0
         capsys.readouterr()
         exit_code = main(base + ["--seed", "6"])
+        assert exit_code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "different sweep configuration" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_sweep_search_modes_print_identical_tables(self, capsys):
+        """Binary and linear Algorithm 2 select identical periods, so the
+        figure tables must match; only the checkpoint fingerprint differs."""
+        base = [
+            "sweep",
+            "--tasksets-per-group",
+            "1",
+            "--seed",
+            "9",
+            "--report",
+            "fig7a",
+            "--quiet",
+        ]
+        assert main(base) == 0
+        binary_out = capsys.readouterr().out
+        assert main(base + ["--search-mode", "linear"]) == 0
+        linear_out = capsys.readouterr().out
+        assert binary_out == linear_out
+
+    def test_sweep_checkpoint_rejects_other_search_mode(self, capsys, tmp_path):
+        checkpoint = tmp_path / "mode.jsonl"
+        base = [
+            "sweep",
+            "--tasksets-per-group",
+            "1",
+            "--seed",
+            "9",
+            "--checkpoint",
+            str(checkpoint),
+            "--quiet",
+        ]
+        assert main(base) == 0
+        capsys.readouterr()
+        exit_code = main(base + ["--search-mode", "linear"])
         assert exit_code == 2
         captured = capsys.readouterr()
         assert captured.err.startswith("error:")
