@@ -10,11 +10,13 @@ per utilization group so the whole harness finishes in a few minutes; pass
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
 _FIGURES_PATH = Path(__file__).parent / "figures_output.txt"
+_TRAJECTORY_PATH = Path(__file__).parent / "BENCH_PR5.json"
 
 
 def pytest_addoption(parser):
@@ -37,6 +39,59 @@ def pytest_collection_modifyitems(items):
     for item in items:
         if Path(str(item.fspath)).is_relative_to(bench_dir):
             item.add_marker(pytest.mark.bench)
+
+
+def _bench_seconds(bench) -> float | None:
+    """Best-effort wall-clock seconds of one recorded benchmark."""
+    extra = getattr(bench, "extra_info", None) or {}
+    for key in ("seconds", "kernel_seconds", "fast_seconds"):
+        value = extra.get(key)
+        if value is not None:
+            return float(value)
+    stats = getattr(bench, "stats", None)
+    stats = getattr(stats, "stats", stats)
+    mean = getattr(stats, "mean", None)
+    return float(mean) if mean is not None else None
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist the machine-readable perf trajectory (BENCH_PR5.json).
+
+    Every benchmark that ran in this session is recorded as
+    ``name -> {seconds, baseline_seconds, speedup}`` (the latter two are
+    ``null`` for benches without a frozen-baseline comparison), so future
+    PRs can regress-check against recorded history instead of re-measuring
+    the seed paths ad hoc.  Entries of benches that did *not* run this
+    session are kept, so partial runs update rather than erase the
+    trajectory.  The file is a measurement record (uploaded by CI), not a
+    golden pin.
+    """
+    benchsession = getattr(session.config, "_benchmarksession", None)
+    if benchsession is None or not benchsession.benchmarks:
+        return
+    trajectory = {}
+    if _TRAJECTORY_PATH.exists():
+        try:
+            trajectory = json.loads(_TRAJECTORY_PATH.read_text("utf-8"))
+        except (OSError, ValueError):
+            trajectory = {}
+    for bench in benchsession.benchmarks:
+        extra = getattr(bench, "extra_info", None) or {}
+        baseline = extra.get("baseline_seconds")
+        if baseline is None:
+            baseline = extra.get("seed_seconds")
+        speedup = extra.get("speedup")
+        trajectory[bench.name] = {
+            "seconds": _bench_seconds(bench),
+            "baseline_seconds": (
+                float(baseline) if baseline is not None else None
+            ),
+            "speedup": float(speedup) if speedup is not None else None,
+        }
+    _TRAJECTORY_PATH.write_text(
+        json.dumps(trajectory, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
 
 
 @pytest.fixture(scope="session")

@@ -15,13 +15,17 @@
 #   bench -- the speedup gates: the batched pipeline must stay >= 2x
 #            faster than the frozen seed path (repro/batch/reference.py),
 #            the RTA kernel >= 2x on the allocation-heavy Fig. 7a columns,
-#            and the event-compressed simulation backend >= 5x faster than
+#            the vectorized column layer >= 2x over the PR 4 kernel path
+#            on the period-selection-heavy Fig. 6 / Fig. 7b columns, and
+#            the event-compressed simulation backend >= 5x faster than
 #            the tick engine on the rover horizon.  None of these rewrite
-#            benchmarks/figures_output.txt -- that is asserted after the
-#            stage, because a dirty golden pin means results changed.
-#            Wall-clock based, so on shared CI runners they run as a
-#            separate, non-blocking workflow step; locally they are a hard
-#            gate.
+#            benchmarks/figures_output.txt or campaign_golden.txt -- that
+#            is asserted after the stage, because a dirty golden pin means
+#            results changed.  The stage also leaves the measured perf
+#            trajectory in benchmarks/BENCH_PR5.json (uploaded as a CI
+#            artifact).  Wall-clock based, so on shared CI runners they
+#            run as a separate, non-blocking workflow step; locally they
+#            are a hard gate.
 #
 # The remaining benchmarks (full figure regenerations) are not run here --
 # they are the local `pytest benchmarks` workflow and rewrite
@@ -62,13 +66,15 @@ if [[ "$stage" == "smoke" || "$stage" == "all" ]]; then
 fi
 
 if [[ "$stage" == "bench" || "$stage" == "all" ]]; then
-    echo "== bench gates: batch-service, RTA-kernel and fast-simulation speedups =="
+    echo "== bench gates: batch-service, RTA-kernel, vectorized-screen and fast-simulation speedups =="
     python -m pytest -x -q benchmarks/test_bench_batch_service.py \
         benchmarks/test_bench_rta_kernel.py \
+        benchmarks/test_bench_vectorized_screen.py \
         benchmarks/test_bench_sim_fast.py
-    echo "== golden pin: benchmarks/figures_output.txt must be unchanged =="
-    if ! git diff --exit-code -- benchmarks/figures_output.txt; then
-        echo "bench stage FAILED: figures_output.txt changed (results drift)" >&2
+    echo "== golden pins: figures_output.txt and campaign_golden.txt must be unchanged =="
+    if ! git diff --exit-code -- benchmarks/figures_output.txt \
+            benchmarks/campaign_golden.txt; then
+        echo "bench stage FAILED: a golden pin changed (results drift)" >&2
         exit 1
     fi
 fi

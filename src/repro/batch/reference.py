@@ -262,9 +262,17 @@ def reference_security_response_time(
 
 
 class _SeedPeriodSelector(PeriodSelector):
-    """Algorithm 1/2 driven by the frozen seed analysis."""
+    """Algorithm 1/2 driven by the frozen seed analysis.
+
+    ``warm_start=False`` keeps the selector on the cold per-solve profile
+    (no fixed-point seeding); the ``seeds``/``sink`` parameters the live
+    selector threads through are accepted for signature compatibility and
+    deliberately ignored -- the seed path is a live-kernel acceleration and
+    must not leak into the frozen baseline.
+    """
 
     def __init__(self, *args, **kwargs) -> None:
+        kwargs.setdefault("warm_start", False)
         super().__init__(*args, **kwargs)
         self._rt_cache = _SeedRtWorkloadCache(self._rt_by_core)
 
@@ -273,6 +281,8 @@ class _SeedPeriodSelector(PeriodSelector):
         index: int,
         periods: Mapping[str, int],
         response_times: Mapping[str, int],
+        seeds=None,
+        sink=None,
     ) -> Optional[int]:
         task = self._security[index]
         self._analysis_calls += 1

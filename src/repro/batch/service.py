@@ -31,7 +31,7 @@ core states.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -99,6 +99,13 @@ class BatchDesignService:
     search_mode:
         HYDRA-C's Algorithm 2 period-search mode, applied to every plugin
         that honours it (see :class:`repro.schemes.DesignOptions`).
+    accelerated:
+        Enables the result-preserving kernel accelerations added on top of
+        the PR 4 kernel: fixed-point warm starts in period selection and
+        batched candidate probing in the per-core period assignment.  Both
+        are provably unable to change any result; ``False`` reproduces the
+        PR 4 compute profile and exists for the
+        ``benchmarks/test_bench_vectorized_screen.py`` gate and ablations.
     """
 
     def __init__(
@@ -108,9 +115,11 @@ class BatchDesignService:
         max_generation_attempts: int = MAX_GENERATION_ATTEMPTS,
         registry: SchemeRegistry = REGISTRY,
         search_mode: Union[SearchMode, str] = SearchMode.BINARY,
+        accelerated: bool = True,
     ) -> None:
         if num_cores < 1:
             raise ConfigurationError("num_cores must be >= 1")
+        self._accelerated = accelerated
         self._platform = Platform(num_cores=num_cores)
         self._specs = registry.resolve(scheme_names)
         self._scheme_names = tuple(spec.name for spec in self._specs)
@@ -134,6 +143,12 @@ class BatchDesignService:
     @property
     def platform(self) -> Platform:
         return self._platform
+
+    def _new_context(self) -> RtaContext:
+        """A per-task-set kernel context honouring the acceleration knob."""
+        return RtaContext(
+            self._platform.num_cores, warm_start=self._accelerated
+        )
 
     @property
     def scheme_names(self) -> Tuple[str, ...]:
@@ -227,7 +242,7 @@ class BatchDesignService:
         :class:`~repro.rta.RtaContext`.
         """
         if rta_context is None:
-            rta_context = RtaContext(self._platform.num_cores)
+            rta_context = self._new_context()
         shared = self._compute_shared_phases(taskset, rt_allocation, rta_context)
         designs: Dict[str, Optional[SystemDesign]] = {}
         for name, plugin in zip(self._scheme_names, self._plugins):
@@ -280,7 +295,7 @@ class BatchDesignService:
         slot's kernel activity (solves, shortcut accepts, shared caches)
         aggregates in one place.
         """
-        rta_context = RtaContext(self._platform.num_cores)
+        rta_context = self._new_context()
         generated = self.generate(spec, rta_context=rta_context)
         if generated is None:
             return None
@@ -291,3 +306,107 @@ class BatchDesignService:
             group_index=spec.group_index,
             rta_context=rta_context,
         )
+
+    # -- column evaluation -----------------------------------------------------
+
+    def evaluate_specs(
+        self,
+        specs: Sequence[TasksetSpec],
+        stats_sink: Optional[Dict[str, int]] = None,
+    ) -> List[Optional[TasksetEvaluation]]:
+        """Evaluate a whole column (chunk) of sweep slots.
+
+        Byte-identical to ``[self.evaluate_spec(s) for s in specs]`` --
+        pinned by ``tests/rta/test_vectorized_screen.py`` -- but the
+        generation-time partitioning runs in lockstep across the column:
+        per regeneration round, all pending slots' candidate task sets are
+        materialised into one :class:`~repro.rta.vectorized.TaskSetArena`
+        and packed through the vectorized column screens, with only the
+        undecided probe residue walking the exact kernel.  Each slot keeps
+        its own RNG stream and its own :class:`~repro.rta.RtaContext`, so
+        slot outcomes are independent of how the column is chunked.
+
+        ``stats_sink`` optionally accumulates every slot context's
+        :class:`~repro.rta.KernelStats` counters (the ``--stats`` path).
+        """
+        from repro.rta.vectorized import partition_column
+
+        if not self._accelerated:
+            # The PR 4-profile baseline path: per-spec evaluation, but with
+            # the same stats contract as the column path.
+            results = []
+            for spec in specs:
+                context = self._new_context()
+                generated = self.generate(spec, rta_context=context)
+                if generated is None:
+                    results.append(None)
+                else:
+                    taskset, allocation = generated
+                    results.append(
+                        self.evaluate_taskset(
+                            taskset,
+                            allocation,
+                            group_index=spec.group_index,
+                            rta_context=context,
+                        )
+                    )
+                if stats_sink is not None:
+                    for key, value in context.stats.as_dict().items():
+                        stats_sink[key] = stats_sink.get(key, 0) + value
+            return results
+
+        contexts = [self._new_context() for _ in specs]
+        rngs = [np.random.default_rng(spec.seed) for spec in specs]
+        generators = [
+            TasksetGenerator(self._generation_config, seed=spec.seed)
+            for spec in specs
+        ]
+        generated: List[Optional[Tuple[TaskSet, Allocation]]] = [None] * len(
+            specs
+        )
+        pending = list(range(len(specs)))
+        for _attempt in range(self._max_generation_attempts):
+            if not pending:
+                break
+            candidates = []
+            for index in pending:
+                normalized = float(
+                    rngs[index].uniform(*specs[index].normalized_range)
+                )
+                candidates.append(
+                    generators[index].generate_normalized(normalized)
+                )
+            allocations = partition_column(
+                candidates,
+                self._platform,
+                [contexts[index] for index in pending],
+            )
+            still = []
+            for index, candidate, allocation in zip(
+                pending, candidates, allocations
+            ):
+                if allocation is None:
+                    still.append(index)
+                else:
+                    generated[index] = (candidate, allocation)
+            pending = still
+
+        results = []
+        for index, spec in enumerate(specs):
+            if generated[index] is None:
+                results.append(None)
+                continue
+            taskset, allocation = generated[index]
+            results.append(
+                self.evaluate_taskset(
+                    taskset,
+                    allocation,
+                    group_index=spec.group_index,
+                    rta_context=contexts[index],
+                )
+            )
+        if stats_sink is not None:
+            for context in contexts:
+                for key, value in context.stats.as_dict().items():
+                    stats_sink[key] = stats_sink.get(key, 0) + value
+        return results

@@ -15,16 +15,23 @@ seeds are prefix-stable, so a checkpoint also resumes under a *larger*
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
 
 from repro.campaign.aggregate import CampaignResult
 from repro.campaign.spec import CampaignSpec, TrialSpec, build_trial_specs
 from repro.campaign.store import CampaignResultStore
 from repro.campaign.trial import CampaignRunner, TrialRecord
+from repro.exec import PersistentPool, slice_evenly
 
-__all__ = ["CampaignProgress", "CampaignOrchestrator", "run_campaign"]
+__all__ = [
+    "CampaignProgress",
+    "CampaignOrchestrator",
+    "TrialBlock",
+    "run_campaign",
+]
 
 
 @dataclass(frozen=True)
@@ -45,20 +52,52 @@ class CampaignProgress:
 ProgressCallback = Callable[[CampaignProgress], None]
 
 
+@dataclass(frozen=True)
+class TrialBlock:
+    """Arena-encoded slice of campaign trials (the worker payload format).
+
+    Mirrors :class:`repro.batch.orchestrator.SpecBlock`: the slice's
+    :class:`TrialSpec` list is flattened into two parallel integer arrays
+    next to the (shared, hashable) campaign spec -- one payload per worker
+    slice instead of one pickled tuple per trial.
+    """
+
+    spec: CampaignSpec
+    trial_indices: np.ndarray
+    seeds: np.ndarray
+
+    @classmethod
+    def encode(
+        cls, spec: CampaignSpec, trials: List[TrialSpec]
+    ) -> "TrialBlock":
+        return cls(
+            spec=spec,
+            trial_indices=np.asarray(
+                [trial.trial_index for trial in trials], dtype=np.int64
+            ),
+            seeds=np.asarray([trial.seed for trial in trials], dtype=np.uint64),
+        )
+
+    def decode(self) -> List[TrialSpec]:
+        return [
+            TrialSpec(trial_index=int(index), seed=int(seed))
+            for index, seed in zip(self.trial_indices, self.seeds)
+        ]
+
+
 #: Per-process runner cache for the worker entry point: design integration
 #: (partitioning + period selection for every scheme) runs once per worker,
 #: not once per trial.
 _WORKER_RUNNERS: Dict[CampaignSpec, CampaignRunner] = {}
 
 
-def _run_trial_worker(args: Tuple[CampaignSpec, TrialSpec]) -> TrialRecord:
+def _run_block_worker(block: TrialBlock) -> List[TrialRecord]:
     """Module-level (hence picklable) worker entry point."""
-    spec, trial = args
-    runner = _WORKER_RUNNERS.get(spec)
+    runner = _WORKER_RUNNERS.get(block.spec)
     if runner is None:
-        runner = CampaignRunner(spec)
-        _WORKER_RUNNERS[spec] = runner
-    return runner.run_trial(trial)
+        runner = CampaignRunner(block.spec)
+        _WORKER_RUNNERS[block.spec] = runner
+    return [runner.run_trial(trial) for trial in block.decode()]
 
 
 class CampaignOrchestrator:
@@ -74,6 +113,11 @@ class CampaignOrchestrator:
         campaign runs uncheckpointed.
     progress:
         Optional callback invoked after every chunk.
+    pool:
+        Optional externally owned :class:`~repro.exec.PersistentPool`
+        shared across several campaigns (the caller closes it); by default
+        one pool is created per run -- serving all of its chunks -- and
+        closed on every exit path.
     """
 
     def __init__(
@@ -81,12 +125,14 @@ class CampaignOrchestrator:
         spec: CampaignSpec,
         store: Optional[CampaignResultStore] = None,
         progress: Optional[ProgressCallback] = None,
+        pool: Optional[PersistentPool] = None,
     ) -> None:
         if store is None and spec.checkpoint_path is not None:
             store = CampaignResultStore(spec.checkpoint_path, spec)
         self._spec = spec
         self._store = store
         self._progress = progress
+        self._pool = pool
         # Validates the scheme selection against the rover workload up
         # front (every scheme must admit it) and serves the serial path.
         self._runner = CampaignRunner(spec)
@@ -107,10 +153,11 @@ class CampaignOrchestrator:
             for start in range(0, len(pending), spec.chunk_size)
         ]
 
-        pool: Optional[ProcessPoolExecutor] = None
+        pool = self._pool
+        owns_pool = pool is None and spec.n_jobs > 1 and bool(pending)
+        if owns_pool:
+            pool = PersistentPool(spec.n_jobs)
         try:
-            if spec.n_jobs > 1 and pending:
-                pool = ProcessPoolExecutor(max_workers=spec.n_jobs)
             for chunk_index, chunk in enumerate(chunks):
                 records = self._evaluate_chunk(chunk, pool)
                 completed.update(
@@ -129,8 +176,8 @@ class CampaignOrchestrator:
                         )
                     )
         finally:
-            if pool is not None:
-                pool.shutdown()
+            if owns_pool and pool is not None:
+                pool.close()
 
         records = tuple(completed[trial.trial_index] for trial in trials)
         return CampaignResult(spec=spec, records=records)
@@ -138,20 +185,27 @@ class CampaignOrchestrator:
     def _evaluate_chunk(
         self,
         chunk: List[TrialSpec],
-        pool: Optional[ProcessPoolExecutor],
+        pool: Optional[PersistentPool],
     ) -> List[TrialRecord]:
-        if pool is None:
+        if pool is None or self._spec.n_jobs <= 1:
             return [self._runner.run_trial(trial) for trial in chunk]
-        args = [(self._spec, trial) for trial in chunk]
-        # chunksize=1: trials are uniform in cost, but a checkpoint chunk
-        # should spread over every worker rather than serialise behind one.
-        return list(pool.map(_run_trial_worker, args, chunksize=1))
+        blocks = [
+            TrialBlock.encode(self._spec, trial_slice)
+            for trial_slice in slice_evenly(chunk, self._spec.n_jobs)
+        ]
+        records: List[TrialRecord] = []
+        for slice_records in pool.map_chunk(_run_block_worker, blocks):
+            records.extend(slice_records)
+        return records
 
 
 def run_campaign(
     spec: CampaignSpec,
     store: Optional[CampaignResultStore] = None,
     progress: Optional[ProgressCallback] = None,
+    pool: Optional[PersistentPool] = None,
 ) -> CampaignResult:
     """Convenience wrapper: build an orchestrator and run it."""
-    return CampaignOrchestrator(spec, store=store, progress=progress).run()
+    return CampaignOrchestrator(
+        spec, store=store, progress=progress, pool=pool
+    ).run()

@@ -110,6 +110,15 @@ def build_parser() -> argparse.ArgumentParser:
                 "checkpoint-fingerprint relevant)"
             ),
         )
+        sub.add_argument(
+            "--stats",
+            action="store_true",
+            help=(
+                "print a one-line RTA-kernel summary after the run "
+                "(screen/filter hits, undecided residue, warm-seeded "
+                "solves); observability only, never affects results"
+            ),
+        )
 
     campaign = subparsers.add_parser(
         "campaign",
@@ -324,6 +333,17 @@ def _progress_printer(progress: SweepProgress) -> None:
     )
 
 
+def _print_stats(sink: Optional[dict]) -> None:
+    """Print the aggregate kernel counters of a finished run (--stats)."""
+    if sink is None:
+        return
+    from repro.rta import KernelStats
+
+    stats = KernelStats()
+    stats.merge(sink)
+    print(stats.summary_line(), file=sys.stderr)
+
+
 def _run_batch_sweep(args: argparse.Namespace) -> str:
     config = _batch_sweep_config(args)
     # Figs. 6 and 7b are defined relative to HYDRA-C's adapted periods (and
@@ -338,7 +358,9 @@ def _run_batch_sweep(args: argparse.Namespace) -> str:
             require_schemes(config.schemes, required, figure)
         dropped.add(figure)
     progress = None if args.quiet else _progress_printer
-    result = run_sweep(config, progress=progress)
+    sink = {} if args.stats else None
+    result = run_sweep(config, progress=progress, stats_sink=sink)
+    _print_stats(sink)
     sections = {
         "fig6": lambda: format_fig6(compute_fig6(result)),
         "fig7a": lambda: format_fig7a(compute_fig7a(result)),
@@ -368,12 +390,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 _FIGURE_SCHEME_REQUIREMENTS[args.command],
                 args.command,
             )
+            sink = {} if args.stats else None
             if args.command == "fig6":
-                print(format_fig6(run_fig6(config)))
+                print(format_fig6(run_fig6(config, stats_sink=sink)))
             else:
-                print(format_fig7b(run_fig7b(config)))
+                print(format_fig7b(run_fig7b(config, stats_sink=sink)))
+            _print_stats(sink)
         elif args.command == "fig7a":
-            print(format_fig7a(run_fig7a(_sweep_config(args))))
+            sink = {} if args.stats else None
+            print(format_fig7a(run_fig7a(_sweep_config(args), stats_sink=sink)))
+            _print_stats(sink)
         elif args.command == "sweep":
             print(_run_batch_sweep(args))
         elif args.command == "campaign":

@@ -1,0 +1,146 @@
+"""Shared worker-pool plumbing for the chunked orchestrators.
+
+Before PR 5 each orchestrator (:mod:`repro.batch.orchestrator`,
+:mod:`repro.campaign.orchestrator`) managed its own
+:class:`~concurrent.futures.ProcessPoolExecutor` inline: one pool per
+``run()`` invocation, shut down in a ``finally`` that each orchestrator had
+to get right on every exception path, rebuilt from scratch by every run,
+and fed per-item pickled payloads through ``pool.map``.
+
+:class:`PersistentPool` centralises that lifecycle:
+
+* **one pool, many chunks, many runs** -- the executor is created lazily
+  on first use and reused until :meth:`close`; an orchestrator either owns
+  a pool per ``run()`` (the default, closed in its ``finally``) or borrows
+  a longer-lived one injected by the caller, so back-to-back sweeps stop
+  paying worker spawn cost;
+* **crash recovery** -- a worker dying mid-chunk surfaces as
+  :class:`~concurrent.futures.process.BrokenProcessPool`; the pool is
+  rebuilt once and the chunk resubmitted (chunk payloads are pure
+  functions of their arguments, so a retry is byte-identical).  A second
+  consecutive failure propagates -- that is a deterministic crash, not a
+  lost worker;
+* **guaranteed shutdown** -- :meth:`close` is idempotent and the context
+  manager closes on every exception path, which
+  ``tests/batch/test_orchestrator.py`` pins.
+
+Payloads are *slices* of a chunk (one submit per worker slice, not one per
+item), encoded by the orchestrators as compact arrays -- see
+``repro.batch.orchestrator.SpecBlock`` -- instead of per-object pickles,
+so dispatch overhead no longer scales with item count.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+__all__ = ["PersistentPool", "slice_evenly"]
+
+PayloadT = TypeVar("PayloadT")
+ResultT = TypeVar("ResultT")
+
+
+def slice_evenly(items: Sequence, num_slices: int) -> List[Sequence]:
+    """Split *items* into at most *num_slices* contiguous, balanced slices.
+
+    Sizes differ by at most one and order is preserved, so flattening the
+    per-slice results reproduces the input order exactly.
+    """
+    count = len(items)
+    if count == 0:
+        return []
+    num_slices = max(1, min(num_slices, count))
+    base, extra = divmod(count, num_slices)
+    slices: List[Sequence] = []
+    start = 0
+    for position in range(num_slices):
+        size = base + (1 if position < extra else 0)
+        slices.append(items[start : start + size])
+        start += size
+    return slices
+
+
+class PersistentPool:
+    """A lazily created, reusable, crash-recovering process pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker processes of the underlying executor.
+    max_rebuilds:
+        How many times a broken pool is rebuilt (and the failing chunk
+        retried) per :meth:`map_chunk` call before the failure propagates.
+    """
+
+    def __init__(self, max_workers: int, max_rebuilds: int = 1) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self._max_rebuilds = max_rebuilds
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._closed = False
+        #: Total pool rebuilds after worker crashes (observability/tests).
+        self.rebuilds = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def active(self) -> bool:
+        """Whether a live executor currently exists."""
+        return self._executor is not None and not self._closed
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent; safe on half-broken pools)."""
+        self._closed = True
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown()
+
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- execution -------------------------------------------------------------
+
+    def map_chunk(
+        self,
+        fn: Callable[[PayloadT], ResultT],
+        payloads: Sequence[PayloadT],
+    ) -> List[ResultT]:
+        """Run *fn* over *payloads* (one task each), preserving order.
+
+        On :class:`BrokenProcessPool` the executor is rebuilt and the whole
+        payload list resubmitted (payloads must be pure); after
+        ``max_rebuilds`` consecutive failures the exception propagates.
+        """
+        attempts = 0
+        while True:
+            executor = self._ensure_executor()
+            try:
+                # submit() itself raises BrokenProcessPool when a worker
+                # died while the pool sat idle (between chunks or runs),
+                # so it must sit inside the rebuild scope too.
+                futures = [executor.submit(fn, payload) for payload in payloads]
+                return [future.result() for future in futures]
+            except BrokenProcessPool:
+                self._executor = None
+                executor.shutdown(wait=False)
+                attempts += 1
+                if attempts > self._max_rebuilds:
+                    raise
+                self.rebuilds += 1

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from statistics import mean
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.analysis.metrics import normalized_period_distance
 from repro.experiments.config import ExperimentConfig
@@ -64,10 +64,13 @@ def compute_fig6(sweep: SweepResult) -> Fig6Result:
     )
 
 
-def run_fig6(config: Optional[ExperimentConfig] = None) -> Fig6Result:
+def run_fig6(
+    config: Optional[ExperimentConfig] = None,
+    stats_sink: Optional[Dict[str, int]] = None,
+) -> Fig6Result:
     """Run the sweep (if needed) and compute the Fig. 6 series."""
     config = config or ExperimentConfig()
-    return compute_fig6(run_sweep(config))
+    return compute_fig6(run_sweep(config, stats_sink=stats_sink))
 
 
 def format_fig6(result: Fig6Result) -> str:

@@ -47,10 +47,13 @@ def compute_fig7a(sweep: SweepResult) -> Fig7aResult:
     )
 
 
-def run_fig7a(config: Optional[ExperimentConfig] = None) -> Fig7aResult:
+def run_fig7a(
+    config: Optional[ExperimentConfig] = None,
+    stats_sink: Optional[Dict[str, int]] = None,
+) -> Fig7aResult:
     """Run the sweep (if needed) and compute the Fig. 7a curves."""
     config = config or ExperimentConfig()
-    return compute_fig7a(run_sweep(config))
+    return compute_fig7a(run_sweep(config, stats_sink=stats_sink))
 
 
 def format_fig7a(result: Fig7aResult) -> str:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from statistics import mean
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.analysis.metrics import period_adaptation_gain
 from repro.experiments.config import ExperimentConfig
@@ -94,10 +94,13 @@ def compute_fig7b(sweep: SweepResult) -> Fig7bResult:
     )
 
 
-def run_fig7b(config: Optional[ExperimentConfig] = None) -> Fig7bResult:
+def run_fig7b(
+    config: Optional[ExperimentConfig] = None,
+    stats_sink: Optional[Dict[str, int]] = None,
+) -> Fig7bResult:
     """Run the sweep (if needed) and compute the Fig. 7b series."""
     config = config or ExperimentConfig()
-    return compute_fig7b(run_sweep(config))
+    return compute_fig7b(run_sweep(config, stats_sink=stats_sink))
 
 
 def format_fig7b(result: Fig7bResult) -> str:

@@ -28,12 +28,13 @@ record types now live in :mod:`repro.batch.results`.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.batch.orchestrator import (
     ProgressCallback,
     SweepOrchestrator,
     SweepProgress,
+    run_batch_sweep,
 )
 from repro.batch.results import SCHEME_NAMES, SweepResult, TasksetEvaluation
 from repro.batch.store import JsonlResultStore
@@ -52,12 +53,20 @@ def run_sweep(
     config: ExperimentConfig,
     store: Optional[JsonlResultStore] = None,
     progress: Optional[ProgressCallback] = None,
+    pool=None,
+    stats_sink: Optional[Dict[str, int]] = None,
 ) -> SweepResult:
     """Run the full design-space sweep described by *config*.
 
     ``store`` (or ``config.checkpoint_path``) enables chunked checkpointing
     with resume-on-restart; ``progress`` is called after every completed
     chunk.  Both default to off, which reproduces the original one-shot
-    behaviour.
+    behaviour.  ``pool`` optionally injects a caller-owned
+    :class:`~repro.exec.PersistentPool` reused across several runs;
+    ``stats_sink`` accumulates the aggregate :class:`~repro.rta.KernelStats`
+    counters of the evaluated slots (the CLI ``--stats`` flag; never part
+    of the result or the checkpoint).
     """
-    return SweepOrchestrator(config, store=store, progress=progress).run()
+    return run_batch_sweep(
+        config, store=store, progress=progress, pool=pool, stats_sink=stats_sink
+    )

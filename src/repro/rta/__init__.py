@@ -16,7 +16,13 @@ One Eq. 1-5 engine shared by every layer of the design space:
   GLOBAL-TMax, consuming the kernel's carry-in selection;
 * :mod:`repro.rta.migrating` -- the HYDRA-C migrating-security-task engine
   (Eq. 6-8; re-exported by :mod:`repro.core.analysis` for the historical
-  API).
+  API), with sound fixed-point warm starts for monotone re-solves;
+* :mod:`repro.rta.vectorized` -- the column layer: a struct-of-arrays
+  :class:`~repro.rta.vectorized.TaskSetArena` per chunk of task sets and
+  the flip-free vectorized screens of
+  :class:`~repro.rta.vectorized.ColumnScreen`, deciding whole columns of
+  admission questions in single NumPy passes with the exact kernel
+  reserved for the undecided residue.
 
 The frozen oracles -- :mod:`repro.schedulability` and
 :mod:`repro.batch.reference` -- are deliberately *not* built on this
@@ -43,6 +49,7 @@ from repro.rta.packing import (
     security_task_view,
 )
 from repro.rta.partitioned import partitioned_rt_check
+from repro.rta.vectorized import ColumnScreen, TaskSetArena, partition_column
 from repro.schedulability.carry_in import (
     count_carry_in_sets,
     enumerate_carry_in_sets,
@@ -52,6 +59,7 @@ from repro.schedulability.carry_in import (
 __all__ = [
     "Admission",
     "CarryInStrategy",
+    "ColumnScreen",
     "CorePeriodAssigner",
     "CoreState",
     "DEFAULT_EXACT_ENUMERATION_LIMIT",
@@ -62,10 +70,12 @@ __all__ = [
     "SCALAR_TERMS_THRESHOLD",
     "SecurityPacker",
     "SecurityTaskState",
+    "TaskSetArena",
     "TaskView",
     "count_carry_in_sets",
     "enumerate_carry_in_sets",
     "greedy_worst_case_interference",
+    "partition_column",
     "partitioned_rt_check",
     "rt_task_view",
     "security_response_time",

@@ -29,7 +29,7 @@ batch service does exactly that and passes it to every shared phase; see
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 from repro.model.platform import Platform
@@ -43,15 +43,61 @@ __all__ = ["KernelStats", "RtaContext", "rt_task_view"]
 
 @dataclass
 class KernelStats:
-    """Counters of kernel activity, reset per context (= per task set)."""
+    """Counters of kernel activity, reset per context (= per task set).
+
+    The first block counts the per-probe kernel shortcuts (PR 4); the
+    ``column_*`` block counts the vectorized column-screen filters of
+    :mod:`repro.rta.vectorized` (per-filter hits plus the undecided
+    residue that fell through to the exact kernel); the remaining counters
+    cover the packer's integer demand pre-screen, the warm-seeded
+    period-selection solves and the batched Algorithm 2 candidate probes.
+    ``hydra-c sweep --stats`` (and the fig6/7a/7b variants) print the
+    aggregate over every evaluated task set.
+    """
 
     exact_solves: int = 0
     ll_accepts: int = 0
     bound_accepts: int = 0
+    column_ll_accepts: int = 0
+    column_bini_accepts: int = 0
+    column_util_rejects: int = 0
+    column_demand_rejects: int = 0
+    column_undecided: int = 0
+    probe_demand_rejects: int = 0
+    seeded_solves: int = 0
+    batched_probe_levels: int = 0
 
     @property
     def quick_accepts(self) -> int:
         return self.ll_accepts + self.bound_accepts
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict snapshot (the cross-process aggregation format)."""
+        return {field.name: getattr(self, field.name) for field in fields(self)}
+
+    def merge(self, other: Mapping[str, int]) -> None:
+        """Accumulate another context's (or worker's) counters into this."""
+        for field in fields(self):
+            setattr(
+                self,
+                field.name,
+                getattr(self, field.name) + int(other.get(field.name, 0)),
+            )
+
+    def summary_line(self) -> str:
+        """The one-line report behind the CLI ``--stats`` flag."""
+        return (
+            f"kernel: {self.exact_solves} exact solves, "
+            f"{self.seeded_solves} warm-seeded, "
+            f"quick-accepts {self.ll_accepts} LL / {self.bound_accepts} Bini, "
+            f"column screens {self.column_ll_accepts} LL / "
+            f"{self.column_bini_accepts} Bini accepts, "
+            f"{self.column_util_rejects} util / "
+            f"{self.column_demand_rejects} demand rejects, "
+            f"{self.column_undecided} undecided, "
+            f"{self.probe_demand_rejects} probe demand rejects, "
+            f"{self.batched_probe_levels} batched probe levels"
+        )
 
 
 def rt_task_view(task: RealTimeTask) -> TaskView:
@@ -91,13 +137,21 @@ class RtaContext:
         exact fixed point.
     """
 
-    def __init__(self, num_cores, quick_accept: bool = True) -> None:
+    def __init__(
+        self, num_cores, quick_accept: bool = True, warm_start: bool = True
+    ) -> None:
         if isinstance(num_cores, Platform):
             num_cores = num_cores.num_cores
         if num_cores < 1:
             raise ValueError("num_cores must be >= 1")
         self.num_cores = int(num_cores)
         self.quick_accept = quick_accept
+        #: Enables the monotone fixed-point warm starts of the period
+        #: selector (see ``repro.core.period_selection``).  Like
+        #: ``quick_accept``, seeding can never change a result -- disable
+        #: only to reproduce the pre-seeding (PR 4) compute profile, as the
+        #: vectorized-screen benchmark gate does.
+        self.warm_start = warm_start
         self.stats = KernelStats()
         self._rt_caches: Dict[object, RtWorkloadCache] = {}
         self._global_engine: Optional[GlobalRtaEngine] = None

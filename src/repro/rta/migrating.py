@@ -47,12 +47,17 @@ from repro.schedulability.carry_in import (
 
 __all__ = [
     "CarryInStrategy",
+    "GREEDY_SEED",
     "RtWorkloadCache",
     "SecurityTaskState",
     "security_response_time",
     "DEFAULT_EXACT_ENUMERATION_LIMIT",
     "SCALAR_TERMS_THRESHOLD",
 ]
+
+#: Seed-map key under which the greedy-strategy fixed point is recorded
+#: (exact carry-in sets are keyed by their enumeration index).
+GREEDY_SEED = "greedy"
 
 #: Above this many carry-in sets the AUTO strategy switches from exact
 #: enumeration (Eq. 8) to the greedy per-iteration bound.  The greedy bound
@@ -284,14 +289,31 @@ def _solve_fixed_point(
     limit: int,
     num_cores: int,
     omega,
+    seed: Optional[int] = None,
 ) -> Optional[int]:
     """Iterate Eq. 7 (``x = floor(Omega(x)/M) + C_s``) from ``x = C_s``.
 
     ``omega(window)`` must return the total interference (RT plus
     higher-priority security) for the given window.  Returns the least fixed
     point, or ``None`` once the iterate exceeds ``limit``.
+
+    ``seed`` optionally warm-starts the iteration.  It must be a *sound
+    lower bound* on the least fixed point (e.g. the same task/carry-in
+    set's fixed point under pointwise smaller interference -- longer
+    higher-priority periods or smaller higher-priority response times).
+    Starting anywhere in ``[C_s, lfp]`` converges to the identical least
+    fixed point: for any ``x`` in that range, ``Omega(x)//M + C_s < x``
+    would imply (the map moves by at most -1 per unit step, so its graph
+    cannot cross the diagonal without touching it) a fixed point strictly
+    below ``x``, contradicting leastness.  A seed *above* the least fixed
+    point would be unsound -- the iteration would settle on a higher fixed
+    point -- which is why seeds must only ever travel along the monotone
+    directions above; ``tests/rta/test_vectorized_screen.py`` pins the
+    equality on randomized workloads.
     """
     window = security_wcet
+    if seed is not None and seed > window:
+        window = seed
     while True:
         candidate = omega(window) // num_cores + security_wcet
         if candidate == window:
@@ -311,6 +333,8 @@ def security_response_time(
     exact_enumeration_limit: int = DEFAULT_EXACT_ENUMERATION_LIMIT,
     rt_cache: Optional[RtWorkloadCache] = None,
     rta_context=None,
+    set_seeds: Optional[Mapping] = None,
+    seed_sink: Optional[Dict] = None,
 ) -> Optional[int]:
     """WCRT of a migrating security task (paper Eq. 6-8).
 
@@ -339,6 +363,20 @@ def security_response_time(
         Optional :class:`~repro.rta.context.RtaContext`; when given (and no
         explicit ``rt_cache``), the cache is sourced from the context so
         every consumer of the task set shares it.
+    set_seeds:
+        Optional warm-start seeds: a mapping from carry-in-set enumeration
+        index (or :data:`GREEDY_SEED` for the greedy strategy) to a sound
+        lower bound on that set's fixed point.  Seeds must come from the
+        *same* ``(task, carry-in set)`` solved under pointwise weaker
+        interference -- longer higher-priority periods and/or smaller
+        higher-priority response times -- as period selection's monotone
+        exploration produces; see :func:`_solve_fixed_point` for why such
+        seeds cannot change the result.  Unknown keys are ignored.
+    seed_sink:
+        Optional dictionary collecting the per-set fixed points of this
+        call (same keys as ``set_seeds``), so the caller can seed future,
+        more-interfered solves of the same set.  Only fully solved sets are
+        recorded; a set that exceeds ``limit`` records nothing.
 
     Returns
     -------
@@ -359,6 +397,9 @@ def security_response_time(
         else:
             rt_cache = RtWorkloadCache(rt_tasks_by_core)
 
+    if set_seeds and rta_context is not None:
+        rta_context.stats.seeded_solves += 1
+
     max_carry_in = num_cores - 1
     memo = _OmegaMemo(rt_cache, higher_security, security_wcet, max_carry_in)
 
@@ -371,17 +412,24 @@ def security_response_time(
         )
 
     if strategy is CarryInStrategy.GREEDY:
-        return _solve_fixed_point(
-            security_wcet, limit, num_cores, memo.greedy_total
+        response = _solve_fixed_point(
+            security_wcet,
+            limit,
+            num_cores,
+            memo.greedy_total,
+            seed=set_seeds.get(GREEDY_SEED) if set_seeds else None,
         )
+        if response is not None and seed_sink is not None:
+            seed_sink[GREEDY_SEED] = response
+        return response
 
     # Exact: Eq. 8 -- maximise the per-partition fixed point.  If any
     # partition exceeds the limit, so does the maximum.  The memo is shared
     # across partitions: their fixed-point trajectories overlap heavily, so
     # each distinct window is materialised only once.
     worst: int = 0
-    for carry_in_indices in enumerate_carry_in_sets(
-        len(higher_security), max_carry_in
+    for set_index, carry_in_indices in enumerate(
+        enumerate_carry_in_sets(len(higher_security), max_carry_in)
     ):
         response = _solve_fixed_point(
             security_wcet,
@@ -390,8 +438,11 @@ def security_response_time(
             lambda window, chosen=carry_in_indices: memo.total_for_set(
                 window, chosen
             ),
+            seed=set_seeds.get(set_index) if set_seeds else None,
         )
         if response is None:
             return None
+        if seed_sink is not None:
+            seed_sink[set_index] = response
         worst = max(worst, response)
     return worst

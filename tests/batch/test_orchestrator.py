@@ -102,3 +102,91 @@ class TestCheckpointPathOnConfig:
         reloaded = JsonlResultStore(path, config).load()
         completed = [entry for entry in reloaded.values() if entry is not None]
         assert tuple(completed) == tuple(result.evaluations)
+
+
+class TestExecutorLifecycle:
+    """Regression: the worker pool must be shared across chunks and shut
+    down on *every* exit path of ``run()`` (it used to be possible to leak
+    a freshly built executor when a chunk raised before the context
+    exited)."""
+
+    def _recording_pool_class(self, monkeypatch):
+        import repro.batch.orchestrator as orchestrator_module
+        from repro.exec import PersistentPool
+
+        instances = []
+
+        class RecordingPool(PersistentPool):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                instances.append(self)
+
+        monkeypatch.setattr(
+            orchestrator_module, "PersistentPool", RecordingPool
+        )
+        return instances
+
+    def test_one_pool_serves_every_chunk_and_is_closed(self, monkeypatch):
+        instances = self._recording_pool_class(monkeypatch)
+        config = small_config(n_jobs=2, chunk_size=1)  # 4 chunks
+        result = SweepOrchestrator(config).run()
+        assert len(result.evaluations) > 0
+        assert len(instances) == 1, "one persistent pool for all chunks"
+        assert instances[0].closed
+
+    def test_pool_closed_when_a_chunk_raises(self, monkeypatch):
+        instances = self._recording_pool_class(monkeypatch)
+
+        class Boom(Exception):
+            pass
+
+        def explode(_update):
+            raise Boom
+
+        config = small_config(n_jobs=2, chunk_size=1)
+        with pytest.raises(Boom):
+            SweepOrchestrator(config, progress=explode).run()
+        assert len(instances) == 1
+        assert instances[0].closed, "pool leaked on the exception path"
+
+    def test_injected_pool_is_reused_and_left_open(self):
+        from repro.exec import PersistentPool
+
+        config = small_config(n_jobs=2)
+        with PersistentPool(2) as pool:
+            first = SweepOrchestrator(config, pool=pool).run()
+            executor = pool._executor
+            second = SweepOrchestrator(config, pool=pool).run()
+            assert pool.active
+            assert pool._executor is executor, "executor rebuilt needlessly"
+        assert pool.closed
+        assert first.evaluations == second.evaluations
+
+    def test_campaign_pool_closed_on_exception(self, monkeypatch):
+        import repro.campaign.orchestrator as campaign_module
+        from repro.campaign import CampaignOrchestrator, CampaignSpec
+        from repro.exec import PersistentPool
+
+        instances = []
+
+        class RecordingPool(PersistentPool):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                instances.append(self)
+
+        monkeypatch.setattr(campaign_module, "PersistentPool", RecordingPool)
+
+        class Boom(Exception):
+            pass
+
+        def explode(_update):
+            raise Boom
+
+        spec = CampaignSpec(
+            schemes=("HYDRA-C",), num_trials=2, horizon=9000, n_jobs=2,
+            chunk_size=1,
+        )
+        with pytest.raises(Boom):
+            CampaignOrchestrator(spec, progress=explode).run()
+        assert len(instances) == 1
+        assert instances[0].closed

@@ -1,0 +1,464 @@
+"""Differential suite for the vectorized column layer and its execution.
+
+Three families of guarantees, all pinned against frozen oracles:
+
+* the :class:`~repro.rta.vectorized.ColumnScreen` filters are flip-free --
+  on random columns (including zero-slack tasks, overloaded cores and
+  degenerate single-task-set columns) every ACCEPT/REJECT verdict agrees
+  with the exact frozen per-core analysis, and the lockstep
+  :func:`~repro.rta.vectorized.partition_column` reproduces the scalar
+  packing loop byte for byte;
+* the warm-seeded period selection and the batched Algorithm 2 candidate
+  probes return results byte-equal to the cold kernel and to
+  ``repro.batch.reference``, including ``analysis_calls``;
+* the persistent-pool execution cannot change results: ``n_jobs``,
+  ``chunk_size`` and resume are invariant through the reused pool, and a
+  crashed worker is survived by one pool rebuild.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.batch.orchestrator import SweepOrchestrator, build_specs
+from repro.batch.reference import (
+    reference_evaluate_one,
+    reference_select_periods,
+)
+from repro.batch.service import BatchDesignService
+from repro.core.period_selection import select_periods
+from repro.errors import AllocationError
+from repro.exec import PersistentPool, slice_evenly
+from repro.experiments.config import ExperimentConfig
+from repro.model import Platform, RealTimeTask, SecurityTask, TaskSet
+from repro.partitioning.allocation import Allocation
+from repro.partitioning.heuristics import partition_rt_tasks
+from repro.rta import CorePeriodAssigner, RtaContext
+from repro.rta.vectorized import (
+    ACCEPT,
+    REJECT,
+    ColumnScreen,
+    TaskSetArena,
+    partition_column,
+)
+from repro.schedulability.partitioned import partitioned_rt_schedulable
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def rt_tasksets(draw, max_cores=4, allow_empty=False):
+    """A platform plus an RT(+security) task set with a random allocation.
+
+    Includes zero-slack tasks (``wcet == deadline``) and overloaded cores
+    (the allocation is arbitrary, so per-core utilization above one is
+    routinely drawn).
+    """
+    num_cores = draw(st.integers(min_value=1, max_value=max_cores))
+    num_rt = draw(st.integers(min_value=0 if allow_empty else 1, max_value=8))
+    rt_tasks = []
+    for index in range(num_rt):
+        period = draw(st.integers(min_value=6, max_value=80))
+        wcet = draw(st.integers(min_value=1, max_value=period))
+        deadline = draw(st.integers(min_value=wcet, max_value=period))
+        rt_tasks.append(
+            RealTimeTask(
+                name=f"rt{index}", wcet=wcet, period=period, deadline=deadline
+            )
+        )
+    num_security = draw(st.integers(min_value=0, max_value=3))
+    security = [
+        SecurityTask(
+            name=f"sec{index}",
+            wcet=draw(st.integers(min_value=1, max_value=6)),
+            max_period=draw(st.integers(min_value=60, max_value=240)),
+        )
+        for index in range(num_security)
+    ]
+    taskset = TaskSet.create(rt_tasks, security)
+    allocation = {
+        task.name: draw(st.integers(min_value=0, max_value=num_cores - 1))
+        for task in taskset.rt_tasks
+    }
+    return Platform(num_cores=num_cores), taskset, allocation
+
+
+@st.composite
+def taskset_columns(draw):
+    """A column of 1..5 task sets on one platform (incl. degenerate size 1)."""
+    num_cores = draw(st.integers(min_value=1, max_value=4))
+    column = []
+    for position in range(draw(st.integers(min_value=1, max_value=5))):
+        platform, taskset, allocation = draw(
+            rt_tasksets(max_cores=num_cores)
+        )
+        # re-home onto the shared platform size
+        allocation = {
+            name: core % num_cores for name, core in allocation.items()
+        }
+        column.append((taskset, allocation))
+    return Platform(num_cores=num_cores), column
+
+
+# ---------------------------------------------------------------------------
+# Column screen verdicts
+# ---------------------------------------------------------------------------
+
+
+class TestColumnScreenDifferential:
+    @given(taskset_columns())
+    @settings(max_examples=120, deadline=None)
+    def test_screen_verdicts_agree_with_exact_kernel(self, data):
+        platform, column = data
+        tasksets = [taskset for taskset, _ in column]
+        allocations = [
+            Allocation(dict(allocation)) for _, allocation in column
+        ]
+        arena = TaskSetArena(tasksets, platform.num_cores)
+        arena.with_core_assignments(allocations)
+        contexts = [RtaContext(platform) for _ in tasksets]
+        verdicts = ColumnScreen(arena, contexts).screen_partitioned_check()
+        for (taskset, allocation), verdict in zip(column, verdicts):
+            exact = partitioned_rt_schedulable(
+                taskset, allocation, platform
+            ).schedulable
+            if verdict == ACCEPT:
+                assert exact, "column screen accepted an unschedulable set"
+            elif verdict == REJECT:
+                assert not exact, "column screen rejected a schedulable set"
+
+    @given(taskset_columns())
+    @settings(max_examples=100, deadline=None)
+    def test_partition_column_equals_scalar_packing(self, data):
+        platform, column = data
+        tasksets = [taskset for taskset, _ in column]
+        contexts = [RtaContext(platform) for _ in tasksets]
+        lockstep = partition_column(tasksets, platform, contexts)
+        for taskset, result in zip(tasksets, lockstep):
+            try:
+                scalar = partition_rt_tasks(
+                    taskset, platform, rta_context=RtaContext(platform)
+                )
+            except AllocationError:
+                scalar = None
+            if scalar is None:
+                assert result is None
+            else:
+                assert result is not None
+                assert result.mapping == scalar.mapping
+
+    def test_screen_rejects_overloaded_single_set_column(self):
+        """Degenerate one-set column with a provably overloaded core."""
+        platform = Platform(num_cores=2)
+        taskset = TaskSet.create(
+            [
+                RealTimeTask(name="a", wcet=9, period=10),
+                RealTimeTask(name="b", wcet=9, period=10),
+            ],
+            [],
+        )
+        arena = TaskSetArena([taskset], 2)
+        arena.with_core_assignments([Allocation({"a": 0, "b": 0})])
+        verdicts = ColumnScreen(arena).screen_partitioned_check()
+        assert verdicts[0] == REJECT
+
+    def test_screen_accepts_trivial_column(self):
+        platform = Platform(num_cores=2)
+        taskset = TaskSet.create(
+            [RealTimeTask(name="a", wcet=1, period=100)], []
+        )
+        arena = TaskSetArena([taskset], 2)
+        arena.with_core_assignments([Allocation({"a": 0})])
+        verdicts = ColumnScreen(arena).screen_partitioned_check()
+        assert verdicts[0] == ACCEPT
+
+
+# ---------------------------------------------------------------------------
+# Warm-seeded period selection and batched candidate probes
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def schedulable_partitions(draw):
+    """A generated-and-partitioned task set (the selector's real input)."""
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    group = draw(st.integers(min_value=0, max_value=6))
+    service = BatchDesignService(2, scheme_names=("HYDRA-C",))
+    spec_range = (0.01 + 0.1 * group, 0.1 + 0.1 * group)
+    from repro.batch.service import TasksetSpec
+
+    generated = service.generate(
+        TasksetSpec(
+            job_index=0, group_index=group, normalized_range=spec_range, seed=seed
+        )
+    )
+    if generated is None:
+        return None
+    return generated
+
+
+class TestWarmStartDifferential:
+    @given(schedulable_partitions())
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_warm_selection_equals_cold_and_frozen(self, generated):
+        if generated is None:
+            return
+        taskset, allocation = generated
+        platform = Platform(num_cores=2)
+        warm = select_periods(
+            taskset,
+            allocation.mapping,
+            platform,
+            rta_context=RtaContext(2, warm_start=True),
+        )
+        cold = select_periods(
+            taskset,
+            allocation.mapping,
+            platform,
+            rta_context=RtaContext(2, warm_start=False),
+        )
+        frozen = reference_select_periods(
+            taskset, allocation.mapping, platform
+        )
+        assert warm == cold == frozen  # incl. analysis_calls
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_feasible_batch_equals_scalar_probes(self, data):
+        rng_seed = data.draw(st.integers(min_value=0, max_value=2**31))
+        rng = np.random.default_rng(rng_seed)
+        rt_tasks = [
+            RealTimeTask(
+                name=f"rt{index}",
+                wcet=int(rng.integers(1, 6)),
+                period=int(rng.integers(8, 60)),
+                priority=index,
+            )
+            for index in range(int(rng.integers(0, 5)))
+        ]
+        assigner = CorePeriodAssigner(RtaContext(2), rt_tasks)
+        fixed = [
+            (int(rng.integers(1, 6)), int(rng.integers(20, 200)))
+            for _ in range(int(rng.integers(0, 3)))
+        ]
+        wcet = int(rng.integers(1, 8))
+        limit = int(rng.integers(wcet, 300))
+        varying_wcet = int(rng.integers(1, 6))
+        candidates = rng.integers(5, 300, size=int(rng.integers(1, 9)))
+        batch = assigner.feasible_batch(
+            wcet, limit, fixed, varying_wcet, candidates
+        )
+        for candidate, verdict in zip(candidates, batch):
+            scalar = assigner.response_time(
+                wcet, limit, fixed + [(varying_wcet, int(candidate))]
+            )
+            assert verdict == (scalar is not None)
+
+    @given(schedulable_partitions())
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_forced_batched_hydra_search_equals_scalar(self, generated):
+        if generated is None:
+            return
+        from repro.baselines.hydra import Hydra
+
+        taskset, allocation = generated
+        platform = Platform(num_cores=2)
+        scalar_design = Hydra(platform).design(
+            taskset,
+            allocation.mapping,
+            rta_context=RtaContext(2, warm_start=False),
+        )
+        original = Hydra.PERIOD_BATCH_MIN_RANGE
+        try:
+            Hydra.PERIOD_BATCH_MIN_RANGE = 1  # force the batched levels
+            batched_design = Hydra(platform).design(
+                taskset,
+                allocation.mapping,
+                rta_context=RtaContext(2, warm_start=True),
+            )
+        finally:
+            Hydra.PERIOD_BATCH_MIN_RANGE = original
+        assert (
+            batched_design.security_periods()
+            == scalar_design.security_periods()
+        )
+        assert batched_design.schedulable == scalar_design.schedulable
+
+
+# ---------------------------------------------------------------------------
+# Full column pipeline vs per-spec and frozen reference
+# ---------------------------------------------------------------------------
+
+
+class TestColumnPipeline:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return ExperimentConfig(
+            num_cores=2,
+            tasksets_per_group=2,
+            utilization_groups=((0.05, 0.2), (0.45, 0.6), (0.75, 0.9)),
+            seed=90125,
+            schemes=("HYDRA-C", "HYDRA"),
+        )
+
+    def test_column_equals_per_spec_and_frozen_reference(self, config):
+        service = BatchDesignService(
+            config.num_cores, scheme_names=config.schemes
+        )
+        specs = build_specs(config)
+        column = service.evaluate_specs(specs)
+        per_spec = [service.evaluate_spec(spec) for spec in specs]
+        frozen = [
+            reference_evaluate_one(
+                config.num_cores,
+                spec.group_index,
+                spec.normalized_range,
+                spec.seed,
+                scheme_names=config.schemes,
+            )
+            for spec in specs
+        ]
+        assert column == per_spec == frozen
+
+    def test_single_spec_degenerate_column(self, config):
+        service = BatchDesignService(
+            config.num_cores, scheme_names=config.schemes
+        )
+        spec = build_specs(config)[0]
+        assert service.evaluate_specs([spec]) == [service.evaluate_spec(spec)]
+
+    def test_column_stats_are_populated(self, config):
+        service = BatchDesignService(
+            config.num_cores, scheme_names=config.schemes
+        )
+        sink = {}
+        service.evaluate_specs(build_specs(config), stats_sink=sink)
+        assert sink["exact_solves"] > 0
+        assert sink["seeded_solves"] > 0
+        screen_activity = (
+            sink["column_ll_accepts"]
+            + sink["column_bini_accepts"]
+            + sink["column_undecided"]
+        )
+        assert screen_activity > 0
+
+
+# ---------------------------------------------------------------------------
+# Persistent-pool determinism and crash recovery
+# ---------------------------------------------------------------------------
+
+
+def _double(value):
+    return value * 2
+
+
+def _crash_once(payload):
+    flag_path, value = payload
+    if os.path.exists(flag_path):
+        os.remove(flag_path)
+        os._exit(17)
+    return value * 2
+
+
+class TestPersistentPoolExecution:
+    @pytest.fixture(scope="class")
+    def config_kwargs(self):
+        return dict(
+            num_cores=2,
+            tasksets_per_group=2,
+            utilization_groups=((0.05, 0.2), (0.45, 0.6)),
+            seed=4242,
+            schemes=("HYDRA-C", "HYDRA"),
+        )
+
+    def test_n_jobs_and_chunk_size_invariance_through_reused_pool(
+        self, config_kwargs
+    ):
+        serial = SweepOrchestrator(
+            ExperimentConfig(**config_kwargs, n_jobs=1, chunk_size=3)
+        ).run()
+        with PersistentPool(2) as pool:
+            parallel_a = SweepOrchestrator(
+                ExperimentConfig(**config_kwargs, n_jobs=2, chunk_size=2),
+                pool=pool,
+            ).run()
+            parallel_b = SweepOrchestrator(
+                ExperimentConfig(**config_kwargs, n_jobs=2, chunk_size=4),
+                pool=pool,
+            ).run()
+            assert pool.active  # both runs shared one live pool
+        assert serial.evaluations == parallel_a.evaluations
+        assert serial.evaluations == parallel_b.evaluations
+
+    def test_resume_through_reused_pool(self, config_kwargs, tmp_path):
+        checkpoint = tmp_path / "resume.jsonl"
+        config = ExperimentConfig(
+            **config_kwargs,
+            n_jobs=2,
+            chunk_size=1,
+            checkpoint_path=str(checkpoint),
+        )
+        full = SweepOrchestrator(
+            ExperimentConfig(**config_kwargs, n_jobs=1)
+        ).run()
+
+        class StopAfterTwo(Exception):
+            pass
+
+        chunks_done = []
+
+        def progress(update):
+            chunks_done.append(update)
+            if len(chunks_done) == 2:
+                raise StopAfterTwo
+
+        with PersistentPool(2) as pool:
+            with pytest.raises(StopAfterTwo):
+                SweepOrchestrator(config, progress=progress, pool=pool).run()
+            resumed = SweepOrchestrator(config, pool=pool).run()
+        assert resumed.evaluations == full.evaluations
+
+    def test_worker_crash_rebuilds_pool_and_retries(self, tmp_path):
+        flag = tmp_path / "crash-once"
+        flag.write_text("arm")
+        with PersistentPool(2) as pool:
+            results = pool.map_chunk(
+                _crash_once, [(str(flag), value) for value in range(4)]
+            )
+            assert results == [0, 2, 4, 6]
+            assert pool.rebuilds == 1
+            # pool remains usable after the rebuild
+            assert pool.map_chunk(_double, [5]) == [10]
+
+    def test_deterministic_crash_eventually_propagates(self, tmp_path):
+        flag = tmp_path / "crash-always"
+
+        def rearm_and_run():
+            flag.write_text("arm")
+
+        with PersistentPool(1, max_rebuilds=0) as pool:
+            flag.write_text("arm")
+            with pytest.raises(Exception):
+                pool.map_chunk(_crash_once, [(str(flag), 1)])
+        assert pool.closed
+
+    def test_slice_evenly_preserves_order_and_balance(self):
+        items = list(range(10))
+        slices = slice_evenly(items, 4)
+        assert [len(chunk) for chunk in slices] == [3, 3, 2, 2]
+        assert [item for chunk in slices for item in chunk] == items
+        assert slice_evenly([], 3) == []
+        assert slice_evenly([1], 5) == [[1]]
