@@ -1,12 +1,18 @@
-"""Resumable JSONL checkpoint store for sweep results.
+"""Resumable checkpoint stores for sweep results.
 
-The checkpoint mechanics (fingerprint header, torn-write truncation,
-byte-for-byte resume) live in :class:`repro.storage.JsonlCheckpointStore`;
-this module binds them to the sweep: one ``result`` line per completed
-sweep slot, keyed by job index, with
-:class:`~repro.batch.results.TasksetEvaluation` payloads.  Slots whose
-task-set generation exhausted its retry budget are recorded as ``null``
-evaluations so a resumed run does not retry them.
+The persistence mechanics (fingerprint header, duplicate detection,
+deterministic resume) live in :mod:`repro.storage`; this module binds them
+to the sweep: one ``result`` record per completed sweep slot, keyed by job
+index, with :class:`~repro.batch.results.TasksetEvaluation` payloads.
+Slots whose task-set generation exhausted its retry budget are recorded as
+``null`` evaluations so a resumed run does not retry them.
+
+:class:`SweepRecordCodec` is the codec mixin the result-backend registry
+composes with any registered backend; :func:`open_result_store` turns a
+``--checkpoint`` path-or-URI (``run.jsonl``, ``sqlite:run.db``,
+``shards:run.d?writer=w3``) into the matching store.
+:class:`JsonlResultStore` remains the historical single-file class -- same
+name, same byte format.
 """
 
 from __future__ import annotations
@@ -15,12 +21,17 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
 
 from repro.batch.results import SCHEME_NAMES, TasksetEvaluation
-from repro.storage import JsonlCheckpointStore
+from repro.storage import CheckpointStore, JsonlCheckpointStore, open_store
 
 if TYPE_CHECKING:  # avoid a runtime cycle: experiments.sweep imports batch
     from repro.experiments.config import ExperimentConfig
 
-__all__ = ["JsonlResultStore", "config_fingerprint"]
+__all__ = [
+    "SweepRecordCodec",
+    "JsonlResultStore",
+    "open_result_store",
+    "config_fingerprint",
+]
 
 
 def config_fingerprint(config: "ExperimentConfig") -> Dict[str, object]:
@@ -48,14 +59,11 @@ def config_fingerprint(config: "ExperimentConfig") -> Dict[str, object]:
     }
 
 
-class JsonlResultStore(JsonlCheckpointStore):
-    """Append-only JSONL store of per-slot evaluations, keyed by job index."""
+class SweepRecordCodec:
+    """Sweep record codec: per-slot evaluations keyed by job index."""
 
     _fingerprint_field = "config"
     _noun = "sweep"
-
-    def __init__(self, path: Union[str, Path], config: "ExperimentConfig") -> None:
-        super().__init__(path, config_fingerprint(config))
 
     def _normalise_header_fingerprint(self, fingerprint: object) -> object:
         if isinstance(fingerprint, dict):
@@ -88,3 +96,15 @@ class JsonlResultStore(JsonlCheckpointStore):
         return int(record["job"]), (
             TasksetEvaluation.from_json(payload) if payload is not None else None
         )
+
+
+class JsonlResultStore(SweepRecordCodec, JsonlCheckpointStore):
+    """Append-only JSONL store of per-slot evaluations, keyed by job index."""
+
+    def __init__(self, path: Union[str, Path], config: "ExperimentConfig") -> None:
+        super().__init__(path, config_fingerprint(config))
+
+
+def open_result_store(uri, config: "ExperimentConfig") -> CheckpointStore:
+    """Build the sweep checkpoint store a ``--checkpoint`` URI describes."""
+    return open_store(uri, SweepRecordCodec, config_fingerprint(config))

@@ -29,12 +29,17 @@ from repro.campaign.spec import (
     TrialSpec,
     build_trial_specs,
 )
-from repro.campaign.store import CampaignResultStore
+from repro.campaign.store import (
+    CampaignRecordCodec,
+    CampaignResultStore,
+    open_campaign_store,
+)
 from repro.campaign.trial import CampaignRunner, SchemeTrialOutcome, TrialRecord
 
 __all__ = [
     "CampaignOrchestrator",
     "CampaignProgress",
+    "CampaignRecordCodec",
     "CampaignResult",
     "CampaignResultStore",
     "CampaignRunner",
@@ -46,5 +51,6 @@ __all__ = [
     "TrialSpec",
     "build_trial_specs",
     "format_campaign",
+    "open_campaign_store",
     "run_campaign",
 ]

@@ -3,7 +3,9 @@
 The execution model mirrors :class:`repro.batch.orchestrator.SweepOrchestrator`
 -- a campaign's deterministic trial list is evaluated in chunks, serially or
 across worker processes, each finished chunk is checkpointed to a
-:class:`~repro.campaign.store.CampaignResultStore`, and a restarted
+checkpoint store (any :mod:`repro.storage` backend, resolved from the
+``--checkpoint`` URI by :func:`~repro.campaign.store.open_campaign_store`),
+and a restarted
 campaign skips every already-evaluated trial.  Because a trial is a pure
 function of ``(campaign seed, trial index)``, none of ``n_jobs``,
 ``chunk_size``, the resume point or the simulation backend can change the
@@ -22,9 +24,10 @@ import numpy as np
 
 from repro.campaign.aggregate import CampaignResult
 from repro.campaign.spec import CampaignSpec, TrialSpec, build_trial_specs
-from repro.campaign.store import CampaignResultStore
+from repro.campaign.store import open_campaign_store
 from repro.campaign.trial import CampaignRunner, TrialRecord
 from repro.exec import PersistentPool, slice_evenly
+from repro.storage import CheckpointStore
 
 __all__ = [
     "CampaignProgress",
@@ -123,12 +126,12 @@ class CampaignOrchestrator:
     def __init__(
         self,
         spec: CampaignSpec,
-        store: Optional[CampaignResultStore] = None,
+        store: Optional[CheckpointStore] = None,
         progress: Optional[ProgressCallback] = None,
         pool: Optional[PersistentPool] = None,
     ) -> None:
         if store is None and spec.checkpoint_path is not None:
-            store = CampaignResultStore(spec.checkpoint_path, spec)
+            store = open_campaign_store(spec.checkpoint_path, spec)
         self._spec = spec
         self._store = store
         self._progress = progress
@@ -201,7 +204,7 @@ class CampaignOrchestrator:
 
 def run_campaign(
     spec: CampaignSpec,
-    store: Optional[CampaignResultStore] = None,
+    store: Optional[CheckpointStore] = None,
     progress: Optional[ProgressCallback] = None,
     pool: Optional[PersistentPool] = None,
 ) -> CampaignResult:

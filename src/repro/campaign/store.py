@@ -1,8 +1,12 @@
-"""Resumable JSONL checkpoint store for campaign trial records.
+"""Resumable checkpoint stores for campaign trial records.
 
-Same mechanics as the sweep's :class:`repro.batch.store.JsonlResultStore`
-(both subclass :class:`repro.storage.JsonlCheckpointStore`), with the
-trial record as the persisted unit, keyed by trial index.
+Same mechanics as the sweep's :mod:`repro.batch.store` (both ride the
+pluggable backends in :mod:`repro.storage`), with the trial record as the
+persisted unit, keyed by trial index.  :class:`CampaignRecordCodec` is the
+codec mixin the result-backend registry composes with any backend;
+:func:`open_campaign_store` resolves a ``--checkpoint`` path-or-URI;
+:class:`CampaignResultStore` remains the historical single-file JSONL
+class, byte format unchanged.
 
 The fingerprint deliberately excludes the execution knobs *including the
 simulation backend*: the differential suite pins the fast and tick backends
@@ -19,19 +23,16 @@ from typing import Dict, Tuple, Union
 
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.trial import TrialRecord
-from repro.storage import JsonlCheckpointStore
+from repro.storage import CheckpointStore, JsonlCheckpointStore, open_store
 
-__all__ = ["CampaignResultStore"]
+__all__ = ["CampaignRecordCodec", "CampaignResultStore", "open_campaign_store"]
 
 
-class CampaignResultStore(JsonlCheckpointStore):
-    """Append-only JSONL store of trial records, keyed by trial index."""
+class CampaignRecordCodec:
+    """Campaign record codec: trial records keyed by trial index."""
 
     _fingerprint_field = "campaign"
     _noun = "campaign"
-
-    def __init__(self, path: Union[str, Path], spec: CampaignSpec) -> None:
-        super().__init__(path, spec.fingerprint())
 
     def _encode_result(self, entry: TrialRecord) -> Dict[str, object]:
         return {"kind": "result", "trial": entry.to_json()}
@@ -39,3 +40,15 @@ class CampaignResultStore(JsonlCheckpointStore):
     def _decode_result(self, record: Dict[str, object]) -> Tuple[int, TrialRecord]:
         trial = TrialRecord.from_json(record["trial"])
         return trial.trial_index, trial
+
+
+class CampaignResultStore(CampaignRecordCodec, JsonlCheckpointStore):
+    """Append-only JSONL store of trial records, keyed by trial index."""
+
+    def __init__(self, path: Union[str, Path], spec: CampaignSpec) -> None:
+        super().__init__(path, spec.fingerprint())
+
+
+def open_campaign_store(uri, spec: CampaignSpec) -> CheckpointStore:
+    """Build the campaign checkpoint store a ``--checkpoint`` URI describes."""
+    return open_store(uri, CampaignRecordCodec, spec.fingerprint())

@@ -12,6 +12,8 @@ Usage (installed as the ``hydra-c`` console script, also runnable as
     hydra-c campaign --trials 500 --jobs 4 --checkpoint camp.jsonl
                                  # Monte Carlo attack campaign on the rover
     hydra-c schemes              # list every registered integration scheme
+    hydra-c serve --socket /tmp/hydra.sock   # online admission daemon
+    hydra-c query --socket /tmp/hydra.sock '{"op":"ping"}'
 
 ``campaign`` runs the Monte Carlo extension of the Fig. 5 security
 evaluation on the event-compressed simulation backend: paired attack
@@ -20,7 +22,10 @@ granularity, aggregated into detection-latency distributions.
 
 ``sweep`` runs the batched design-space sweep once and derives every
 synthetic figure from it; with ``--checkpoint`` the run is chunked into a
-JSONL store and a rerun of the same command resumes where it stopped.  The
+resumable store and a rerun of the same command resumes where it stopped.
+``--checkpoint`` takes a plain path (single JSONL file), ``sqlite:PATH``
+(one SQLite database) or ``shards:DIR?writer=NAME`` (a directory of
+per-writer JSONL shards that N independent workers can grow in parallel).  The
 synthetic sweeps accept ``--tasksets-per-group`` (paper value: 250),
 ``--jobs`` for parallel evaluation, ``--schemes`` to pick which
 registered schemes to evaluate (default: the paper's four; see
@@ -165,8 +170,14 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--checkpoint",
         default=None,
-        metavar="PATH",
-        help="JSONL checkpoint store; rerunning the same command resumes",
+        metavar="URI",
+        help=(
+            "checkpoint store path or URI; rerunning the same command "
+            "resumes.  Plain paths mean a single JSONL file; "
+            "'sqlite:run.db' selects the SQLite backend and "
+            "'shards:run.d?writer=NAME' a directory of per-writer "
+            "JSONL shards"
+        ),
     )
     campaign.add_argument(
         "--quiet",
@@ -178,12 +189,85 @@ def build_parser() -> argparse.ArgumentParser:
         "schemes", help="list the registered integration schemes"
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="long-lived online admission daemon (JSON-lines queries)",
+    )
+    serve_transport = serve.add_mutually_exclusive_group(required=True)
+    serve_transport.add_argument(
+        "--socket",
+        metavar="PATH",
+        help="listen on a Unix domain socket at PATH",
+    )
+    serve_transport.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve one JSON-lines session over stdin/stdout",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for evaluation queries (1 = in-process, "
+            "one shared warm cache)"
+        ),
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "default per-query evaluation timeout (a query's own "
+            "'timeout' field overrides it; default: none)"
+        ),
+    )
+    serve.add_argument(
+        "--max-contexts",
+        type=int,
+        default=64,
+        metavar="N",
+        help="warm RTA-context LRU size per service (0 = always cold)",
+    )
+    serve.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the lifecycle log lines on stderr",
+    )
+
+    query = subparsers.add_parser(
+        "query",
+        help="send one JSON query (or stdin lines) to a running daemon",
+    )
+    query.add_argument(
+        "--socket",
+        required=True,
+        metavar="PATH",
+        help="Unix socket of the running 'hydra-c serve' daemon",
+    )
+    query.add_argument(
+        "request",
+        nargs="?",
+        default=None,
+        help=(
+            "one JSON request object; omitted = read one request per "
+            "line from stdin"
+        ),
+    )
+
     sweep = subparsers.choices["sweep"]
     sweep.add_argument(
         "--checkpoint",
         default=None,
-        metavar="PATH",
-        help="JSONL checkpoint store; rerunning the same command resumes",
+        metavar="URI",
+        help=(
+            "checkpoint store path or URI; rerunning the same command "
+            "resumes.  Plain paths mean a single JSONL file; "
+            "'sqlite:run.db' selects the SQLite backend and "
+            "'shards:run.d?writer=NAME' a directory of per-writer "
+            "JSONL shards"
+        ),
     )
     sweep.add_argument(
         "--chunk-size",
@@ -374,6 +458,43 @@ def _run_batch_sweep(args: argparse.Namespace) -> str:
     return "\n\n".join(sections[name]() for name in wanted)
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeDaemon
+
+    daemon = ServeDaemon(
+        jobs=args.jobs,
+        timeout=args.timeout,
+        max_contexts=args.max_contexts,
+        quiet=args.quiet,
+    )
+    return daemon.serve(socket_path=args.socket if not args.stdio else None)
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import ServeClient
+
+    lines = (
+        [args.request]
+        if args.request is not None
+        else [line for line in sys.stdin.read().splitlines() if line.strip()]
+    )
+    exit_code = 0
+    with ServeClient.connect(args.socket) as client:
+        for line in lines:
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                print(f"error: request is not valid JSON: {exc}", file=sys.stderr)
+                return 2
+            response = client.request(payload)
+            print(json.dumps(response, separators=(",", ":")))
+            if not response.get("ok"):
+                exit_code = 1
+    return exit_code
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -406,6 +527,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(_run_campaign(args))
         elif args.command == "schemes":
             print(_format_schemes_table())
+        elif args.command == "serve":
+            return _run_serve(args)
+        elif args.command == "query":
+            return _run_query(args)
         else:  # pragma: no cover - argparse enforces choices
             return 2
     except ReproError as exc:

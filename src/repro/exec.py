@@ -20,9 +20,21 @@ and fed per-item pickled payloads through ``pool.map``.
   functions of their arguments, so a retry is byte-identical).  A second
   consecutive failure propagates -- that is a deterministic crash, not a
   lost worker;
-* **guaranteed shutdown** -- :meth:`close` is idempotent and the context
-  manager closes on every exception path, which
-  ``tests/batch/test_orchestrator.py`` pins.
+* **no stragglers** -- when any slice of a chunk fails (an application
+  exception, or the caller's ``KeyboardInterrupt`` while waiting), the
+  remaining submitted slices are cancelled and the already-running ones
+  drained before the failure propagates, so no worker keeps grinding
+  through abandoned work in the background (and no straggler exception is
+  silently swallowed after the chunk was given up on);
+* **guaranteed shutdown** -- :meth:`close` is idempotent, cancels still
+  queued work (``cancel_futures=True``), and the context manager closes on
+  every exception path, which ``tests/batch/test_orchestrator.py`` pins.
+
+:class:`PersistentPool` also backs the online admission daemon
+(:mod:`repro.serve`), which submits *single* queries rather than chunks:
+:meth:`submit` exposes the underlying future (for asyncio wrapping and
+per-query timeouts) and :meth:`reset` discards a broken executor so the
+next query transparently gets a fresh pool.
 
 Payloads are *slices* of a chunk (one submit per worker slice, not one per
 item), encoded by the orchestrators as compact arrays -- see
@@ -32,7 +44,7 @@ so dispatch overhead no longer scales with item count.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, List, Optional, Sequence, TypeVar
 
@@ -103,11 +115,31 @@ class PersistentPool:
         return self._executor
 
     def close(self) -> None:
-        """Shut the executor down (idempotent; safe on half-broken pools)."""
+        """Shut the executor down (idempotent; safe on half-broken pools).
+
+        Work that is still *queued* is cancelled rather than waited for:
+        closing a pool mid-chunk (an orchestrator ``finally`` after an
+        exception, a daemon draining on SIGTERM) must not block until every
+        abandoned slice has been ground through.  Slices already running on
+        a worker do finish -- a process task cannot be interrupted -- but
+        nothing new is started.
+        """
         self._closed = True
         executor, self._executor = self._executor, None
         if executor is not None:
-            executor.shutdown()
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def reset(self) -> None:
+        """Discard the current executor; the next use builds a fresh one.
+
+        Used by callers that detect :class:`BrokenProcessPool` outside
+        :meth:`map_chunk` (e.g. the serve daemon's per-query
+        :meth:`submit` path).  Pending futures of the dead executor are
+        cancelled, nothing is waited for, and the pool stays usable.
+        """
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
 
     def __enter__(self) -> "PersistentPool":
         return self
@@ -116,6 +148,15 @@ class PersistentPool:
         self.close()
 
     # -- execution -------------------------------------------------------------
+
+    def submit(self, fn: Callable[[PayloadT], ResultT], payload: PayloadT) -> Future:
+        """Submit one task and return its raw future.
+
+        The single-query entry point of the serve daemon: the caller owns
+        the future (asyncio wraps it for per-query timeouts) and handles
+        :class:`BrokenProcessPool` itself via :meth:`reset`.
+        """
+        return self._ensure_executor().submit(fn, payload)
 
     def map_chunk(
         self,
@@ -127,10 +168,17 @@ class PersistentPool:
         On :class:`BrokenProcessPool` the executor is rebuilt and the whole
         payload list resubmitted (payloads must be pure); after
         ``max_rebuilds`` consecutive failures the exception propagates.
+
+        On any *other* failure -- one payload raising an application
+        exception, or the caller being interrupted while waiting -- the
+        not-yet-started futures are cancelled and the running ones drained
+        before the failure propagates, so the chunk never leaves stragglers
+        computing abandoned results in the background.
         """
         attempts = 0
         while True:
             executor = self._ensure_executor()
+            futures: List[Future] = []
             try:
                 # submit() itself raises BrokenProcessPool when a worker
                 # died while the pool sat idle (between chunks or runs),
@@ -139,8 +187,30 @@ class PersistentPool:
                 return [future.result() for future in futures]
             except BrokenProcessPool:
                 self._executor = None
-                executor.shutdown(wait=False)
+                executor.shutdown(wait=False, cancel_futures=True)
                 attempts += 1
                 if attempts > self._max_rebuilds:
                     raise
                 self.rebuilds += 1
+            except BaseException:
+                # An ordinary failure (or KeyboardInterrupt): the payloads
+                # after the failing one are still queued or running.
+                self._cancel_and_drain(futures)
+                raise
+
+    @staticmethod
+    def _cancel_and_drain(futures: Sequence[Future]) -> None:
+        """Cancel queued futures, then wait out (and swallow) the rest.
+
+        The chunk has already failed; what matters is that no future is
+        left silently running after ``map_chunk`` returns.  Exceptions of
+        the drained stragglers are deliberately dropped -- the first
+        failure is the one being propagated.
+        """
+        for future in futures:
+            future.cancel()
+        for future in futures:
+            try:
+                future.exception()
+            except (CancelledError, Exception):
+                pass

@@ -1,0 +1,47 @@
+"""Online admission service: interactive queries against warm analysis caches.
+
+The batch layers answer *offline* questions ("evaluate 4000 task sets");
+this package answers *online* ones: a long-lived ``hydra-c serve`` daemon
+holds the analysis engines warm and answers single admission/design
+queries at interactive latency, without paying interpreter start-up,
+scheme-registry resolution or cold kernel caches per query.
+
+Layering:
+
+* :mod:`repro.serve.protocol` -- the JSON-lines request/response envelope
+  (one JSON object per line, ``op`` selects the query kind) and its
+  validation;
+* :mod:`repro.serve.service` -- :class:`AdmissionService`, the transport-
+  independent engine: per-configuration
+  :class:`~repro.batch.service.BatchDesignService` instances and an LRU of
+  per-query :class:`~repro.rta.RtaContext` objects are kept across
+  queries, so a repeated query reuses its warm Eq. 2-3 workload memos
+  while staying byte-identical to the cold answer (and to the frozen
+  ``reference_evaluate_one`` oracle -- pinned by ``tests/serve/``);
+* :mod:`repro.serve.daemon` -- the asyncio front end: a Unix-socket (or
+  stdin/stdout) JSON-lines server dispatching queries onto the shared
+  :class:`~repro.exec.PersistentPool`, with per-query timeouts and a
+  graceful drain on SIGTERM;
+* :mod:`repro.serve.client` -- a small blocking client used by
+  ``hydra-c query``, the CI smoke stage and the tests.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.daemon import ServeDaemon
+from repro.serve.protocol import (
+    QueryError,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from repro.serve.service import AdmissionService
+
+__all__ = [
+    "AdmissionService",
+    "QueryError",
+    "ServeClient",
+    "ServeDaemon",
+    "error_response",
+    "ok_response",
+    "parse_request",
+]

@@ -1,0 +1,75 @@
+"""A small blocking client for the admission daemon.
+
+Used by ``hydra-c query``, the CI smoke stage and the serve tests; it is
+deliberately synchronous (socket + line buffer) because callers are
+scripts asking one question at a time.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """One JSON-lines connection to a running ``hydra-c serve`` daemon."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._socket = sock
+        self._file = sock.makefile("rwb")
+
+    @classmethod
+    def connect(
+        cls,
+        socket_path,
+        retries: int = 50,
+        delay: float = 0.1,
+    ) -> "ServeClient":
+        """Connect to the daemon's Unix socket, waiting for it to appear.
+
+        The daemon creates its socket asynchronously at start-up, so the
+        connect is retried (``retries`` x ``delay`` seconds) before giving
+        up with :class:`~repro.errors.ConfigurationError`.
+        """
+        last_error: Optional[OSError] = None
+        for _attempt in range(max(1, retries)):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                sock.connect(str(socket_path))
+                return cls(sock)
+            except OSError as exc:
+                sock.close()
+                last_error = exc
+                time.sleep(delay)
+        raise ConfigurationError(
+            f"could not connect to hydra-c serve at {socket_path}: {last_error}"
+        )
+
+    def request(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Send one request object and block for its response object."""
+        self._file.write(
+            (json.dumps(payload, separators=(",", ":")) + "\n").encode()
+        )
+        self._file.flush()
+        raw = self._file.readline()
+        if not raw:
+            raise ConfigurationError(
+                "hydra-c serve closed the connection without answering"
+            )
+        return json.loads(raw)
+
+    def close(self) -> None:
+        self._file.close()
+        self._socket.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,192 @@
+"""The result-backend contract shared by every checkpoint store.
+
+A *checkpoint store* persists the keyed result stream of a resumable run
+(sweep slots, campaign trials) behind a fingerprint header, so that a
+killed and restarted run resumes exactly where it stopped -- and a resume
+against a *different* configuration is rejected instead of silently mixing
+result streams.  :class:`CheckpointStore` pins that contract once; the
+concrete backends (:mod:`repro.storage.jsonl`, :mod:`repro.storage.sqlite`,
+:mod:`repro.storage.shards`) supply the persistence mechanics and register
+themselves in :mod:`repro.storage.registry`, where ``--checkpoint`` URIs
+are resolved.
+
+Two halves compose a concrete store:
+
+* a **backend** (subclass of :class:`CheckpointStore`) implementing
+  :meth:`~CheckpointStore.load` and :meth:`~CheckpointStore.append_chunk`
+  -- where and how records persist;
+* a **codec** (a mixin supplied by the subsystem, e.g.
+  ``repro.batch.store``) implementing :meth:`~CheckpointStore._encode_result`
+  / :meth:`~CheckpointStore._decode_result` plus the fingerprint field and
+  operator-facing noun -- what a record *is*.
+
+Every backend upholds the same guarantees, pinned by the backend-parity
+suite in ``tests/storage/test_backends.py``:
+
+* **fingerprint guard** -- the store refuses to resume when the persisted
+  fingerprint differs from the run's, and refuses to touch files that are
+  not checkpoints at all;
+* **chunk durability** -- :meth:`~CheckpointStore.append_chunk` is the
+  unit of durability (one fsync/transaction per chunk);
+* **duplicate detection** -- a persisted stream holding the same result
+  key twice is corrupt (e.g. a hand-concatenated file) and fails loudly on
+  load instead of silently resuming from whichever copy came last;
+* **deterministic resume** -- a killed and resumed run reproduces the
+  uninterrupted store's persisted state exactly (byte-for-byte for the
+  file backends, row-for-row for sqlite).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CheckpointStore", "dump_record_line"]
+
+
+def dump_record_line(payload: Dict[str, object]) -> str:
+    """Render one record as its canonical JSON line (trailing newline).
+
+    ``json.dumps`` with fixed separators over insertion-ordered dicts is
+    deterministic (exact float ``repr``), which is what makes byte-for-byte
+    resume -- and cross-backend record comparison -- possible.
+    """
+    return json.dumps(payload, separators=(",", ":")) + "\n"
+
+
+class CheckpointStore:
+    """Abstract keyed-record store behind a fingerprint header.
+
+    Subclass layering: a persistence backend overrides :meth:`load` and
+    :meth:`append_chunk`; a subsystem codec overrides
+    :meth:`_encode_result` / :meth:`_decode_result` (and optionally
+    :meth:`_normalise_header_fingerprint` plus the class attributes).  The
+    registry composes the two (see :func:`repro.storage.registry.open_store`).
+    """
+
+    #: Bumped when the record format changes incompatibly.
+    _format_version = 1
+    #: Header field holding the fingerprint (kept per subsystem for
+    #: self-describing files: ``"config"`` for sweeps, ``"campaign"`` ...).
+    _fingerprint_field = "config"
+    #: Noun used in operator-facing error messages ("sweep", "campaign").
+    _noun = "checkpoint"
+    #: URI query options (``backend:path?key=value``) this backend accepts.
+    _uri_options: frozenset = frozenset()
+
+    def __init__(self, path: Union[str, Path], fingerprint: Dict[str, object]) -> None:
+        self._path = Path(path)
+        self._fingerprint = fingerprint
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    # -- codec hooks (supplied by the subsystem mixin) -------------------------
+
+    def _encode_result(self, entry: object) -> Dict[str, object]:
+        """Turn one appended entry into its ``{"kind": "result", ...}`` record."""
+        raise NotImplementedError
+
+    def _decode_result(self, record: Dict[str, object]) -> Tuple[object, object]:
+        """Inverse of :meth:`_encode_result`: return ``(key, value)``."""
+        raise NotImplementedError
+
+    def _normalise_header_fingerprint(self, fingerprint: object) -> object:
+        """Hook for migrating fingerprints of older format revisions."""
+        return fingerprint
+
+    # -- backend interface -----------------------------------------------------
+
+    def load(self) -> Dict[object, object]:
+        """Read completed records; create the store (header only) if absent.
+
+        Raises :class:`~repro.errors.ConfigurationError` when the persisted
+        header belongs to a different configuration, the target is not a
+        checkpoint at all, or the record stream is corrupt (unknown record
+        kinds, duplicate result keys).
+        """
+        raise NotImplementedError
+
+    def append_chunk(self, entries: Iterable[object]) -> None:
+        """Append one chunk of entries as a single durability unit."""
+        raise NotImplementedError
+
+    # -- shared header/record helpers ------------------------------------------
+
+    def _header(self) -> Dict[str, object]:
+        return {
+            "kind": "header",
+            "version": self._format_version,
+            self._fingerprint_field: self._fingerprint,
+        }
+
+    def _check_header(self, header: Dict[str, object], where: str) -> None:
+        """Validate a parsed header record against this run's identity."""
+        if header.get("kind") != "header":
+            raise ConfigurationError(
+                f"checkpoint {where} does not start with a header line"
+            )
+        if header.get("version") != self._format_version:
+            raise ConfigurationError(
+                f"checkpoint {where} uses format version "
+                f"{header.get('version')}, expected {self._format_version}"
+            )
+        header_fingerprint = self._normalise_header_fingerprint(
+            header.get(self._fingerprint_field)
+        )
+        if header_fingerprint != self._fingerprint:
+            raise ConfigurationError(
+                f"checkpoint {where} was produced by a different "
+                f"{self._noun} configuration; refusing to resume (delete the "
+                f"file or point the {self._noun} at a fresh checkpoint path)"
+            )
+
+    def _parse_record(self, text: str, where: str) -> Dict[str, object]:
+        """Parse one persisted JSON record, rejecting non-record payloads."""
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"checkpoint {where} holds a non-JSON line: {exc}"
+            ) from exc
+        if not isinstance(record, dict):
+            raise ConfigurationError(
+                f"checkpoint {where} holds a non-record line"
+            )
+        return record
+
+    def _decode_result_record(
+        self, record: Dict[str, object], where: str
+    ) -> Tuple[object, object]:
+        """Decode one ``result`` record, rejecting unknown kinds."""
+        if record.get("kind") != "result":
+            raise ConfigurationError(
+                f"checkpoint {where} holds an unknown record kind "
+                f"{record.get('kind')!r}"
+            )
+        return self._decode_result(record)
+
+    def _remember(
+        self,
+        completed: Dict[object, object],
+        key: object,
+        value: object,
+        where: str,
+    ) -> None:
+        """Insert one decoded result, failing loudly on duplicate keys.
+
+        A duplicate key means the persisted stream is corrupt (or was
+        hand-concatenated from incompatible runs); resuming from whichever
+        copy happened to come last would silently produce wrong data.
+        """
+        if key in completed:
+            raise ConfigurationError(
+                f"checkpoint {where} holds duplicate result key {key!r}; "
+                f"the {self._noun} checkpoint is corrupt -- delete it (or "
+                f"restore it from a clean copy) before resuming"
+            )
+        completed[key] = value

@@ -1,4 +1,4 @@
-"""Generic resumable JSONL checkpoint store.
+"""Resumable JSONL checkpoint backend.
 
 One line per completed record, written in key order, plus a header line
 that fingerprints the producing configuration so a checkpoint can never be
@@ -14,174 +14,137 @@ and resumed run reproduces the uninterrupted checkpoint *byte for byte*:
   header has been confirmed to belong to this run, so a rejected foreign
   file is left exactly as found.
 
-Subclasses supply the record codec (:meth:`_encode_result` /
-:meth:`_decode_result`), the header field and noun used in messages, and
-optionally a header-fingerprint normaliser for legacy formats.
+The fingerprint/codec contract lives in
+:class:`repro.storage.base.CheckpointStore`; this module supplies the
+single-file mechanics, which the directory-of-shards backend
+(:mod:`repro.storage.shards`) reuses per shard file via
+:func:`load_jsonl_records` / :func:`append_jsonl_records`.
 """
 
 from __future__ import annotations
 
-import json
 import os
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.storage.base import CheckpointStore, dump_record_line
 
-__all__ = ["JsonlCheckpointStore"]
+__all__ = [
+    "JsonlCheckpointStore",
+    "load_jsonl_records",
+    "append_jsonl_records",
+    "create_jsonl_file",
+]
+
+#: Kept for callers of the pre-registry module layout.
+_dump_line = dump_record_line
 
 
-def _dump_line(payload: Dict[str, object]) -> str:
-    return json.dumps(payload, separators=(",", ":")) + "\n"
+def _split_complete_lines(raw: bytes) -> Tuple[List[str], Optional[int]]:
+    """Split *raw* into complete lines; report the partial-line offset."""
+    lines: List[str] = []
+    offset = 0
+    while offset < len(raw):
+        newline = raw.find(b"\n", offset)
+        if newline == -1:
+            return lines, offset
+        lines.append(raw[offset:newline].decode("utf-8"))
+        offset = newline + 1
+    return lines, None
 
 
-class JsonlCheckpointStore:
-    """Append-only JSONL store of keyed records behind a fingerprint header."""
+def create_jsonl_file(store: CheckpointStore, path: Path) -> None:
+    """(Re)initialise one checkpoint file with just *store*'s header line."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(dump_record_line(store._header()))
+        handle.flush()
+        os.fsync(handle.fileno())
 
-    #: Bumped when the line format changes incompatibly.
-    _format_version = 1
-    #: Header field holding the fingerprint (kept per subsystem for
-    #: self-describing files: ``"config"`` for sweeps, ``"campaign"`` ...).
-    _fingerprint_field = "config"
-    #: Noun used in operator-facing error messages ("sweep", "campaign").
-    _noun = "checkpoint"
 
-    def __init__(self, path: Union[str, Path], fingerprint: Dict[str, object]) -> None:
-        self._path = Path(path)
-        self._fingerprint = fingerprint
+def load_jsonl_records(
+    store: CheckpointStore, path: Path, create: bool = True
+) -> Optional[List[Tuple[object, object, str]]]:
+    """Read one checkpoint file as ``(key, value, raw_line)`` triples.
 
-    @property
-    def path(self) -> Path:
-        return self._path
+    Implements the full single-file protocol on behalf of *store* (whose
+    codec hooks and fingerprint are used): header validation, foreign-file
+    refusal, torn-trailing-line truncation.  With ``create`` set, a missing
+    (or killed-during-header-write) file is initialised to a header-only
+    checkpoint and an empty record list is returned; with ``create`` unset
+    the missing file is reported as ``None`` (the shard-merge path, which
+    must not materialise other writers' shards).
 
-    # -- subclass hooks --------------------------------------------------------
+    Duplicate keys *within this file* raise
+    :class:`~repro.errors.ConfigurationError`; the raw line accompanies
+    each decoded record so callers merging several files can additionally
+    compare payloads byte-for-byte.
+    """
+    if not path.exists():
+        if not create:
+            return None
+        create_jsonl_file(store, path)
+        return []
 
-    def _encode_result(self, entry: object) -> Dict[str, object]:
-        """Turn one appended entry into its ``{"kind": "result", ...}`` line."""
-        raise NotImplementedError
+    raw = path.read_bytes()
+    complete, partial_offset = _split_complete_lines(raw)
+    if not complete:
+        # Self-heal ONLY the kill-during-header-write window: the file
+        # is empty, or holds a strict prefix of the (deterministic)
+        # header line this store would write.  Anything else is some
+        # unrelated file the user pointed us at -- refuse to touch it.
+        expected_header = dump_record_line(store._header()).encode("utf-8")
+        if raw and not expected_header.startswith(raw):
+            raise ConfigurationError(
+                f"checkpoint {path} exists but is not a "
+                f"{store._noun} checkpoint; refusing to overwrite it"
+            )
+        create_jsonl_file(store, path)
+        return []
 
-    def _decode_result(self, record: Dict[str, object]) -> Tuple[object, object]:
-        """Inverse of :meth:`_encode_result`: return ``(key, value)``."""
-        raise NotImplementedError
+    header = store._parse_record(complete[0], str(path))
+    store._check_header(header, str(path))
+    # Only now that the file is confirmed to be OUR checkpoint may the
+    # torn trailing line be physically trimmed away.
+    if partial_offset is not None:
+        with path.open("r+b") as handle:
+            handle.truncate(partial_offset)
 
-    def _normalise_header_fingerprint(self, fingerprint: object) -> object:
-        """Hook for migrating fingerprints of older format revisions."""
-        return fingerprint
+    seen: Dict[object, object] = {}
+    records: List[Tuple[object, object, str]] = []
+    for line in complete[1:]:
+        record = store._parse_record(line, str(path))
+        key, value = store._decode_result_record(record, str(path))
+        store._remember(seen, key, value, str(path))
+        records.append((key, value, line))
+    return records
 
-    # -- reading ---------------------------------------------------------------
+
+def append_jsonl_records(
+    store: CheckpointStore, path: Path, entries: Iterable[object]
+) -> None:
+    """Append one chunk of encoded entries with a single flush + fsync."""
+    text = "".join(
+        dump_record_line(store._encode_result(entry)) for entry in entries
+    )
+    if not text:
+        return
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+class JsonlCheckpointStore(CheckpointStore):
+    """Append-only single-file JSONL store of keyed records."""
 
     def load(self) -> Dict[object, object]:
-        """Read completed records; create the store (header only) if absent.
-
-        Raises :class:`~repro.errors.ConfigurationError` when the header
-        belongs to a different configuration or the file is not a
-        checkpoint at all.
-        """
-        if not self._path.exists():
-            return self._create()
-
-        raw = self._path.read_bytes()
-        complete, partial_offset = self._split_complete_lines(raw)
-        if not complete:
-            # Self-heal ONLY the kill-during-header-write window: the file
-            # is empty, or holds a strict prefix of the (deterministic)
-            # header line this store would write.  Anything else is some
-            # unrelated file the user pointed us at -- refuse to touch it.
-            expected_header = _dump_line(self._header()).encode("utf-8")
-            if raw and not expected_header.startswith(raw):
-                raise ConfigurationError(
-                    f"checkpoint {self._path} exists but is not a "
-                    f"{self._noun} checkpoint; refusing to overwrite it"
-                )
-            return self._create()
-
-        header = self._parse_line(complete[0])
-        if header.get("kind") != "header":
-            raise ConfigurationError(
-                f"checkpoint {self._path} does not start with a header line"
-            )
-        if header.get("version") != self._format_version:
-            raise ConfigurationError(
-                f"checkpoint {self._path} uses format version "
-                f"{header.get('version')}, expected {self._format_version}"
-            )
-        header_fingerprint = self._normalise_header_fingerprint(
-            header.get(self._fingerprint_field)
-        )
-        if header_fingerprint != self._fingerprint:
-            raise ConfigurationError(
-                f"checkpoint {self._path} was produced by a different "
-                f"{self._noun} configuration; refusing to resume (delete the "
-                f"file or point the {self._noun} at a fresh checkpoint path)"
-            )
-        # Only now that the file is confirmed to be OUR checkpoint may the
-        # torn trailing line be physically trimmed away.
-        if partial_offset is not None:
-            with self._path.open("r+b") as handle:
-                handle.truncate(partial_offset)
-
+        records = load_jsonl_records(self, self._path)
         completed: Dict[object, object] = {}
-        for line in complete[1:]:
-            record = self._parse_line(line)
-            if record.get("kind") != "result":
-                raise ConfigurationError(
-                    f"checkpoint {self._path} holds an unknown record kind "
-                    f"{record.get('kind')!r}"
-                )
-            key, value = self._decode_result(record)
+        for key, value, _line in records:
             completed[key] = value
         return completed
 
-    def _header(self) -> Dict[str, object]:
-        return {
-            "kind": "header",
-            "version": self._format_version,
-            self._fingerprint_field: self._fingerprint,
-        }
-
-    def _parse_line(self, line: str) -> Dict[str, object]:
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError as exc:
-            raise ConfigurationError(
-                f"checkpoint {self._path} holds a non-JSON line: {exc}"
-            ) from exc
-        if not isinstance(record, dict):
-            raise ConfigurationError(
-                f"checkpoint {self._path} holds a non-record line"
-            )
-        return record
-
-    def _create(self) -> Dict[object, object]:
-        """(Re)initialise the store with just a header line."""
-        self._path.parent.mkdir(parents=True, exist_ok=True)
-        with self._path.open("w", encoding="utf-8") as handle:
-            handle.write(_dump_line(self._header()))
-            handle.flush()
-            os.fsync(handle.fileno())
-        return {}
-
-    @staticmethod
-    def _split_complete_lines(raw: bytes) -> Tuple[List[str], Optional[int]]:
-        """Split *raw* into complete lines; report the partial-line offset."""
-        lines: List[str] = []
-        offset = 0
-        while offset < len(raw):
-            newline = raw.find(b"\n", offset)
-            if newline == -1:
-                return lines, offset
-            lines.append(raw[offset:newline].decode("utf-8"))
-            offset = newline + 1
-        return lines, None
-
-    # -- writing ---------------------------------------------------------------
-
     def append_chunk(self, entries: Iterable[object]) -> None:
-        """Append one chunk of entries with a single flush + fsync."""
-        text = "".join(_dump_line(self._encode_result(entry)) for entry in entries)
-        if not text:
-            return
-        with self._path.open("a", encoding="utf-8") as handle:
-            handle.write(text)
-            handle.flush()
-            os.fsync(handle.fileno())
+        append_jsonl_records(self, self._path, entries)

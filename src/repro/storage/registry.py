@@ -1,0 +1,166 @@
+"""Result-backend registry and ``--checkpoint`` URI resolution.
+
+Both orchestrators accept a checkpoint *URI* wherever they used to accept
+a path.  The scheme picks the persistence backend, everything after the
+colon is the backend's path, and ``?key=value`` options tune the backend:
+
+* ``run.jsonl`` or ``jsonl:run.jsonl`` -- single JSONL file (the default;
+  plain paths keep meaning exactly what they always meant, byte format
+  included);
+* ``sqlite:run.db`` -- single SQLite database (multi-process writers
+  serialised by SQLite);
+* ``shards:run.d`` / ``shards:run.d?writer=w3`` -- directory of per-writer
+  JSONL shards, merged deterministically on load (the N-independent-worker
+  fabric).
+
+Only *registered* backend names are treated as URI schemes -- any other
+``word:`` prefix is part of a plain filename (colons are legal in POSIX
+paths), so existing checkpoint paths cannot change meaning behind the
+operator's back.
+
+A concrete store composes a backend class with a subsystem codec mixin
+(see :mod:`repro.storage.base`); :func:`open_store` performs that
+composition, which is how ``repro.batch.store.open_result_store`` and
+``repro.campaign.store.open_campaign_store`` build stores from URIs.
+Third-party backends join via :func:`register_backend`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple, Type
+
+from repro.errors import ConfigurationError
+from repro.storage.base import CheckpointStore
+from repro.storage.jsonl import JsonlCheckpointStore
+from repro.storage.shards import ShardedCheckpointStore
+from repro.storage.sqlite import SqliteCheckpointStore
+
+__all__ = [
+    "StoreUri",
+    "parse_store_uri",
+    "register_backend",
+    "backend_names",
+    "store_class",
+    "open_store",
+]
+
+#: Registered backend name -> backend base class.
+_BACKENDS: Dict[str, Type[CheckpointStore]] = {}
+
+#: URI schemes look like registered backend names: a leading word + colon.
+_SCHEME_PATTERN = re.compile(r"^([A-Za-z][A-Za-z0-9+._-]*):(.*)$")
+
+#: Cache of composed (codec, backend) store classes.
+_COMPOSED: Dict[Tuple[type, str], Type[CheckpointStore]] = {}
+
+
+@dataclass(frozen=True)
+class StoreUri:
+    """A parsed ``--checkpoint`` value: backend, path and options."""
+
+    backend: str
+    path: str
+    options: Mapping[str, str] = field(default_factory=dict)
+
+
+def register_backend(name: str, cls: Type[CheckpointStore]) -> None:
+    """Register a checkpoint backend under a URI scheme name."""
+    if not name or not name.isidentifier():
+        raise ConfigurationError(f"invalid backend name {name!r}")
+    existing = _BACKENDS.get(name)
+    if existing is not None and existing is not cls:
+        raise ConfigurationError(
+            f"checkpoint backend {name!r} is already registered"
+        )
+    _BACKENDS[name] = cls
+
+
+def backend_names() -> Tuple[str, ...]:
+    """The registered backend names, in registration order."""
+    return tuple(_BACKENDS)
+
+
+def parse_store_uri(value) -> StoreUri:
+    """Parse a checkpoint path-or-URI into a :class:`StoreUri`.
+
+    Plain paths (no scheme, or a scheme that is not a registered backend
+    name) resolve to the ``jsonl`` backend with no options, preserving the
+    historical meaning of every existing ``--checkpoint`` argument.
+    """
+    text = str(value)
+    match = _SCHEME_PATTERN.match(text)
+    if match is None or match.group(1) not in _BACKENDS:
+        return StoreUri(backend="jsonl", path=text)
+    backend, rest = match.group(1), match.group(2)
+    path, _, query = rest.partition("?")
+    if not path:
+        raise ConfigurationError(
+            f"checkpoint URI {text!r} is missing a path after the "
+            f"{backend!r} scheme"
+        )
+    options: Dict[str, str] = {}
+    if query:
+        for pair in query.split("&"):
+            key, separator, option_value = pair.partition("=")
+            if not separator or not key:
+                raise ConfigurationError(
+                    f"checkpoint URI option {pair!r} is not of the form "
+                    f"key=value (in {text!r})"
+                )
+            if key in options:
+                raise ConfigurationError(
+                    f"checkpoint URI {text!r} repeats option {key!r}"
+                )
+            options[key] = option_value
+    allowed = _BACKENDS[backend]._uri_options
+    unknown = sorted(set(options) - set(allowed))
+    if unknown:
+        supported = ", ".join(sorted(allowed)) or "none"
+        raise ConfigurationError(
+            f"checkpoint backend {backend!r} does not accept option(s) "
+            f"{', '.join(unknown)} (supported: {supported})"
+        )
+    return StoreUri(backend=backend, path=path, options=options)
+
+
+def store_class(codec: type, backend: str) -> Type[CheckpointStore]:
+    """The concrete store class composing *codec* over backend *backend*.
+
+    Compositions are cached so repeated opens of the same (codec, backend)
+    pair share one class object.
+    """
+    backend_cls = _BACKENDS.get(backend)
+    if backend_cls is None:
+        known = ", ".join(backend_names())
+        raise ConfigurationError(
+            f"unknown checkpoint backend {backend!r} (registered: {known})"
+        )
+    cached = _COMPOSED.get((codec, backend))
+    if cached is None:
+        cached = type(
+            f"{codec.__name__}{backend_cls.__name__}",
+            (codec, backend_cls),
+            {"__doc__": f"{codec.__name__} records on the {backend} backend."},
+        )
+        _COMPOSED[(codec, backend)] = cached
+    return cached
+
+
+def open_store(
+    uri, codec: type, fingerprint: Dict[str, object]
+) -> CheckpointStore:
+    """Build the checkpoint store a ``--checkpoint`` URI describes.
+
+    *codec* is the subsystem's record-codec mixin; *fingerprint* is the
+    run identity the store guards resumes with.
+    """
+    parsed = parse_store_uri(uri)
+    cls = store_class(codec, parsed.backend)
+    return cls(parsed.path, fingerprint, **parsed.options)
+
+
+register_backend("jsonl", JsonlCheckpointStore)
+register_backend("sqlite", SqliteCheckpointStore)
+register_backend("shards", ShardedCheckpointStore)

@@ -1,0 +1,122 @@
+"""Directory-of-shards checkpoint backend.
+
+The sharded backend lets N *independent* workers contribute to one
+checkpoint without any coordination beyond a shared directory: every
+writer appends to its own shard file (``<writer>.jsonl``), each shard
+being a complete single-file JSONL checkpoint (header + records, identical
+byte format, same torn-write truncation), and :meth:`load` merges every
+shard in deterministic (sorted-filename) order.
+
+Merge semantics:
+
+* each shard's header must carry *this* run's fingerprint -- a foreign
+  shard in the directory rejects the whole load, because silently skipping
+  it would resume from partial data;
+* the same result key appearing in several shards is fine **iff** the
+  records agree byte-for-byte (results are pure functions of their keys,
+  so two workers racing the same slot must have produced identical lines);
+  conflicting payloads mean the shards came from different runs and fail
+  loudly;
+* within one shard a duplicate key is corruption, exactly as in the
+  single-file backend.
+
+A worker picks its shard with the ``writer`` URI option
+(``shards:DIR?writer=NAME``); the default suits single-writer use.  Resume
+appends to the writer's own shard, so a killed and resumed single-writer
+run reproduces the uninterrupted shard byte for byte.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, Iterable, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.storage.base import CheckpointStore
+from repro.storage.jsonl import (
+    append_jsonl_records,
+    create_jsonl_file,
+    load_jsonl_records,
+)
+
+__all__ = ["ShardedCheckpointStore", "DEFAULT_WRITER"]
+
+#: Shard used when no ``writer`` option is given (single-writer stores).
+DEFAULT_WRITER = "shard-000"
+
+_WRITER_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+class ShardedCheckpointStore(CheckpointStore):
+    """A directory of per-writer JSONL shards merged on load."""
+
+    _uri_options = frozenset({"writer"})
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        fingerprint: Dict[str, object],
+        writer: str = DEFAULT_WRITER,
+    ) -> None:
+        super().__init__(path, fingerprint)
+        if not _WRITER_PATTERN.match(writer):
+            raise ConfigurationError(
+                f"invalid shard writer name {writer!r} (letters, digits, "
+                f"dots, dashes and underscores only)"
+            )
+        self._writer = writer
+
+    @property
+    def writer(self) -> str:
+        return self._writer
+
+    @property
+    def writer_path(self) -> Path:
+        return self._path / f"{self._writer}.jsonl"
+
+    # -- reading ---------------------------------------------------------------
+
+    def load(self) -> Dict[object, object]:
+        directory = self._path
+        if directory.exists() and not directory.is_dir():
+            raise ConfigurationError(
+                f"checkpoint {directory} exists but is not a directory; "
+                f"the sharded backend needs a directory (use the jsonl "
+                f"backend for single-file checkpoints)"
+            )
+        directory.mkdir(parents=True, exist_ok=True)
+
+        completed: Dict[object, object] = {}
+        lines_by_key: Dict[object, Tuple[str, str]] = {}
+        for shard in sorted(directory.glob("*.jsonl")):
+            records = load_jsonl_records(self, shard, create=False)
+            if records is None:  # pragma: no cover - raced deletion
+                continue
+            for key, value, line in records:
+                previous = lines_by_key.get(key)
+                if previous is None:
+                    lines_by_key[key] = (line, shard.name)
+                    completed[key] = value
+                    continue
+                previous_line, previous_shard = previous
+                if previous_line != line:
+                    raise ConfigurationError(
+                        f"checkpoint {directory} holds conflicting records "
+                        f"for result key {key!r} (shards {previous_shard} "
+                        f"and {shard.name}); the shards were not produced "
+                        f"by the same run -- refusing to merge them"
+                    )
+                # Identical duplicate across shards: two workers computed
+                # the same (pure) slot; keep the first occurrence.
+
+        # Materialise this writer's shard (header only) so an interrupted
+        # run that never completed a chunk still leaves a resumable store.
+        if not self.writer_path.exists():
+            create_jsonl_file(self, self.writer_path)
+        return completed
+
+    # -- writing ---------------------------------------------------------------
+
+    def append_chunk(self, entries: Iterable[object]) -> None:
+        append_jsonl_records(self, self.writer_path, entries)

@@ -1,0 +1,130 @@
+"""SQLite checkpoint backend.
+
+Same record stream as the JSONL backend -- one canonical JSON record per
+completed result, preceded by a fingerprint header -- persisted in a
+single SQLite database instead of a text file:
+
+* the ``meta`` table holds the header record (exactly the JSON the JSONL
+  backend would write as its first line);
+* the ``results`` table holds one row per result, ``seq`` preserving the
+  append order and ``record`` holding the canonical JSON line content --
+  so a resumed run reproduces the uninterrupted run *row for row*, the
+  SQLite analogue of the JSONL backend's byte-for-byte guarantee, and a
+  record can be compared 1:1 against its JSONL rendering;
+* a chunk appends inside one transaction (SQLite's journal replaces the
+  torn-write truncation of the file backends: a kill mid-chunk rolls the
+  whole chunk back).
+
+Multiple processes may share one database -- SQLite serialises writers --
+which is the single-file alternative to the directory-of-shards backend
+for merging a sweep from N workers.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from typing import Dict, Iterable
+
+from repro.errors import ConfigurationError
+from repro.storage.base import CheckpointStore, dump_record_line
+
+__all__ = ["SqliteCheckpointStore"]
+
+#: Seconds a writer waits on a locked database before failing; generous
+#: because chunk transactions are short but workers may pile up.
+_BUSY_TIMEOUT_S = 30.0
+
+
+class SqliteCheckpointStore(CheckpointStore):
+    """Append-only SQLite store of keyed records behind a fingerprint header."""
+
+    def _connect(self) -> sqlite3.Connection:
+        """Open the database, refusing files that are not SQLite at all."""
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        connection = sqlite3.connect(self._path, timeout=_BUSY_TIMEOUT_S)
+        try:
+            connection.execute("PRAGMA journal_mode=TRUNCATE")
+        except sqlite3.DatabaseError as exc:
+            connection.close()
+            raise ConfigurationError(
+                f"checkpoint {self._path} exists but is not a "
+                f"{self._noun} checkpoint database; refusing to touch it"
+            ) from exc
+        return connection
+
+    # -- reading ---------------------------------------------------------------
+
+    def load(self) -> Dict[object, object]:
+        where = str(self._path)
+        connection = self._connect()
+        try:
+            with connection:  # one transaction for create-or-read
+                tables = {
+                    row[0]
+                    for row in connection.execute(
+                        "SELECT name FROM sqlite_master WHERE type='table'"
+                    )
+                }
+                if not tables:
+                    # Fresh database (a kill during creation rolls the
+                    # transaction back, making it indistinguishable from
+                    # fresh): initialise header-only, like the JSONL
+                    # backend's header-only file.
+                    self._create(connection)
+                    return {}
+                if "meta" not in tables or "results" not in tables:
+                    raise ConfigurationError(
+                        f"checkpoint {where} exists but is not a "
+                        f"{self._noun} checkpoint database; refusing to touch it"
+                    )
+                row = connection.execute(
+                    "SELECT record FROM meta WHERE field = 'header'"
+                ).fetchone()
+                if row is None:
+                    raise ConfigurationError(
+                        f"checkpoint {where} does not start with a header line"
+                    )
+                header = self._parse_record(row[0], where)
+                self._check_header(header, where)
+                completed: Dict[object, object] = {}
+                for (text,) in connection.execute(
+                    "SELECT record FROM results ORDER BY seq"
+                ):
+                    record = self._parse_record(text, where)
+                    key, value = self._decode_result_record(record, where)
+                    self._remember(completed, key, value, where)
+                return completed
+        finally:
+            connection.close()
+
+    def _create(self, connection: sqlite3.Connection) -> None:
+        connection.execute(
+            "CREATE TABLE meta (field TEXT PRIMARY KEY, record TEXT NOT NULL)"
+        )
+        connection.execute(
+            "CREATE TABLE results ("
+            "seq INTEGER PRIMARY KEY AUTOINCREMENT, record TEXT NOT NULL)"
+        )
+        connection.execute(
+            "INSERT INTO meta (field, record) VALUES ('header', ?)",
+            (json.dumps(self._header(), separators=(",", ":")),),
+        )
+
+    # -- writing ---------------------------------------------------------------
+
+    def append_chunk(self, entries: Iterable[object]) -> None:
+        rows = [
+            (dump_record_line(self._encode_result(entry)).rstrip("\n"),)
+            for entry in entries
+        ]
+        if not rows:
+            return
+        connection = self._connect()
+        try:
+            with connection:  # one transaction = the chunk durability unit
+                connection.executemany(
+                    "INSERT INTO results (record) VALUES (?)", rows
+                )
+        finally:
+            connection.close()

@@ -1,5 +1,7 @@
 """Unit tests for the chunked, resumable sweep orchestrator."""
 
+import time
+
 import pytest
 
 from repro.batch.orchestrator import (
@@ -190,3 +192,111 @@ class TestExecutorLifecycle:
             CampaignOrchestrator(spec, progress=explode).run()
         assert len(instances) == 1
         assert instances[0].closed
+
+
+class _Poison(Exception):
+    pass
+
+
+def _poison_or_marker(payload):
+    """Worker body for the straggler tests: raise, or write a marker file."""
+    kind, path = payload
+    if kind == "poison":
+        raise _Poison("poisoned payload")
+    time.sleep(0.05)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("ran\n")
+    return path
+
+
+def _sleep_then_marker(payload):
+    duration, path = payload
+    time.sleep(duration)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("ran\n")
+    return path
+
+
+class TestMapChunkFailureDrain:
+    """Regression: a failing payload used to leave the rest of the chunk
+    silently running (and its exceptions swallowed) in the background."""
+
+    def test_poisoned_payload_cancels_queued_stragglers(self, tmp_path):
+        from repro.exec import PersistentPool
+
+        # One worker serialises execution: the poison runs first, so every
+        # later payload is still *queued* when the failure surfaces and
+        # must be cancelled, not ground through.  A few payloads may slip
+        # through -- the executor prefetches into an internal call queue
+        # that cancel() cannot reach, and refills it while the failure
+        # propagates -- but the bound is that prefetch depth, not the chunk
+        # length: before the fix, every queued payload ran.
+        payloads = [("poison", "")] + [
+            ("marker", str(tmp_path / f"straggler-{i}.txt")) for i in range(6)
+        ]
+        with PersistentPool(max_workers=1) as pool:
+            with pytest.raises(_Poison):
+                pool.map_chunk(_poison_or_marker, payloads)
+            # map_chunk drained before raising, so the count is already
+            # final: nothing may still be running in the background.
+            ran_at_raise = len(list(tmp_path.glob("straggler-*.txt")))
+            assert ran_at_raise <= 3, (
+                f"{ran_at_raise} queued payloads ran after the failure"
+            )
+            time.sleep(0.5)  # long enough for every straggler pre-fix
+            ran_later = len(list(tmp_path.glob("straggler-*.txt")))
+            assert ran_later == ran_at_raise, (
+                "stragglers kept completing after map_chunk raised"
+            )
+
+    def test_running_straggler_is_drained_not_abandoned(self, tmp_path):
+        from repro.exec import PersistentPool
+
+        # Two workers: the long payload is already *running* when the
+        # poison raises.  It cannot be cancelled, but map_chunk must wait
+        # it out so no work is still in flight once the exception escapes.
+        marker = tmp_path / "running.txt"
+        with PersistentPool(max_workers=2) as pool:
+            with pytest.raises(_Poison):
+                pool.map_chunk(
+                    _poison_or_marker,
+                    [("marker", str(marker)), ("poison", "")],
+                )
+            assert marker.exists(), "running payload was abandoned mid-drain"
+
+
+class TestFastClose:
+    """Regression: close() used to wait for every queued slice to finish."""
+
+    def test_close_cancels_queued_work(self):
+        from repro.exec import PersistentPool
+
+        pool = PersistentPool(max_workers=1)
+        # One short task runs; five more queue up behind it.  A close that
+        # waits for the queue takes ~1.8s; a cancelling close returns as
+        # soon as the running task finishes.
+        futures = [
+            pool.submit(_sleep_then_marker, (0.3, "/dev/null"))
+            for _ in range(6)
+        ]
+        time.sleep(0.05)  # let the first task actually start
+        start = time.perf_counter()
+        pool.close()
+        elapsed = time.perf_counter() - start
+        assert elapsed < 1.0, f"close() waited for queued work ({elapsed:.2f}s)"
+        assert pool.closed
+        # The executor prefetches a couple of items into its internal call
+        # queue; everything behind that must have been cancelled unrun.
+        assert sum(1 for future in futures if future.cancelled()) >= 3
+
+    def test_reset_discards_executor_and_pool_stays_usable(self):
+        from repro.exec import PersistentPool
+
+        with PersistentPool(max_workers=1) as pool:
+            first = pool.submit(_sleep_then_marker, (0.0, "/dev/null"))
+            assert first.result() == "/dev/null"
+            pool.reset()
+            assert pool.active is False
+            second = pool.submit(_sleep_then_marker, (0.0, "/dev/null"))
+            assert second.result() == "/dev/null"
+            assert pool.active

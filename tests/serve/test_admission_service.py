@@ -1,0 +1,196 @@
+"""Unit tests for the warm admission service.
+
+The load-bearing guarantee: a warm (cache-reusing) answer is byte-identical
+to the cold answer AND to the frozen ``reference_evaluate_one`` oracle --
+the serve layer accelerates repeat queries, it never changes them.
+"""
+
+import json
+
+import pytest
+
+from repro.batch.reference import reference_evaluate_one
+from repro.serve.service import AdmissionService
+
+DESIGN_QUERY = {
+    "op": "design",
+    "num_cores": 2,
+    "seed": 2020,
+    "group_index": 0,
+    "normalized_range": [0.05, 0.2],
+}
+
+FEASIBLE_ADMIT = {
+    "op": "admit",
+    "num_cores": 2,
+    "rt_tasks": [
+        {"name": "rt0", "wcet": 2, "period": 10},
+        {"name": "rt1", "wcet": 3, "period": 20, "deadline": 15},
+    ],
+    "security_tasks": [
+        {"name": "ids", "wcet": 1, "max_period": 50},
+        {"name": "scan", "wcet": 2, "max_period": 100, "coverage_units": 4},
+    ],
+}
+
+# Three RT tasks at 90% utilization each cannot fit on two cores.
+INFEASIBLE_ADMIT = {
+    "op": "admit",
+    "num_cores": 2,
+    "rt_tasks": [
+        {"name": f"rt{i}", "wcet": 9, "period": 10} for i in range(3)
+    ],
+    "security_tasks": [],
+}
+
+
+class TestDesignParity:
+    @pytest.mark.parametrize(
+        "seed,group_index,normalized_range",
+        [(2020, 0, (0.05, 0.2)), (77, 2, (0.45, 0.6))],
+    )
+    def test_cold_and_warm_answers_match_the_frozen_reference(
+        self, seed, group_index, normalized_range
+    ):
+        service = AdmissionService()
+        query = {
+            "op": "design",
+            "num_cores": 2,
+            "seed": seed,
+            "group_index": group_index,
+            "normalized_range": list(normalized_range),
+        }
+        cold = service.handle(dict(query))
+        warm = service.handle(dict(query))
+        assert cold["ok"] and warm["ok"]
+        assert service.context_hits == 1  # the repeat reused its context
+        reference = reference_evaluate_one(
+            2, group_index, normalized_range, seed
+        )
+        expected = reference.to_json() if reference is not None else None
+        # Byte-identical, not merely equal: the serve path must persist
+        # and transmit exactly what the offline sweep would record.
+        assert json.dumps(cold["result"]["evaluation"], sort_keys=True) == (
+            json.dumps(expected, sort_keys=True)
+        )
+        assert json.dumps(warm["result"]) == json.dumps(cold["result"])
+
+    def test_cold_baseline_is_identical_with_context_reuse_disabled(self):
+        warm_service = AdmissionService()
+        cold_service = AdmissionService(max_contexts=0)
+        for _ in range(3):
+            warm = warm_service.handle(dict(DESIGN_QUERY))
+            cold = cold_service.handle(dict(DESIGN_QUERY))
+            assert warm["result"] == cold["result"]
+        assert cold_service.context_hits == 0
+        assert warm_service.context_hits == 2
+
+    def test_distinct_queries_get_distinct_contexts(self):
+        service = AdmissionService()
+        service.handle(dict(DESIGN_QUERY))
+        other = dict(DESIGN_QUERY, seed=21)
+        service.handle(other)
+        assert service.context_hits == 0
+        stats = service.handle({"op": "stats"})["result"]
+        assert stats["contexts"] == 2
+        assert stats["services"] == 1  # same (cores, schemes, mode) engine
+
+    def test_lru_evicts_oldest_context(self):
+        service = AdmissionService(max_contexts=2)
+        for seed in (1, 2, 3):
+            service.handle(dict(DESIGN_QUERY, seed=seed))
+        # seed=1 was evicted; re-asking it is a miss, seed=3 is a hit.
+        service.handle(dict(DESIGN_QUERY, seed=1))
+        assert service.context_hits == 0
+        service.handle(dict(DESIGN_QUERY, seed=3))
+        assert service.context_hits == 1
+
+    def test_scheme_subset_is_honoured(self):
+        service = AdmissionService()
+        query = dict(DESIGN_QUERY, schemes=["HYDRA-C", "GLOBAL-TMax"])
+        result = service.handle(query)["result"]
+        assert set(result["evaluation"]["schedulable"]) == {
+            "HYDRA-C",
+            "GLOBAL-TMax",
+        }
+
+
+class TestAdmit:
+    def test_feasible_workload_designs_every_scheme(self):
+        service = AdmissionService()
+        response = service.handle(dict(FEASIBLE_ADMIT))
+        assert response["ok"]
+        result = response["result"]
+        assert result["feasible"] is True
+        assert result["reason"] is None
+        evaluation = result["evaluation"]
+        assert set(evaluation["schedulable"]) == {
+            "HYDRA-C",
+            "HYDRA",
+            "HYDRA-TMax",
+            "GLOBAL-TMax",
+        }
+        assert evaluation["num_rt_tasks"] == 2
+        assert evaluation["num_security_tasks"] == 2
+        # This tiny workload is comfortably schedulable under HYDRA-C.
+        assert evaluation["schedulable"]["HYDRA-C"] is True
+
+    def test_infeasible_rt_partition_is_a_result_not_an_error(self):
+        service = AdmissionService()
+        response = service.handle(dict(INFEASIBLE_ADMIT))
+        assert response["ok"]
+        assert response["result"]["feasible"] is False
+        assert "does not fit" in response["result"]["reason"]
+        assert response["result"]["evaluation"] is None
+
+    def test_repeat_admit_reuses_its_context_and_answer(self):
+        service = AdmissionService()
+        first = service.handle(dict(FEASIBLE_ADMIT))
+        second = service.handle(dict(FEASIBLE_ADMIT))
+        assert service.context_hits == 1
+        assert json.dumps(first["result"]) == json.dumps(second["result"])
+
+    def test_invalid_task_set_is_a_query_error(self):
+        service = AdmissionService()
+        bad = dict(
+            FEASIBLE_ADMIT,
+            rt_tasks=[{"name": "rt0", "wcet": 20, "period": 10}],
+        )
+        response = service.handle(bad)
+        assert not response["ok"]
+        assert response["error"]["type"] == "query"
+        assert "invalid task set" in response["error"]["message"]
+
+
+class TestErrorHandling:
+    def test_missing_field_answers_a_query_error(self):
+        response = AdmissionService().handle({"op": "design", "num_cores": 2})
+        assert not response["ok"]
+        assert response["error"]["type"] == "query"
+        assert "seed" in response["error"]["message"]
+
+    def test_unknown_scheme_answers_a_configuration_error(self):
+        query = dict(DESIGN_QUERY, schemes=["NOPE"])
+        response = AdmissionService().handle(query)
+        assert not response["ok"]
+        assert response["error"]["type"] == "configuration"
+        assert "NOPE" in response["error"]["message"]
+
+    def test_id_is_echoed_on_success_and_failure(self):
+        service = AdmissionService()
+        assert service.handle({"op": "ping", "id": "q-1"})["id"] == "q-1"
+        bad = service.handle({"op": "design", "id": 5})
+        assert bad["id"] == 5
+
+    def test_handle_line_answers_malformed_json(self):
+        response = AdmissionService().handle_line('{"op": ')
+        assert not response["ok"]
+        assert response["error"]["type"] == "query"
+
+    def test_stats_counts_queries(self):
+        service = AdmissionService()
+        service.handle({"op": "ping"})
+        service.handle(dict(DESIGN_QUERY))
+        stats = service.handle({"op": "stats"})["result"]
+        assert stats["queries"] == 3
+        assert stats["kernel"]["exact_solves"] >= 0

@@ -1,0 +1,443 @@
+"""Backend-parity suite for the pluggable checkpoint stores.
+
+Every registered backend (jsonl, sqlite, shards) must uphold the same
+contract -- fingerprint guard, duplicate detection, deterministic resume --
+and ``--checkpoint`` URI resolution must keep plain paths meaning exactly
+what they always meant.  The parametrised half of this suite runs each
+guarantee against all three backends; the rest pins the URI grammar, the
+backend-specific failure modes (foreign SQLite files, conflicting shards)
+and cross-backend equivalence of the persisted result stream.
+"""
+
+import dataclasses
+import json
+import sqlite3
+
+import pytest
+
+from repro.batch.results import TasksetEvaluation
+from repro.batch.store import (
+    JsonlResultStore,
+    open_result_store,
+)
+from repro.campaign.store import open_campaign_store
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.storage import backend_names, parse_store_uri
+from repro.storage.shards import DEFAULT_WRITER
+
+
+def make_evaluation(group_index=0):
+    return TasksetEvaluation(
+        group_index=group_index,
+        normalized_utilization=0.42,
+        num_rt_tasks=6,
+        num_security_tasks=4,
+        max_periods={"ids-a": 2000, "ids-b": 1700},
+        schedulable={"HYDRA-C": True, "HYDRA": False},
+        periods={"HYDRA-C": {"ids-a": 910, "ids-b": 1700}, "HYDRA": None},
+    )
+
+
+@pytest.fixture
+def config():
+    return ExperimentConfig(num_cores=2, tasksets_per_group=3, seed=7)
+
+
+def jsonl_uri(directory):
+    return str(directory / "ck.jsonl")
+
+
+def sqlite_uri(directory):
+    return f"sqlite:{directory / 'ck.db'}"
+
+
+def shards_uri(directory):
+    return f"shards:{directory / 'ck.d'}"
+
+
+URI_BUILDERS = [jsonl_uri, sqlite_uri, shards_uri]
+URI_IDS = ["jsonl", "sqlite", "shards"]
+
+
+def snapshot(uri, directory):
+    """The backend's persisted state, in comparable form.
+
+    Bytes for the file backends (the byte-for-byte resume guarantee),
+    ordered header+result rows for sqlite (its row-for-row analogue).
+    """
+    if uri.startswith("sqlite:"):
+        connection = sqlite3.connect(uri[len("sqlite:") :])
+        try:
+            header = connection.execute(
+                "SELECT record FROM meta WHERE field='header'"
+            ).fetchone()
+            rows = connection.execute(
+                "SELECT seq, record FROM results ORDER BY seq"
+            ).fetchall()
+            return (header, tuple(rows))
+        finally:
+            connection.close()
+    if uri.startswith("shards:"):
+        base = directory / "ck.d"
+        return {
+            shard.name: shard.read_bytes() for shard in base.glob("*.jsonl")
+        }
+    return (directory / "ck.jsonl").read_bytes()
+
+
+class TestUriParsing:
+    def test_plain_path_means_jsonl(self):
+        parsed = parse_store_uri("runs/sweep.jsonl")
+        assert parsed.backend == "jsonl"
+        assert parsed.path == "runs/sweep.jsonl"
+        assert dict(parsed.options) == {}
+
+    def test_unregistered_scheme_is_part_of_the_path(self):
+        """Colons are legal in POSIX filenames; only registered backend
+        names act as URI schemes."""
+        parsed = parse_store_uri("backup:2024/sweep.jsonl")
+        assert parsed.backend == "jsonl"
+        assert parsed.path == "backup:2024/sweep.jsonl"
+
+    def test_registered_schemes_select_their_backend(self):
+        assert set(backend_names()) >= {"jsonl", "sqlite", "shards"}
+        for name in ("jsonl", "sqlite", "shards"):
+            parsed = parse_store_uri(f"{name}:somewhere/ck")
+            assert parsed.backend == name
+            assert parsed.path == "somewhere/ck"
+
+    def test_writer_option_parsed(self):
+        parsed = parse_store_uri("shards:run.d?writer=w3")
+        assert parsed.backend == "shards"
+        assert parsed.path == "run.d"
+        assert dict(parsed.options) == {"writer": "w3"}
+
+    def test_missing_path_rejected(self):
+        with pytest.raises(ConfigurationError, match="missing a path"):
+            parse_store_uri("sqlite:")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ConfigurationError, match="does not accept"):
+            parse_store_uri("shards:run.d?compression=gz")
+        with pytest.raises(ConfigurationError, match="does not accept"):
+            parse_store_uri("jsonl:run.jsonl?writer=w1")
+
+    def test_malformed_and_repeated_options_rejected(self):
+        with pytest.raises(ConfigurationError, match="key=value"):
+            parse_store_uri("shards:run.d?writer")
+        with pytest.raises(ConfigurationError, match="repeats option"):
+            parse_store_uri("shards:run.d?writer=a&writer=b")
+
+
+@pytest.mark.parametrize("uri_for", URI_BUILDERS, ids=URI_IDS)
+class TestBackendContract:
+    """The guarantees every registered backend must uphold."""
+
+    def test_fresh_store_loads_empty_and_round_trips(
+        self, tmp_path, config, uri_for
+    ):
+        uri = uri_for(tmp_path)
+        store = open_result_store(uri, config)
+        assert store.load() == {}
+        evaluation = make_evaluation()
+        store.append_chunk([(0, evaluation), (1, None)])
+        store.append_chunk([(2, evaluation)])
+        reloaded = open_result_store(uri, config).load()
+        assert reloaded == {0: evaluation, 1: None, 2: evaluation}
+
+    def test_empty_chunk_is_a_noop(self, tmp_path, config, uri_for):
+        uri = uri_for(tmp_path)
+        open_result_store(uri, config).load()
+        before = snapshot(uri, tmp_path)
+        open_result_store(uri, config).append_chunk([])
+        assert snapshot(uri, tmp_path) == before
+
+    def test_mismatched_fingerprint_rejected(self, tmp_path, config, uri_for):
+        uri = uri_for(tmp_path)
+        open_result_store(uri, config).load()
+        other = dataclasses.replace(config, num_cores=4)
+        with pytest.raises(ConfigurationError, match="different sweep"):
+            open_result_store(uri, other).load()
+
+    def test_duplicate_result_key_rejected(self, tmp_path, config, uri_for):
+        """Regression: a stream holding the same result key twice is
+        corrupt and must fail loudly on load, not silently resume from
+        whichever copy came last."""
+        uri = uri_for(tmp_path)
+        store = open_result_store(uri, config)
+        store.load()
+        store.append_chunk([(0, make_evaluation())])
+        store.append_chunk([(0, None)])  # same key, different payload
+        with pytest.raises(
+            ConfigurationError, match="duplicate result key 0"
+        ):
+            open_result_store(uri, config).load()
+
+    def test_resume_reproduces_the_uninterrupted_store(
+        self, tmp_path, config, uri_for
+    ):
+        """Straight run vs killed-and-resumed run: identical persisted
+        state (byte-for-byte for the file backends, row-for-row for
+        sqlite) and identical loads."""
+        first = [(0, make_evaluation()), (1, None)]
+        second = [(2, make_evaluation(1))]
+
+        straight_dir = tmp_path / "straight"
+        straight_dir.mkdir()
+        uri = uri_for(straight_dir)
+        store = open_result_store(uri, config)
+        store.load()
+        store.append_chunk(first)
+        store.append_chunk(second)
+        expected = snapshot(uri, straight_dir)
+
+        resumed_dir = tmp_path / "resumed"
+        resumed_dir.mkdir()
+        uri = uri_for(resumed_dir)
+        store = open_result_store(uri, config)
+        store.load()
+        store.append_chunk(first)
+        # "Kill": drop the store object, reopen, resume from the load.
+        store = open_result_store(uri, config)
+        assert store.load() == {0: first[0][1], 1: None}
+        store.append_chunk(second)
+        assert snapshot(uri, resumed_dir) == expected
+
+
+class TestCrossBackend:
+    def test_all_backends_load_the_same_results(self, tmp_path, config):
+        entries = [(0, make_evaluation()), (1, None), (2, make_evaluation(1))]
+        loads = []
+        for uri_for in URI_BUILDERS:
+            uri = uri_for(tmp_path)
+            store = open_result_store(uri, config)
+            store.load()
+            store.append_chunk(entries)
+            loads.append(open_result_store(uri, config).load())
+        assert loads[0] == loads[1] == loads[2]
+
+    def test_checkpoint_migrates_across_backends(self, tmp_path, config):
+        """A run started on one backend can be finished on another by
+        replaying the loaded prefix -- the loads end up identical."""
+        prefix = [(0, make_evaluation()), (1, None)]
+        suffix = [(2, make_evaluation(1))]
+        jsonl_store = open_result_store(jsonl_uri(tmp_path), config)
+        jsonl_store.load()
+        jsonl_store.append_chunk(prefix)
+
+        migrated = open_result_store(sqlite_uri(tmp_path), config)
+        migrated.load()
+        migrated.append_chunk(sorted(jsonl_store.load().items()))
+        migrated.append_chunk(suffix)
+
+        jsonl_store.append_chunk(suffix)
+        assert (
+            open_result_store(sqlite_uri(tmp_path), config).load()
+            == open_result_store(jsonl_uri(tmp_path), config).load()
+        )
+
+
+class TestSqliteBackend:
+    def test_foreign_file_refused_and_left_intact(self, tmp_path, config):
+        path = tmp_path / "ck.db"
+        path.write_text("precious user notes")
+        with pytest.raises(ConfigurationError, match="not a sweep"):
+            open_result_store(f"sqlite:{path}", config).load()
+        assert path.read_text() == "precious user notes"
+
+    def test_unrelated_database_refused(self, tmp_path, config):
+        path = tmp_path / "other.db"
+        connection = sqlite3.connect(path)
+        connection.execute("CREATE TABLE unrelated (x)")
+        connection.commit()
+        connection.close()
+        with pytest.raises(ConfigurationError, match="not a sweep"):
+            open_result_store(f"sqlite:{path}", config).load()
+
+
+class TestShardedBackend:
+    def test_multiple_writers_merge(self, tmp_path, config):
+        base = f"shards:{tmp_path / 'ck.d'}"
+        alpha = open_result_store(f"{base}?writer=alpha", config)
+        beta = open_result_store(f"{base}?writer=beta", config)
+        alpha.load()
+        beta.load()
+        alpha.append_chunk([(0, make_evaluation())])
+        beta.append_chunk([(1, None), (2, make_evaluation(1))])
+        merged = open_result_store(base, config).load()
+        assert set(merged) == {0, 1, 2}
+        # Each writer appended to its own shard file.
+        names = {p.name for p in (tmp_path / "ck.d").glob("*.jsonl")}
+        assert {"alpha.jsonl", "beta.jsonl", f"{DEFAULT_WRITER}.jsonl"} <= names
+
+    def test_identical_duplicate_across_shards_is_merged(
+        self, tmp_path, config
+    ):
+        """Two workers racing the same (pure) slot produce identical
+        lines; the merge keeps one copy instead of failing."""
+        base = f"shards:{tmp_path / 'ck.d'}"
+        evaluation = make_evaluation()
+        for writer in ("w1", "w2"):
+            store = open_result_store(f"{base}?writer={writer}", config)
+            store.load()
+            store.append_chunk([(0, evaluation)])
+        assert open_result_store(base, config).load() == {0: evaluation}
+
+    def test_conflicting_records_across_shards_rejected(
+        self, tmp_path, config
+    ):
+        base = f"shards:{tmp_path / 'ck.d'}"
+        w1 = open_result_store(f"{base}?writer=w1", config)
+        w2 = open_result_store(f"{base}?writer=w2", config)
+        w1.load()
+        w2.load()
+        w1.append_chunk([(0, make_evaluation())])
+        w2.append_chunk([(0, None)])
+        with pytest.raises(ConfigurationError, match="conflicting records"):
+            open_result_store(base, config).load()
+
+    def test_torn_trailing_line_in_a_shard_is_truncated(
+        self, tmp_path, config
+    ):
+        uri = shards_uri(tmp_path)
+        store = open_result_store(uri, config)
+        store.load()
+        store.append_chunk([(0, make_evaluation())])
+        shard = tmp_path / "ck.d" / f"{DEFAULT_WRITER}.jsonl"
+        intact = shard.read_bytes()
+        with shard.open("ab") as handle:
+            handle.write(b'{"kind":"result","job":1,"eval')  # killed mid-write
+        assert open_result_store(uri, config).load() == {0: make_evaluation()}
+        assert shard.read_bytes() == intact
+
+    def test_foreign_shard_rejects_the_whole_merge(self, tmp_path, config):
+        """Silently skipping a foreign shard would resume from partial
+        data, so one mismatched shard fails the whole load."""
+        uri = shards_uri(tmp_path)
+        open_result_store(uri, config).load()
+        other = dataclasses.replace(config, seed=99)
+        foreign_dir = tmp_path / "elsewhere"
+        foreign = open_result_store(f"shards:{foreign_dir}", other)
+        foreign.load()
+        shard = foreign_dir / f"{DEFAULT_WRITER}.jsonl"
+        (tmp_path / "ck.d" / "foreign.jsonl").write_bytes(shard.read_bytes())
+        with pytest.raises(ConfigurationError, match="different sweep"):
+            open_result_store(uri, config).load()
+
+    def test_existing_file_at_directory_path_rejected(self, tmp_path, config):
+        path = tmp_path / "ck.d"
+        path.write_text("a file, not a directory")
+        with pytest.raises(ConfigurationError, match="not a directory"):
+            open_result_store(f"shards:{path}", config).load()
+
+    def test_invalid_writer_name_rejected(self, tmp_path, config):
+        with pytest.raises(ConfigurationError, match="writer name"):
+            open_result_store(
+                f"shards:{tmp_path / 'ck.d'}?writer=../escape", config
+            )
+
+
+class TestJsonlByteFormatUnchanged:
+    def test_plain_path_still_writes_the_historical_format(
+        self, tmp_path, config
+    ):
+        """open_result_store on a plain path must produce the exact bytes
+        JsonlResultStore always produced."""
+        evaluation = make_evaluation()
+        via_uri = tmp_path / "via_uri.jsonl"
+        store = open_result_store(str(via_uri), config)
+        store.load()
+        store.append_chunk([(0, evaluation), (1, None)])
+
+        direct = tmp_path / "direct.jsonl"
+        legacy = JsonlResultStore(direct, config)
+        legacy.load()
+        legacy.append_chunk([(0, evaluation), (1, None)])
+
+        assert via_uri.read_bytes() == direct.read_bytes()
+        header = json.loads(via_uri.read_text().splitlines()[0])
+        assert header["kind"] == "header"
+        assert "config" in header
+
+
+class TestOrchestratorUris:
+    """Both orchestrators accept backend URIs through ``checkpoint_path``."""
+
+    @pytest.mark.parametrize("scheme", ["sqlite", "shards"])
+    def test_sweep_runs_and_resumes_on_alternate_backends(
+        self, tmp_path, scheme
+    ):
+        from repro.batch.orchestrator import run_batch_sweep
+
+        target = tmp_path / ("ck.db" if scheme == "sqlite" else "ck.d")
+        config = ExperimentConfig(
+            num_cores=2,
+            tasksets_per_group=2,
+            utilization_groups=((0.05, 0.2),),
+            seed=31337,
+            chunk_size=1,
+            checkpoint_path=f"{scheme}:{target}",
+        )
+        first = run_batch_sweep(config)
+        assert target.exists()
+        # A rerun of the same command is a pure resume: every slot comes
+        # from the checkpoint and the results are identical.
+        events = []
+        again = run_batch_sweep(config, progress=events.append)
+        assert events == []
+        assert tuple(again.evaluations) == tuple(first.evaluations)
+
+    def test_campaign_runs_and_resumes_on_sqlite(self, tmp_path):
+        from repro.campaign import CampaignSpec, run_campaign
+
+        spec = CampaignSpec(
+            schemes=("HYDRA-C",),
+            num_trials=2,
+            horizon=5_000,
+            seed=5,
+            chunk_size=1,
+            checkpoint_path=f"sqlite:{tmp_path / 'camp.db'}",
+        )
+        first = run_campaign(spec)
+        events = []
+        again = run_campaign(spec, progress=events.append)
+        assert events == []
+        assert again == first
+
+
+class TestCampaignStoreUris:
+    def test_campaign_codec_rides_any_backend(self, tmp_path):
+        from repro.campaign import (
+            CampaignSpec,
+            SchemeTrialOutcome,
+            TrialRecord,
+        )
+
+        spec = CampaignSpec(
+            schemes=("HYDRA-C",), num_trials=4, horizon=5_000, seed=5
+        )
+        record = TrialRecord(
+            trial_index=0,
+            seed=1000,
+            outcomes={
+                "HYDRA-C": SchemeTrialOutcome(
+                    latencies=(10, None),
+                    context_switches=5,
+                    migrations=1,
+                    preemptions=0,
+                )
+            },
+        )
+        for uri in (
+            str(tmp_path / "camp.jsonl"),
+            f"sqlite:{tmp_path / 'camp.db'}",
+            f"shards:{tmp_path / 'camp.d'}",
+        ):
+            store = open_campaign_store(uri, spec)
+            assert store.load() == {}
+            store.append_chunk([record])
+            assert open_campaign_store(uri, spec).load() == {0: record}
+        with pytest.raises(ConfigurationError, match="different campaign"):
+            other = dataclasses.replace(spec, seed=6)
+            open_campaign_store(f"sqlite:{tmp_path / 'camp.db'}", other).load()
