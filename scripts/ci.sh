@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # Continuous-integration entry point.
 #
-# Usage: scripts/ci.sh [tier1|smoke|bench|all]   (default: all)
+# Usage: scripts/ci.sh [tier1|smoke|bench|bench-compiled|all]   (default: all)
 #
-# Three gates:
+# Four gates:
 #   tier1 -- the fast tier-1 suite (unit/property/integration, benchmarks
 #            excluded).  Runs the RTA-kernel-vs-frozen-reference
 #            differential smoke first so an analysis regression fails
-#            fast with a labelled gate.  Deterministic; always blocking.
+#            fast with a labelled gate, then replays the RTA differential
+#            suite under REPRO_DISABLE_COMPILED=1 so the pure-python
+#            fallback path can never silently regress on machines where
+#            the compiled backend normally takes over.  Deterministic;
+#            always blocking.
 #   smoke -- two deterministic end-to-end drills, always blocking:
 #            (a) a tiny Monte Carlo attack campaign executed under BOTH
 #            simulation backends (event-compressed and tick oracle);
@@ -32,6 +36,13 @@
 #            Wall-clock based, so on shared CI runners they
 #            run as a separate, non-blocking workflow step; locally they
 #            are a hard gate.
+#   bench-compiled -- the PR 7 kernel gates: compiled fixed points + dedup
+#            >= 2x over the PR 5 vectorized path, and structural dedup
+#            alone >= 1.2x (pure python).  The compiled half skips cleanly
+#            when no C compiler / cffi is available -- the dedup-only gate
+#            runs everywhere.  Leaves benchmarks/BENCH_PR7.json (uploaded
+#            as a CI artifact next to the other trajectories).  Wall-clock
+#            based, same non-blocking-on-shared-runners policy as bench.
 #
 # The remaining benchmarks (full figure regenerations) are not run here --
 # they are the local `pytest benchmarks` workflow and rewrite
@@ -43,9 +54,9 @@ export PYTHONPATH="src${PYTHONPATH:+:${PYTHONPATH}}"
 
 stage="${1:-all}"
 case "$stage" in
-    tier1|smoke|bench|all) ;;
+    tier1|smoke|bench|bench-compiled|all) ;;
     *)
-        echo "usage: $0 [tier1|smoke|bench|all]" >&2
+        echo "usage: $0 [tier1|smoke|bench|bench-compiled|all]" >&2
         exit 64
         ;;
 esac
@@ -53,7 +64,9 @@ esac
 if [[ "$stage" == "tier1" || "$stage" == "all" ]]; then
     echo "== tier 1a: RTA kernel vs frozen reference (differential smoke) =="
     python -m pytest -x -q tests/rta
-    echo "== tier 1b: pytest -m 'not bench' =="
+    echo "== tier 1b: RTA differential under forced pure-python fallback =="
+    REPRO_DISABLE_COMPILED=1 python -m pytest -x -q tests/rta
+    echo "== tier 1c: pytest -m 'not bench' =="
     python -m pytest -x -q -m "not bench"
 fi
 
@@ -127,6 +140,19 @@ if [[ "$stage" == "bench" || "$stage" == "all" ]]; then
     if ! git diff --exit-code -- benchmarks/figures_output.txt \
             benchmarks/campaign_golden.txt; then
         echo "bench stage FAILED: a golden pin changed (results drift)" >&2
+        exit 1
+    fi
+fi
+
+if [[ "$stage" == "bench-compiled" || "$stage" == "all" ]]; then
+    echo "== bench-compiled gates: compiled kernel + structural dedup speedups =="
+    # The compiled gate self-skips (pytest.mark.skipif) when the cffi/gcc
+    # backend cannot build; the dedup-only gate runs unconditionally.
+    python -m pytest -x -q benchmarks/test_bench_compiled_kernel.py
+    echo "== golden pins: unchanged after the kernel gates =="
+    if ! git diff --exit-code -- benchmarks/figures_output.txt \
+            benchmarks/campaign_golden.txt; then
+        echo "bench-compiled stage FAILED: a golden pin changed (results drift)" >&2
         exit 1
     fi
 fi

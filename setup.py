@@ -1,10 +1,39 @@
-"""Legacy setup shim.
+"""Package metadata for the HYDRA-C reproduction.
 
-The project metadata lives in ``pyproject.toml``; this file exists so that
-``pip install -e .`` works on minimal offline environments whose setuptools
-predates PEP 660 editable-install support (no ``wheel`` package available).
+Plain ``setup.py`` (no ``pyproject.toml``) so ``pip install -e .`` works on
+minimal offline environments whose setuptools predates PEP 660
+editable-install support (no ``wheel`` package available).
+
+The core package is dependency-light on purpose: numpy is the only hard
+runtime dependency, and the exact RTA kernels run pure-python by default.
+The **compiled** extra (``pip install .[compiled]``) adds cffi, which --
+together with a system C compiler -- unlocks the compiled fixed-point
+kernel tier (:mod:`repro.rta.compiled`).  The extra is optional
+everywhere: without it (or without a compiler) every surface falls back to
+the byte-identical pure-python tier, and tier-1 CI deliberately runs
+without it.  ``hydra-c kernels`` reports which tiers the current machine
+can actually build.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="hydra-c-repro",
+    version="0.7.0",
+    description=(
+        "Reproduction of HYDRA-C (DATE 2020): integrated design of "
+        "security monitoring periods for multicore real-time systems"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={
+        # Compiled Eq. 1/7 fixed-point kernel tier (cffi API mode +
+        # system C compiler); optional, pure-python fallback otherwise.
+        "compiled": ["cffi"],
+    },
+    entry_points={
+        "console_scripts": ["hydra-c=repro.cli:main"],
+    },
+)

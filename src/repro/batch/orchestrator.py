@@ -118,6 +118,9 @@ class SpecBlock:
     range_lows: np.ndarray
     range_highs: np.ndarray
     seeds: np.ndarray
+    # Kernel tier of the worker's service.  Declared last with a default so
+    # pre-PR 7 pickled blocks (and positional constructions) stay valid.
+    kernel: str = "python"
 
     @classmethod
     def encode(
@@ -131,6 +134,7 @@ class SpecBlock:
             scheme_names=tuple(config.schemes),
             search_mode=config.search_mode,
             collect_stats=collect_stats,
+            kernel=config.kernel,
             job_indices=np.asarray(
                 [spec.job_index for spec in specs], dtype=np.int64
             ),
@@ -182,13 +186,17 @@ def _evaluate_block_worker(
     registered at import time of a module the workers also import -- see
     the :mod:`repro.schemes` docstring.
     """
-    key = (block.num_cores, block.scheme_names, block.search_mode)
+    key = (block.num_cores, block.scheme_names, block.search_mode, block.kernel)
     service = _WORKER_SERVICES.get(key)
     if service is None:
+        # The compiled backend (if requested) loads here, once per worker
+        # process and from a machine-wide artifact cache -- slices arriving
+        # later reuse the service, so there is no per-chunk (re)compilation.
         service = BatchDesignService(
             block.num_cores,
             scheme_names=block.scheme_names,
             search_mode=block.search_mode,
+            kernel=block.kernel,
         )
         _WORKER_SERVICES[key] = service
     stats: Optional[Dict[str, int]] = {} if block.collect_stats else None
@@ -243,6 +251,7 @@ class SweepOrchestrator:
             config.num_cores,
             scheme_names=config.schemes,
             search_mode=config.search_mode,
+            kernel=config.kernel,
         )
 
     def run(self) -> SweepResult:

@@ -48,7 +48,12 @@ from repro.model.platform import Platform
 from repro.model.taskset import TaskSet
 from repro.partitioning.allocation import Allocation
 from repro.partitioning.heuristics import partition_rt_tasks
-from repro.rta import RtaContext, partitioned_rt_check
+from repro.rta import (
+    RtaContext,
+    StructuralCache,
+    normalise_kernel,
+    partitioned_rt_check,
+)
 from repro.schedulability.partitioned import rt_tasks_by_core
 from repro.schemes import (
     REGISTRY,
@@ -106,6 +111,16 @@ class BatchDesignService:
         are provably unable to change any result; ``False`` reproduces the
         PR 4 compute profile and exists for the
         ``benchmarks/test_bench_vectorized_screen.py`` gate and ablations.
+    kernel:
+        Fixed-point kernel tier for every context the service creates:
+        ``"python"`` (default), ``"compiled"`` or ``"auto"`` -- see
+        :class:`repro.rta.RtaContext`.  Byte-equal results across tiers.
+    dedup:
+        Cross-task-set structural dedup.  ``None`` (default) rides
+        ``accelerated``; when enabled the service shares one
+        :class:`~repro.rta.dedup.StructuralCache` across all contexts of
+        each :meth:`evaluate_specs` chunk, so repeated partition/task
+        shapes across that chunk's task sets replay their fixed points.
     """
 
     def __init__(
@@ -116,10 +131,14 @@ class BatchDesignService:
         registry: SchemeRegistry = REGISTRY,
         search_mode: Union[SearchMode, str] = SearchMode.BINARY,
         accelerated: bool = True,
+        kernel: str = "python",
+        dedup: Optional[bool] = None,
     ) -> None:
         if num_cores < 1:
             raise ConfigurationError("num_cores must be >= 1")
         self._accelerated = accelerated
+        self._kernel = normalise_kernel(kernel)
+        self._dedup = accelerated if dedup is None else bool(dedup)
         self._platform = Platform(num_cores=num_cores)
         self._specs = registry.resolve(scheme_names)
         self._scheme_names = tuple(spec.name for spec in self._specs)
@@ -144,10 +163,16 @@ class BatchDesignService:
     def platform(self) -> Platform:
         return self._platform
 
-    def _new_context(self) -> RtaContext:
-        """A per-task-set kernel context honouring the acceleration knob."""
+    def _new_context(
+        self, structural_cache: Optional[StructuralCache] = None
+    ) -> RtaContext:
+        """A per-task-set kernel context honouring the acceleration knobs."""
         return RtaContext(
-            self._platform.num_cores, warm_start=self._accelerated
+            self._platform.num_cores,
+            warm_start=self._accelerated,
+            kernel=self._kernel,
+            dedup=self._dedup,
+            structural_cache=structural_cache if self._dedup else None,
         )
 
     @property
@@ -355,7 +380,13 @@ class BatchDesignService:
                         stats_sink[key] = stats_sink.get(key, 0) + value
             return results
 
-        contexts = [self._new_context() for _ in specs]
+        # One structural cache spans the whole chunk: this is where the
+        # cross-task-set dedup hits live (repeated partition layouts and
+        # higher-priority shapes between the chunk's generated columns).
+        # The cache dies with the chunk, so chunking cannot leak state
+        # between chunks -- results stay independent of chunk size.
+        chunk_cache = StructuralCache() if self._dedup else None
+        contexts = [self._new_context(chunk_cache) for _ in specs]
         rngs = [np.random.default_rng(spec.seed) for spec in specs]
         generators = [
             TasksetGenerator(self._generation_config, seed=spec.seed)

@@ -12,6 +12,7 @@ Usage (installed as the ``hydra-c`` console script, also runnable as
     hydra-c campaign --trials 500 --jobs 4 --checkpoint camp.jsonl
                                  # Monte Carlo attack campaign on the rover
     hydra-c schemes              # list every registered integration scheme
+    hydra-c kernels              # list the fixed-point kernel backends
     hydra-c serve --socket /tmp/hydra.sock   # online admission daemon
     hydra-c query --socket /tmp/hydra.sock '{"op":"ping"}'
 
@@ -116,12 +117,24 @@ def build_parser() -> argparse.ArgumentParser:
             ),
         )
         sub.add_argument(
+            "--kernel",
+            choices=("python", "compiled", "auto"),
+            default="python",
+            help=(
+                "fixed-point kernel tier: 'python' (reference), 'compiled' "
+                "(the optional cffi backend; warns and falls back when "
+                "unavailable) or 'auto'.  Byte-identical results either "
+                "way; see 'hydra-c kernels'"
+            ),
+        )
+        sub.add_argument(
             "--stats",
             action="store_true",
             help=(
                 "print a one-line RTA-kernel summary after the run "
                 "(screen/filter hits, undecided residue, warm-seeded "
-                "solves); observability only, never affects results"
+                "solves, compiled/dedup activity); observability only, "
+                "never affects results"
             ),
         )
 
@@ -189,6 +202,11 @@ def build_parser() -> argparse.ArgumentParser:
         "schemes", help="list the registered integration schemes"
     )
 
+    subparsers.add_parser(
+        "kernels",
+        help="list the fixed-point kernel backends importable on this machine",
+    )
+
     serve = subparsers.add_parser(
         "serve",
         help="long-lived online admission daemon (JSON-lines queries)",
@@ -229,6 +247,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=64,
         metavar="N",
         help="warm RTA-context LRU size per service (0 = always cold)",
+    )
+    serve.add_argument(
+        "--kernel",
+        choices=("python", "compiled", "auto"),
+        default="python",
+        help=(
+            "fixed-point kernel tier of the warm services (byte-identical "
+            "answers either way; see 'hydra-c kernels')"
+        ),
     )
     serve.add_argument(
         "--quiet",
@@ -314,6 +341,7 @@ def _sweep_config(args: argparse.Namespace) -> ExperimentConfig:
         n_jobs=args.jobs,
         schemes=_parse_schemes(args.schemes),
         search_mode=args.search_mode,
+        kernel=args.kernel,
     )
 
 
@@ -327,6 +355,7 @@ def _batch_sweep_config(args: argparse.Namespace) -> ExperimentConfig:
         checkpoint_path=args.checkpoint,
         schemes=_parse_schemes(args.schemes),
         search_mode=args.search_mode,
+        kernel=args.kernel,
     )
 
 
@@ -351,6 +380,34 @@ def _format_schemes_table() -> str:
         "shared phases",
         "description",
     )
+    widths = [
+        max(len(headers[column]), *(len(row[column]) for row in rows))
+        for column in range(len(headers))
+    ]
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths))
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def _format_kernels_table() -> str:
+    """Render the kernel-backend availability report as a text table."""
+    from repro.rta import kernel_status
+
+    status = kernel_status()
+    rows = [
+        (
+            name,
+            "yes" if info["available"] else "no",
+            info["detail"],
+        )
+        for name, info in status.items()
+    ]
+    headers = ("kernel", "available", "detail")
     widths = [
         max(len(headers[column]), *(len(row[column]) for row in rows))
         for column in range(len(headers))
@@ -465,6 +522,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         timeout=args.timeout,
         max_contexts=args.max_contexts,
+        kernel=args.kernel,
         quiet=args.quiet,
     )
     return daemon.serve(socket_path=args.socket if not args.stdio else None)
@@ -527,6 +585,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(_run_campaign(args))
         elif args.command == "schemes":
             print(_format_schemes_table())
+        elif args.command == "kernels":
+            print(_format_kernels_table())
         elif args.command == "serve":
             return _run_serve(args)
         elif args.command == "query":

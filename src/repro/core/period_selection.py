@@ -28,13 +28,19 @@ producing bit-identical responses *and* an unchanged ``analysis_calls``
 count (seeding shortens iterations, never skips a solve); the merge rules
 -- which earlier states may seed which later ones -- are documented on
 :class:`_SeedLedger` and pinned by ``tests/rta/test_vectorized_screen.py``.
+
+The *dedup* profile (a structural cache on the context, PR 7) layers
+solve-skipping on top: whole-task probe pinning (:meth:`PeriodSelector.
+_probe_pins`), certification floors, and verbatim reuse of the chosen
+probe's chain for Algorithm 1's Line-8 refresh.  Those do reduce
+``analysis_calls`` -- results stay byte-identical, as the same test pins.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, UnschedulableError
 from repro.model.platform import Platform
@@ -189,6 +195,14 @@ class PeriodSelector:
         if warm_start is None:
             warm_start = getattr(rta_context, "warm_start", True)
         self._warm_start = warm_start
+        # Cross-probe verdict pinning (seed == upper-bound sandwiches) is
+        # part of the PR 7 structural-dedup subsystem, so it rides the
+        # context's dedup switch -- ``dedup=False`` reconstructs the PR 5
+        # warm-start-only profile exactly, as the benchmark gates require.
+        self._dedup = (
+            warm_start
+            and getattr(rta_context, "structural_cache", None) is not None
+        )
         self._security: List[SecurityTask] = taskset.security_by_priority()
         self._rt_by_core: Dict[int, List[RealTimeTask]] = {
             core.index: [] for core in platform.cores
@@ -212,6 +226,10 @@ class PeriodSelector:
             self._rt_cache = RtWorkloadCache(self._rt_by_core)
         self._analysis_calls = 0
         self._ledger = _SeedLedger()
+        #: Durable whole-response floors per task index (dedup only):
+        #: the latest Algorithm 1 refresh response, a sound lower bound on
+        #: every later solve of that task (see :meth:`_probe_pins`).
+        self._task_floors: Dict[int, int] = {}
 
     # -- low-level response-time plumbing -------------------------------------
 
@@ -241,12 +259,17 @@ class PeriodSelector:
         response_times: Mapping[str, int],
         seeds: Optional[Mapping] = None,
         sink: Optional[Dict] = None,
+        uppers: Optional[Mapping] = None,
+        floor: Optional[int] = None,
     ) -> Optional[int]:
         """WCRT of the security task at *index* (limit = its ``T^max``).
 
         ``seeds``/``sink`` carry the warm-start ledger's per-carry-in-set
         fixed-point bounds into and out of the kernel solve (see
-        :class:`_SeedLedger`); both default to ``None`` so overrides that
+        :class:`_SeedLedger`); ``uppers`` carries the matching upper bounds
+        from already-probed *smaller* candidates (see :meth:`_probe_uppers`)
+        and ``floor`` a whole-response lower bound from larger ones (see
+        :meth:`_probe_pins`).  All default to ``None`` so overrides that
         predate the ledger -- notably the frozen seed selector in
         :mod:`repro.batch.reference` -- stay cold and byte-identical.
         """
@@ -262,7 +285,9 @@ class PeriodSelector:
             rt_cache=self._rt_cache,
             rta_context=self._rta_context,
             set_seeds=seeds,
+            set_uppers=uppers,
             seed_sink=sink,
+            response_floor=floor,
         )
 
     def _lower_priority_schedulable(
@@ -272,6 +297,10 @@ class PeriodSelector:
         response_times: Mapping[str, int],
         probe_seeds: Optional[Mapping[int, Mapping]] = None,
         probe_sink: Optional[Dict[int, Dict]] = None,
+        probe_uppers: Optional[Mapping[int, Mapping]] = None,
+        probe_pins: Optional[Mapping[int, int]] = None,
+        probe_floors: Optional[Mapping[int, int]] = None,
+        probe_responses: Optional[Dict[int, int]] = None,
     ) -> bool:
         """Check ``R_j <= T^max_j`` for every task below *index*.
 
@@ -283,21 +312,54 @@ class PeriodSelector:
         ``probe_seeds``/``probe_sink`` optionally map each lower task index
         to warm-start seed maps (see :meth:`_response_time`); Algorithm 2
         uses them to share fixed points across the probes of one search.
+        ``probe_uppers`` maps the same indices to upper-bound maps from
+        smaller probed candidates, enabling sandwich pinning in the kernel.
+        ``probe_pins`` maps lower task indices to *exact* whole-task
+        responses sandwiched by earlier probes of this search (see
+        :meth:`_probe_pins`); a pinned task's kernel call is skipped
+        outright.  ``probe_floors`` maps them to sound whole-response
+        lower bounds from larger probed candidates, priming the kernel's
+        certification incumbent.  ``probe_responses`` collects the
+        completed per-task responses of this chain (pinned or solved) for
+        future pinning.
         """
         scratch: Dict[str, int] = dict(response_times)
+        stats = (
+            self._rta_context.stats if self._rta_context is not None else None
+        )
         for j in range(index + 1, len(self._security)):
+            pinned = probe_pins.get(j) if probe_pins else None
+            if pinned is not None:
+                if stats is not None:
+                    stats.dedup_pinned_solves += 1
+                if probe_responses is not None:
+                    probe_responses[j] = pinned
+                scratch[self._security[j].name] = pinned
+                continue
             sink: Optional[Dict] = {} if probe_sink is not None else None
+            # Dedup-only kwargs are passed only when present so subclasses
+            # overriding ``_response_time`` with the pre-dedup signature
+            # (the frozen oracle in :mod:`repro.batch.reference`) stay
+            # untouched -- they never enable dedup.
+            kwargs: Dict[str, Any] = {}
+            if probe_uppers is not None:
+                kwargs["uppers"] = probe_uppers.get(j)
+            if probe_floors is not None:
+                kwargs["floor"] = probe_floors.get(j)
             response = self._response_time(
                 j,
                 periods,
                 scratch,
                 seeds=probe_seeds.get(j) if probe_seeds else None,
                 sink=sink,
+                **kwargs,
             )
             if probe_sink is not None:
                 probe_sink[j] = sink
             if response is None:
                 return False
+            if probe_responses is not None:
+                probe_responses[j] = response
             scratch[self._security[j].name] = response
         return True
 
@@ -333,18 +395,102 @@ class PeriodSelector:
                         seeds[key] = fixed_point
         return merged
 
+    def _probe_uppers(
+        self,
+        index: int,
+        candidate: int,
+        probes: Dict[int, Dict[int, Dict]],
+    ) -> Optional[Dict[int, Dict]]:
+        """Per-set upper bounds for one Algorithm 2 probe (dedup only).
+
+        The mirror image of :meth:`_probe_seeds`: fixed points from
+        already-probed *smaller* candidates of this search -- a smaller
+        candidate means pointwise stronger interference down the whole
+        chain, so its per-set fixed points upper-bound this probe's.
+        Where a seed and an upper bound agree the kernel pins the set's
+        fixed point without iterating (``set_uppers`` in
+        :func:`~repro.rta.migrating.security_response_time`).
+        """
+        if not self._dedup:
+            return None
+        merged: Dict[int, Dict] = {}
+        for probed, chain in probes.items():
+            if probed >= candidate:
+                continue
+            for j, solved in chain.items():
+                uppers = merged.setdefault(j, {})
+                for key, fixed_point in solved.items():
+                    current = uppers.get(key)
+                    if current is None or fixed_point < current:
+                        uppers[key] = fixed_point
+        return merged or None
+
+    def _probe_pins(
+        self,
+        candidate: int,
+        chain_responses: Dict[int, Dict[int, int]],
+    ) -> Tuple[Optional[Dict[int, int]], Optional[Dict[int, int]]]:
+        """Whole-task response pins and floors from earlier probes
+        (dedup only; returns ``(pins, floors)``).
+
+        The per-set sandwich argument of :meth:`_probe_seeds` /
+        :meth:`_probe_uppers` lifts to whole responses: down the chain of
+        one search, ``R_j`` is monotone nonincreasing in the probed
+        candidate.  So for each lower task ``j``, any completed response
+        from a *larger* probed candidate lower-bounds ``R_j(candidate)``
+        and any from a *smaller* one upper-bounds it -- where the tightest
+        two agree, ``R_j(candidate)`` is exactly that value and the task's
+        kernel call is skipped outright (``dedup_pinned_solves`` counts
+        them).  The lower-bound map alone is returned as *floors*: the
+        kernel primes its certification incumbent with them (see
+        ``response_floor`` in
+        :func:`~repro.rta.migrating.security_response_time`).  Only
+        completed responses participate (a chain that failed at ``j``
+        records nothing for ``j``), so pins can never mask an infeasible
+        task: a pinned value was a feasible response at stronger
+        interference.
+        """
+        if not self._dedup:
+            return None, None
+        # Durable floors first: each Algorithm 1 Line-8 refresh response
+        # was computed at the strongest state so far, so it lower-bounds
+        # every later solve of the same task (later searches only shrink
+        # higher-priority periods further).  Search-local probes overlay.
+        lower: Dict[int, int] = dict(self._task_floors)
+        upper: Dict[int, int] = {}
+        for probed, responses in chain_responses.items():
+            if probed > candidate:
+                for j, response in responses.items():
+                    if lower.get(j, -1) < response:
+                        lower[j] = response
+            else:
+                for j, response in responses.items():
+                    current = upper.get(j)
+                    if current is None or response < current:
+                        upper[j] = response
+        pins = {
+            j: response
+            for j, response in lower.items()
+            if upper.get(j) == response
+        }
+        return pins or None, lower or None
+
     def _minimum_feasible_period(
         self,
         index: int,
         periods: Dict[str, int],
         response_times: Mapping[str, int],
         own_response: int,
-    ) -> int:
+    ) -> Tuple[int, Optional[Dict[int, int]]]:
         """Algorithm 2: smallest ``T_s`` in ``[R_s, T^max_s]`` keeping every
         lower-priority security task schedulable.
 
         ``T^max_s`` is always feasible (guaranteed by Algorithm 1 line 1), so
-        the search never fails.
+        the search never fails.  Returns ``(chosen, chain)`` where *chain*
+        (dedup profile only, else ``None``) is the completed per-task
+        response map of the feasible probe at *chosen* -- the probe's trial
+        state is identical to the state Algorithm 1's Line 8 refresh
+        re-analyses, so the caller can reuse those responses outright.
         """
         task = self._security[index]
         low = own_response
@@ -352,6 +498,9 @@ class PeriodSelector:
         best = task.max_period
         #: candidate -> per-lower-task per-set fixed points of that probe.
         probes: Dict[int, Dict[int, Dict]] = {}
+        #: candidate -> completed whole-task responses of that probe's
+        #: chain (the :meth:`_probe_pins` sandwich sources; dedup only).
+        chain_responses: Dict[int, Dict[int, int]] = {}
 
         def feasible(candidate: int) -> bool:
             trial = dict(periods)
@@ -361,14 +510,24 @@ class PeriodSelector:
                     index, trial, response_times
                 )
             sink: Dict[int, Dict] = {}
+            responses: Optional[Dict[int, int]] = (
+                {} if self._dedup else None
+            )
+            pins, floors = self._probe_pins(candidate, chain_responses)
             verdict = self._lower_priority_schedulable(
                 index,
                 trial,
                 response_times,
                 probe_seeds=self._probe_seeds(index, candidate, probes),
                 probe_sink=sink,
+                probe_uppers=self._probe_uppers(index, candidate, probes),
+                probe_pins=pins,
+                probe_floors=floors,
+                probe_responses=responses,
             )
             probes[candidate] = sink
+            if responses is not None:
+                chain_responses[candidate] = responses
             return verdict
 
         if self._search_mode is SearchMode.LINEAR:
@@ -378,7 +537,7 @@ class PeriodSelector:
                     chosen = candidate
                     break
             self._merge_feasible_probes(index, chosen, probes)
-            return chosen
+            return chosen, chain_responses.get(chosen)
 
         while low <= high:
             mid = (low + high) // 2
@@ -388,7 +547,7 @@ class PeriodSelector:
             else:
                 low = mid + 1
         self._merge_feasible_probes(index, best, probes)
-        return best
+        return best, chain_responses.get(best)
 
     def _merge_feasible_probes(
         self,
@@ -415,6 +574,7 @@ class PeriodSelector:
         """Run Algorithm 1 and return the selected periods."""
         self._analysis_calls = 0
         self._ledger = _SeedLedger()
+        self._task_floors = {}
         warm = self._warm_start
         periods: Dict[str, int] = {
             task.name: task.max_period for task in self._security
@@ -440,33 +600,50 @@ class PeriodSelector:
                 )
             if warm:
                 self._ledger.merge(index, sink)
+            if self._dedup:
+                self._task_floors[index] = response
             response_times[task.name] = response
 
         # Lines 5-9: fix periods from highest to lowest priority.
+        stats = (
+            self._rta_context.stats if self._rta_context is not None else None
+        )
         for index, task in enumerate(self._security):
-            chosen = self._minimum_feasible_period(
+            chosen, chain = self._minimum_feasible_period(
                 index, periods, response_times, own_response=response_times[task.name]
             )
             periods[task.name] = chosen
             # Line 8: refresh the response times of all lower-priority tasks
-            # under the newly fixed interference.
+            # under the newly fixed interference.  On the dedup profile the
+            # feasible probe at *chosen* already analysed exactly this state
+            # (same periods, same scratch progression down the chain), so
+            # its completed responses are reused verbatim instead of
+            # re-solved; their per-set fixed points entered the ledger via
+            # :meth:`_merge_feasible_probes`.
             for j in range(index + 1, len(self._security)):
                 lower = self._security[j]
-                sink = {} if warm else None
-                response = self._response_time(
-                    j,
-                    periods,
-                    response_times,
-                    seeds=self._ledger.seeds_for(j) if warm else None,
-                    sink=sink,
-                )
-                if response is None:  # pragma: no cover - guarded by Algorithm 2
-                    raise UnschedulableError(
-                        f"internal inconsistency: {lower.name!r} became "
-                        "unschedulable after a feasible period was selected"
+                response = chain.get(j) if chain is not None else None
+                if response is not None:
+                    if stats is not None:
+                        stats.dedup_refresh_reuses += 1
+                else:
+                    sink = {} if warm else None
+                    response = self._response_time(
+                        j,
+                        periods,
+                        response_times,
+                        seeds=self._ledger.seeds_for(j) if warm else None,
+                        sink=sink,
                     )
-                if warm:
-                    self._ledger.merge(j, sink)
+                    if response is None:  # pragma: no cover - guarded by Algorithm 2
+                        raise UnschedulableError(
+                            f"internal inconsistency: {lower.name!r} became "
+                            "unschedulable after a feasible period was selected"
+                        )
+                    if warm:
+                        self._ledger.merge(j, sink)
+                if self._dedup:
+                    self._task_floors[j] = response
                 response_times[lower.name] = response
                 reported[lower.name] = response
 
@@ -560,9 +737,10 @@ def minimum_feasible_period(
             return None
         response_times[task.name] = response
 
-    return selector._minimum_feasible_period(
+    chosen, _ = selector._minimum_feasible_period(
         target_index,
         periods,
         response_times,
         own_response=response_times[task_name],
     )
+    return chosen

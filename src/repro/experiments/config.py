@@ -80,6 +80,13 @@ class ExperimentConfig:
         performance/ablation knob -- but it is still part of the checkpoint
         fingerprint, so a resume under a different mode is rejected instead
         of silently mixing runs.
+    kernel:
+        Fixed-point kernel tier (``"python"``, ``"compiled"`` or
+        ``"auto"``, see :mod:`repro.rta.compiled`).  Results are byte-equal
+        across tiers (pinned by the differential suites and the golden
+        figure outputs), so -- unlike ``search_mode`` -- this knob is
+        deliberately *not* part of the checkpoint fingerprint: a sweep may
+        be resumed under a different kernel without mixing anything.
     """
 
     num_cores: int = 2
@@ -91,8 +98,11 @@ class ExperimentConfig:
     checkpoint_path: Optional[str] = None
     schemes: Optional[Sequence[str]] = None
     search_mode: str = SearchMode.BINARY.value
+    kernel: str = "python"
 
     def __post_init__(self) -> None:
+        from repro.rta.compiled import normalise_kernel
+
         resolved = REGISTRY.resolve(self.schemes)
         object.__setattr__(
             self, "schemes", tuple(spec.name for spec in resolved)
@@ -100,6 +110,7 @@ class ExperimentConfig:
         object.__setattr__(
             self, "search_mode", normalise_search_mode(self.search_mode).value
         )
+        object.__setattr__(self, "kernel", normalise_kernel(self.kernel))
         if self.num_cores < 1:
             raise ConfigurationError("num_cores must be >= 1")
         if self.tasksets_per_group < 1:

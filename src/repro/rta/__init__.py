@@ -32,8 +32,15 @@ suite in ``tests/rta/``).  The carry-in set helpers of
 shared (re-exported here) rather than duplicated.
 """
 
+from repro.rta.compiled import (
+    KERNEL_CHOICES,
+    kernel_available,
+    kernel_status,
+    normalise_kernel,
+)
 from repro.rta.context import KernelStats, RtaContext, rt_task_view
 from repro.rta.core_state import Admission, CoreState, TaskView
+from repro.rta.dedup import StructuralCache
 from repro.rta.global_fp import GlobalRtaEngine
 from repro.rta.migrating import (
     DEFAULT_EXACT_ENUMERATION_LIMIT,
@@ -64,17 +71,22 @@ __all__ = [
     "CoreState",
     "DEFAULT_EXACT_ENUMERATION_LIMIT",
     "GlobalRtaEngine",
+    "KERNEL_CHOICES",
     "KernelStats",
     "RtWorkloadCache",
     "RtaContext",
     "SCALAR_TERMS_THRESHOLD",
     "SecurityPacker",
     "SecurityTaskState",
+    "StructuralCache",
     "TaskSetArena",
     "TaskView",
     "count_carry_in_sets",
     "enumerate_carry_in_sets",
     "greedy_worst_case_interference",
+    "kernel_available",
+    "kernel_status",
+    "normalise_kernel",
     "partition_column",
     "partitioned_rt_check",
     "rt_task_view",

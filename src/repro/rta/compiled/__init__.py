@@ -1,0 +1,270 @@
+"""Optional compiled backend for the integer fixed-point kernels.
+
+The PR 5 profile of the synthetic sweeps is dominated by the *scalar*
+integer fixed points that survive the vectorized column screens: the
+Eq. 1 demand iteration and the Eq. 6-8 migrating-security-task busy
+window.  NumPy loses to memoised scalar Python at the paper's tick scales
+(measured in PR 5), so the next speed tier is compilation.  This package
+provides it as a cffi API-mode extension compiled with the system C
+compiler -- see DESIGN.md ("the compiled kernel layer") for why cffi was
+chosen over Numba/Cython/mypyc in this environment.
+
+The backend is strictly optional and strictly behind the
+:class:`~repro.rta.context.RtaContext` seam:
+
+* ``kernel="python"`` (the default everywhere) never imports this
+  package's build machinery;
+* ``kernel="compiled"`` requests the backend and, when it cannot be
+  built (no cffi, no C compiler, ``REPRO_DISABLE_COMPILED=1``), warns
+  **once per process** and falls back to the pure-python kernels;
+* ``kernel="auto"`` uses the backend when available, silently.
+
+Dispatch is per solve and guarded: operands must fit the C kernels'
+integer-width preconditions (:data:`INT31_LIMIT` and, for Eq. 6-8,
+``wcet <= period``), otherwise the solve stays in Python.  Every result
+is byte-equal to the pure path -- the differential suites in
+``tests/rta/`` run both ways, and the frozen oracles
+(:mod:`repro.schedulability`, :mod:`repro.batch.reference`) keep gating.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "KERNEL_CHOICES",
+    "INT31_LIMIT",
+    "UNSUPPORTED",
+    "CompiledKernel",
+    "normalise_kernel",
+    "load_kernel",
+    "kernel_available",
+    "kernel_status",
+    "resolve_kernel",
+]
+
+#: Valid values of the ``kernel=`` knob (context, service, config, CLI).
+KERNEL_CHOICES = ("python", "compiled", "auto")
+
+#: Operands must stay below this for a solve to dispatch to C: every
+#: C-side window iterate is then < 2**31 and the per-term/per-core
+#: arithmetic provably fits ``int64`` (accumulations that could not are
+#: carried in ``__int128``).
+INT31_LIMIT = 1 << 31
+
+#: Sentinel returned by the dispatch helpers when the operands fall
+#: outside the compiled kernels' guarded range (caller stays in Python).
+UNSUPPORTED = object()
+
+#: Exact carry-in enumerations larger than this stay in Python; AUTO caps
+#: enumeration at 32 sets, so only an explicit EXACT request on a large
+#: higher-priority set can exceed it.
+MAX_COMPILED_SETS = 4096
+
+
+def normalise_kernel(value) -> str:
+    """Coerce a kernel name, with a one-line error on unknown values.
+
+    The single validator behind ``RtaContext(kernel=...)``,
+    ``BatchDesignService(kernel=...)``, ``ExperimentConfig.kernel`` and
+    the CLI ``--kernel`` flag (mirrors :func:`normalise_search_mode`).
+    """
+    if isinstance(value, str) and value in KERNEL_CHOICES:
+        return value
+    raise ConfigurationError(
+        f"unknown kernel {value!r}; expected one of {', '.join(KERNEL_CHOICES)}"
+    )
+
+
+class CompiledKernel:
+    """Thin marshalling wrapper around the loaded C kernel module."""
+
+    __slots__ = ("_ffi", "_lib")
+
+    name = "compiled"
+
+    def __init__(self, ffi, lib) -> None:
+        self._ffi = ffi
+        self._lib = lib
+
+    def eq1(
+        self,
+        wcet: int,
+        threshold: int,
+        periods: Sequence[int],
+        wcets: Sequence[int],
+    ):
+        """Eq. 1 fixed point; ``None`` = exceeds threshold, or UNSUPPORTED."""
+        if wcet >= INT31_LIMIT or threshold >= INT31_LIMIT:
+            return UNSUPPORTED
+        for value in periods:
+            if value >= INT31_LIMIT:
+                return UNSUPPORTED
+        for value in wcets:
+            if value >= INT31_LIMIT:
+                return UNSUPPORTED
+        ffi = self._ffi
+        result = self._lib.hydra_eq1_solve(
+            wcet,
+            threshold,
+            len(periods),
+            ffi.new("int64_t[]", list(periods)),
+            ffi.new("int64_t[]", list(wcets)),
+        )
+        return None if result < 0 else int(result)
+
+    def eq7(
+        self,
+        security_wcet: int,
+        limit: int,
+        num_cores: int,
+        rt_core_ids,
+        rt_wcets,
+        rt_periods,
+        n_partition_cores: int,
+        hp_tasks: Sequence[Tuple[int, int, int]],
+        max_carry_in: int,
+        greedy: bool,
+        seeds: Sequence[int],
+    ):
+        """Eq. 6-8 solve.  ``hp_tasks`` holds ``(wcet, period, shift)``.
+
+        ``seeds`` must hold one entry per carry-in set in enumeration
+        order (or a single entry for the greedy bound), ``-1`` meaning
+        unseeded.  Returns ``(response_or_None, sink_list)`` where
+        ``sink_list`` mirrors ``seeds`` (``-1`` = set not solved); the
+        caller is responsible for the integer-range guards on the RT
+        arrays (see :meth:`RtWorkloadCache.compiled_fit`).
+        """
+        ffi = self._ffi
+        n_hp = len(hp_tasks)
+        n_sets = len(seeds)
+        hp_wcets = ffi.new("int64_t[]", [task[0] for task in hp_tasks] or [0])
+        hp_periods = ffi.new("int64_t[]", [task[1] for task in hp_tasks] or [0])
+        hp_shifts = ffi.new("int64_t[]", [task[2] for task in hp_tasks] or [0])
+        sink = ffi.new("int64_t[]", [-1] * n_sets)
+        scratch_cores = ffi.new("int64_t[]", max(n_partition_cores, 1))
+        scratch_delta = ffi.new("int64_t[]", max(n_hp, 1))
+        scratch_topk = ffi.new("int64_t[]", max(max_carry_in, 1))
+        scratch_set = ffi.new("int64_t[]", max(max_carry_in, 1))
+        n_rt = len(rt_wcets)
+        if n_rt:
+            core_buf = ffi.from_buffer("int64_t[]", rt_core_ids)
+            wcet_buf = ffi.from_buffer("int64_t[]", rt_wcets)
+            period_buf = ffi.from_buffer("int64_t[]", rt_periods)
+        else:
+            core_buf = wcet_buf = period_buf = ffi.new("int64_t[]", [0])
+        result = self._lib.hydra_eq7_solve(
+            security_wcet,
+            limit,
+            num_cores,
+            n_rt,
+            core_buf,
+            wcet_buf,
+            period_buf,
+            n_partition_cores,
+            scratch_cores,
+            n_hp,
+            hp_wcets,
+            hp_periods,
+            hp_shifts,
+            scratch_delta,
+            scratch_topk,
+            max_carry_in,
+            1 if greedy else 0,
+            ffi.new("int64_t[]", list(seeds)),
+            sink,
+            n_sets,
+            scratch_set,
+        )
+        sink_list: List[int] = [int(sink[i]) for i in range(n_sets)]
+        return (None if result < 0 else int(result)), sink_list
+
+
+# -- availability ------------------------------------------------------------
+
+_LOAD_TRIED = False
+_LOADED: Optional[CompiledKernel] = None
+_LOAD_ERROR: Optional[str] = None
+_FALLBACK_WARNED = False
+
+
+def load_kernel() -> Optional[CompiledKernel]:
+    """Build/load the backend once per process; ``None`` when unavailable."""
+    global _LOAD_TRIED, _LOADED, _LOAD_ERROR
+    if not _LOAD_TRIED:
+        _LOAD_TRIED = True
+        disabled = os.environ.get("REPRO_DISABLE_COMPILED", "")
+        if disabled and disabled != "0":
+            _LOAD_ERROR = "disabled by REPRO_DISABLE_COMPILED"
+        else:
+            try:
+                from repro.rta.compiled.build import build_and_load
+
+                ffi, lib = build_and_load()
+                _LOADED = CompiledKernel(ffi, lib)
+            except Exception as exc:  # any toolchain failure => unavailable
+                _LOAD_ERROR = f"{type(exc).__name__}: {exc}"
+    return _LOADED
+
+
+def kernel_available() -> bool:
+    """Whether the compiled backend can be built/loaded on this machine."""
+    return load_kernel() is not None
+
+
+def kernel_status() -> Dict[str, Dict[str, object]]:
+    """Per-backend importability report (the ``hydra-c kernels`` listing)."""
+    kernel = load_kernel()
+    if kernel is not None:
+        from repro.rta.compiled.build import cache_dir, module_tag
+
+        detail = f"cffi API-mode extension (cache: {cache_dir()}, tag {module_tag()})"
+    else:
+        detail = f"unavailable: {_LOAD_ERROR}"
+    return {
+        "python": {
+            "available": True,
+            "detail": "pure-python reference kernel tier (always available)",
+        },
+        "compiled": {"available": kernel is not None, "detail": detail},
+    }
+
+
+def resolve_kernel(name) -> Optional[CompiledKernel]:
+    """Resolve a (normalised) kernel name to a backend, honouring fallback.
+
+    ``"python"`` -> ``None`` without touching the build machinery;
+    ``"auto"`` -> the backend when available, silently ``None`` otherwise;
+    ``"compiled"`` -> the backend, or ``None`` after warning **once per
+    process** -- an explicit request deserves a diagnostic, but not one
+    per task-set context.
+    """
+    name = normalise_kernel(name)
+    if name == "python":
+        return None
+    kernel = load_kernel()
+    if kernel is None and name == "compiled":
+        global _FALLBACK_WARNED
+        if not _FALLBACK_WARNED:
+            _FALLBACK_WARNED = True
+            warnings.warn(
+                "compiled RTA kernel requested but unavailable "
+                f"({_LOAD_ERROR}); falling back to the pure-python kernel",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+    return kernel
+
+
+def _reset_for_tests() -> None:
+    """Forget the load attempt and the fallback warning (test isolation)."""
+    global _LOAD_TRIED, _LOADED, _LOAD_ERROR, _FALLBACK_WARNED
+    _LOAD_TRIED = False
+    _LOADED = None
+    _LOAD_ERROR = None
+    _FALLBACK_WARNED = False

@@ -1,0 +1,271 @@
+"""C source of the compiled fixed-point kernels (cffi API mode).
+
+Two functions cover every integer fixed point the kernel tier dispatches
+(see :mod:`repro.rta.compiled`):
+
+* ``hydra_eq1_solve`` -- the Eq. 1 demand iteration shared by
+  :meth:`~repro.rta.core_state.CoreState._solve` (prefix and
+  appended-at-the-bottom demand) and
+  :meth:`~repro.rta.packing.CorePeriodAssigner.response_time` (the
+  Algorithm 2 per-level probe; its fixed RT tasks and varying
+  higher-priority security pairs concatenate into one task array because
+  both contribute identical ``ceil(x/T) * C`` terms);
+* ``hydra_eq7_solve`` -- the migrating-security-task busy window
+  (Eq. 6-8) end to end: clamped per-core RT workloads (Eq. 2-3), clamped
+  non-carry-in/carry-in security terms (Eq. 4-5, the arithmetic of
+  :mod:`repro.rta.terms` inlined), greedy top-k carry-in selection or
+  exact carry-in-set enumeration -- in exactly the order of
+  :func:`repro.schedulability.carry_in.enumerate_carry_in_sets`, so the
+  seed/sink index contract of the warm-start ledger is preserved -- and
+  the Eq. 7 iteration ``x = floor(Omega(x)/M) + C_s`` per set.
+
+The iterates are the same integers the pure-python kernels produce (the
+Python dispatchers guard every operand below ``2**31`` and per-task
+``wcet <= period`` where the argument needs it; accumulations that could
+exceed 63 bits run in ``__int128``), so results are byte-equal -- pinned
+by the differential suite in ``tests/rta/``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CDEF", "C_SOURCE"]
+
+#: Declarations shared with cffi (must match the definitions below).
+CDEF = """
+int64_t hydra_eq1_solve(int64_t wcet, int64_t threshold, int64_t n,
+                        const int64_t *periods, const int64_t *wcets);
+int64_t hydra_eq7_solve(int64_t security_wcet, int64_t limit,
+                        int64_t num_cores,
+                        int64_t n_rt, const int64_t *rt_cores,
+                        const int64_t *rt_wcets, const int64_t *rt_periods,
+                        int64_t n_partition_cores, int64_t *core_scratch,
+                        int64_t n_hp, const int64_t *hp_wcets,
+                        const int64_t *hp_periods, const int64_t *hp_shifts,
+                        int64_t *delta_scratch, int64_t *topk_scratch,
+                        int64_t max_carry_in, int use_greedy,
+                        const int64_t *seeds, int64_t *sink, int64_t n_sets,
+                        int64_t *set_scratch);
+"""
+
+C_SOURCE = r"""
+#include <stdint.h>
+
+/* ---- Eq. 1: x = C + sum_i ceil(x / T_i) * C_i ------------------------- */
+
+int64_t hydra_eq1_solve(int64_t wcet, int64_t threshold, int64_t n,
+                        const int64_t *periods, const int64_t *wcets)
+{
+    int64_t response = wcet;
+    for (;;) {
+        __int128 total = wcet;
+        int64_t i;
+        for (i = 0; i < n; i++) {
+            int64_t q = (response + periods[i] - 1) / periods[i];
+            total += (__int128)q * wcets[i];
+            if (total > threshold)
+                return -1;
+        }
+        if ((int64_t)total == response)
+            return response;
+        response = (int64_t)total;
+    }
+}
+
+/* ---- Eq. 6: Omega(x) for one window --------------------------------- */
+
+/* Eq. 2 synchronous-release workload of one task in window x (x >= 0). */
+static inline int64_t hydra_workload(int64_t x, int64_t c, int64_t t)
+{
+    int64_t rem = x % t;
+    return (x / t) * c + (rem < c ? rem : c);
+}
+
+/* Clamped per-core RT interference summed over cores (first Eq. 6 term),
+ * plus the hp base (sum of clamped NC terms) and per-task CI-NC deltas
+ * written to delta_scratch.  Returns base = rt + sum(nc). */
+static int64_t hydra_omega_base(
+    int64_t window, int64_t security_wcet,
+    int64_t n_rt, const int64_t *rt_cores,
+    const int64_t *rt_wcets, const int64_t *rt_periods,
+    int64_t n_partition_cores, int64_t *core_scratch,
+    int64_t n_hp, const int64_t *hp_wcets,
+    const int64_t *hp_periods, const int64_t *hp_shifts,
+    int64_t *delta_scratch)
+{
+    int64_t cap = window - security_wcet + 1;
+    int64_t base = 0;
+    int64_t i;
+
+    if (cap > 0 && n_rt > 0) {
+        for (i = 0; i < n_partition_cores; i++)
+            core_scratch[i] = 0;
+        for (i = 0; i < n_rt; i++)
+            core_scratch[rt_cores[i]] +=
+                hydra_workload(window, rt_wcets[i], rt_periods[i]);
+        for (i = 0; i < n_partition_cores; i++)
+            base += core_scratch[i] < cap ? core_scratch[i] : cap;
+    }
+
+    if (n_hp > 0) {
+        int64_t hp_cap = cap > 0 ? cap : 0;
+        for (i = 0; i < n_hp; i++) {
+            int64_t c = hp_wcets[i];
+            int64_t nc = hydra_workload(window, c, hp_periods[i]);
+            int64_t shifted = window - hp_shifts[i];
+            int64_t ci;
+            if (shifted < 0)
+                shifted = 0;
+            ci = hydra_workload(shifted, c, hp_periods[i]);
+            ci += window < c - 1 ? window : c - 1;
+            if (nc > hp_cap)
+                nc = hp_cap;
+            if (ci > hp_cap)
+                ci = hp_cap;
+            base += nc;
+            delta_scratch[i] = ci - nc;
+        }
+    }
+    return base;
+}
+
+/* Sum of the largest max_carry_in positive deltas (Lemma 2 bound). */
+static int64_t hydra_greedy_positive(const int64_t *deltas, int64_t n,
+                                     int64_t k, int64_t *topk)
+{
+    int64_t filled = 0, total = 0, i, j;
+    if (k <= 0)
+        return 0;
+    for (i = 0; i < n; i++) {
+        int64_t d = deltas[i];
+        if (d <= 0)
+            continue;
+        if (filled < k) {
+            /* insertion keeping topk descending */
+            j = filled++;
+            while (j > 0 && topk[j - 1] < d) {
+                topk[j] = topk[j - 1];
+                j--;
+            }
+            topk[j] = d;
+        } else if (d > topk[k - 1]) {
+            j = k - 1;
+            while (j > 0 && topk[j - 1] < d) {
+                topk[j] = topk[j - 1];
+                j--;
+            }
+            topk[j] = d;
+        }
+    }
+    for (i = 0; i < filled; i++)
+        total += topk[i];
+    return total;
+}
+
+/* ---- Eq. 7/8: per-carry-in-set fixed points --------------------------- */
+
+/* One Eq. 7 iteration chain for a fixed carry-in selection.  set_len < 0
+ * selects the greedy per-window bound instead of an explicit set. */
+static int64_t hydra_fixed_point(
+    int64_t security_wcet, int64_t limit, int64_t num_cores, int64_t seed,
+    const int64_t *set_indices, int64_t set_len, int64_t max_carry_in,
+    int64_t n_rt, const int64_t *rt_cores,
+    const int64_t *rt_wcets, const int64_t *rt_periods,
+    int64_t n_partition_cores, int64_t *core_scratch,
+    int64_t n_hp, const int64_t *hp_wcets,
+    const int64_t *hp_periods, const int64_t *hp_shifts,
+    int64_t *delta_scratch, int64_t *topk_scratch)
+{
+    int64_t window = security_wcet;
+    if (seed > window)
+        window = seed;
+    for (;;) {
+        int64_t total = hydra_omega_base(
+            window, security_wcet,
+            n_rt, rt_cores, rt_wcets, rt_periods,
+            n_partition_cores, core_scratch,
+            n_hp, hp_wcets, hp_periods, hp_shifts, delta_scratch);
+        int64_t candidate, i;
+        if (set_len < 0)
+            total += hydra_greedy_positive(delta_scratch, n_hp,
+                                           max_carry_in, topk_scratch);
+        else
+            for (i = 0; i < set_len; i++)
+                total += delta_scratch[set_indices[i]];
+        candidate = total / num_cores + security_wcet;
+        if (candidate == window)
+            return window;
+        if (candidate > limit)
+            return -1;
+        window = candidate;
+    }
+}
+
+int64_t hydra_eq7_solve(int64_t security_wcet, int64_t limit,
+                        int64_t num_cores,
+                        int64_t n_rt, const int64_t *rt_cores,
+                        const int64_t *rt_wcets, const int64_t *rt_periods,
+                        int64_t n_partition_cores, int64_t *core_scratch,
+                        int64_t n_hp, const int64_t *hp_wcets,
+                        const int64_t *hp_periods, const int64_t *hp_shifts,
+                        int64_t *delta_scratch, int64_t *topk_scratch,
+                        int64_t max_carry_in, int use_greedy,
+                        const int64_t *seeds, int64_t *sink, int64_t n_sets,
+                        int64_t *set_scratch)
+{
+    int64_t worst = 0;
+    int64_t set_index = 0;
+    int64_t k, kmax;
+
+    if (use_greedy) {
+        int64_t fp = hydra_fixed_point(
+            security_wcet, limit, num_cores, seeds[0],
+            (const int64_t *)0, -1, max_carry_in,
+            n_rt, rt_cores, rt_wcets, rt_periods,
+            n_partition_cores, core_scratch,
+            n_hp, hp_wcets, hp_periods, hp_shifts,
+            delta_scratch, topk_scratch);
+        if (fp >= 0)
+            sink[0] = fp;
+        return fp;
+    }
+
+    /* Exact Eq. 8: enumerate carry-in sets by size then lexicographically,
+     * matching enumerate_carry_in_sets() so seed/sink indices align. */
+    kmax = max_carry_in < n_hp ? max_carry_in : n_hp;
+    for (k = 0; k <= kmax; k++) {
+        int64_t i;
+        int more = 1;
+        for (i = 0; i < k; i++)
+            set_scratch[i] = i;
+        while (more) {
+            int64_t fp = hydra_fixed_point(
+                security_wcet, limit, num_cores, seeds[set_index],
+                set_scratch, k, max_carry_in,
+                n_rt, rt_cores, rt_wcets, rt_periods,
+                n_partition_cores, core_scratch,
+                n_hp, hp_wcets, hp_periods, hp_shifts,
+                delta_scratch, topk_scratch);
+            if (fp < 0)
+                return -1;
+            sink[set_index] = fp;
+            if (fp > worst)
+                worst = fp;
+            set_index++;
+            /* next lexicographic combination of size k */
+            i = k - 1;
+            while (i >= 0 && set_scratch[i] == n_hp - k + i)
+                i--;
+            if (i < 0) {
+                more = 0;
+            } else {
+                int64_t j;
+                set_scratch[i]++;
+                for (j = i + 1; j < k; j++)
+                    set_scratch[j] = set_scratch[j - 1] + 1;
+            }
+        }
+        (void)n_sets;
+    }
+    return worst;
+}
+"""

@@ -1,0 +1,86 @@
+"""Build/caching machinery of the compiled kernel backend.
+
+The backend is an out-of-line cffi API-mode extension: the C source in
+:mod:`repro.rta.compiled._source` is compiled once per machine with the
+system C compiler into a content-addressed shared object under the user's
+cache directory, and every later process (including every
+:class:`~repro.exec.PersistentPool` worker) merely ``dlopen``\\ s it --
+compile-once-per-machine, load-once-per-worker, no per-chunk JIT storms.
+
+Concurrency: each builder compiles into a private temporary directory and
+publishes the result with an atomic :func:`os.replace`, so concurrent
+first-time builders (e.g. a cold worker pool) race benignly -- last
+writer wins with an identical artifact.  The module name embeds a hash of
+the C source plus the interpreter's ABI tag, so editing the kernels or
+switching interpreters rebuilds instead of loading a stale object.
+
+Failure at any point (no cffi, no C compiler, unwritable cache, ...)
+raises -- the caller (:func:`repro.rta.compiled.load_kernel`) turns that
+into "backend unavailable" and the pure-python kernels carry on.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import importlib.util
+import io
+import os
+import sysconfig
+import tempfile
+from pathlib import Path
+
+from repro.rta.compiled._source import CDEF, C_SOURCE
+
+__all__ = ["build_and_load", "cache_dir", "module_tag"]
+
+
+def cache_dir() -> Path:
+    """Directory holding the built shared object (override: REPRO_COMPILED_CACHE)."""
+    override = os.environ.get("REPRO_COMPILED_CACHE")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "hydra-c-repro"
+
+
+def module_tag() -> str:
+    """Content hash naming the built module (source edit => new artifact)."""
+    digest = hashlib.sha256((CDEF + C_SOURCE).encode("utf-8")).hexdigest()
+    return digest[:12]
+
+
+def build_and_load():
+    """Compile (if needed) and load the kernel module; returns ``(ffi, lib)``.
+
+    Raises on any toolchain problem; never falls back itself.
+    """
+    from cffi import FFI  # ImportError here == backend unavailable
+
+    module_name = f"_hydra_c_kernels_{module_tag()}"
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    target_dir = cache_dir()
+    target_dir.mkdir(parents=True, exist_ok=True)
+    so_path = target_dir / (module_name + suffix)
+
+    if not so_path.exists():
+        ffibuilder = FFI()
+        ffibuilder.cdef(CDEF)
+        ffibuilder.set_source(module_name, C_SOURCE)
+        with tempfile.TemporaryDirectory(dir=str(target_dir)) as tmp:
+            # The distutils/setuptools build chatter must never leak into a
+            # CLI run's stdout -- figure tables are compared byte for byte.
+            sink = io.StringIO()
+            with contextlib.redirect_stdout(sink), contextlib.redirect_stderr(
+                sink
+            ):
+                built = ffibuilder.compile(tmpdir=tmp, verbose=False)
+            os.replace(built, so_path)
+
+    spec = importlib.util.spec_from_file_location(module_name, so_path)
+    if spec is None or spec.loader is None:  # pragma: no cover - defensive
+        raise ImportError(f"cannot load compiled kernel from {so_path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.ffi, module.lib

@@ -34,9 +34,11 @@ from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 from repro.model.platform import Platform
 from repro.model.tasks import RealTimeTask
+from repro.rta.compiled import normalise_kernel, resolve_kernel
 from repro.rta.core_state import CoreState, TaskView
+from repro.rta.dedup import StructuralCache
 from repro.rta.global_fp import GlobalRtaEngine
-from repro.rta.migrating import RtWorkloadCache
+from repro.rta.migrating import RtWorkloadCache, structural_layout_key
 
 __all__ = ["KernelStats", "RtaContext", "rt_task_view"]
 
@@ -66,6 +68,36 @@ class KernelStats:
     probe_demand_rejects: int = 0
     seeded_solves: int = 0
     batched_probe_levels: int = 0
+    # PR 7: compiled-kernel dispatches and structural-dedup hit rates.
+    # The verdict pair counts whole Eq. 6-8 calls replayed from the
+    # structural cache; the memo pair counts RT partitions that reused a
+    # structurally equal partition's interned RtWorkloadCache (shared
+    # window/interference memos) instead of building their own.
+    # ``merge`` iterates this dataclass's fields with ``.get(name, 0)``, so
+    # sinks recorded before these fields existed still aggregate cleanly.
+    compiled_solves: int = 0
+    dedup_verdict_hits: int = 0
+    dedup_verdict_misses: int = 0
+    dedup_memo_hits: int = 0
+    dedup_memo_misses: int = 0
+    #: Per-carry-in-set fixed points pinned by a seed/upper-bound sandwich
+    #: (cross-probe verdict reuse in Algorithm 2; see ``set_uppers`` in
+    #: :func:`repro.rta.migrating.security_response_time`).
+    dedup_pinned_sets: int = 0
+    #: Whole chain solves skipped because earlier probes of the same
+    #: Algorithm 2 search sandwich the task's entire response (see
+    #: ``PeriodSelector._probe_pins``).
+    dedup_pinned_solves: int = 0
+    #: Carry-in sets whose solve was skipped by incumbent certification
+    #: (one shared-window Omega evaluation proved the set cannot raise the
+    #: Eq. 8 maximum; see the exact dedup-profile branch of
+    #: :func:`repro.rta.migrating.security_response_time`).
+    dedup_certified_sets: int = 0
+    #: Algorithm 1 Line-8 refresh solves replaced by the completed chain of
+    #: the feasible Algorithm 2 probe at the chosen period -- an identical
+    #: analysis state, so the probe's responses are reused verbatim (see
+    #: ``PeriodSelector.select``).
+    dedup_refresh_reuses: int = 0
 
     @property
     def quick_accepts(self) -> int:
@@ -96,7 +128,16 @@ class KernelStats:
             f"{self.column_demand_rejects} demand rejects, "
             f"{self.column_undecided} undecided, "
             f"{self.probe_demand_rejects} probe demand rejects, "
-            f"{self.batched_probe_levels} batched probe levels"
+            f"{self.batched_probe_levels} batched probe levels, "
+            f"{self.compiled_solves} compiled solves, "
+            f"dedup {self.dedup_verdict_hits}/"
+            f"{self.dedup_verdict_hits + self.dedup_verdict_misses} verdicts "
+            f"{self.dedup_memo_hits}/"
+            f"{self.dedup_memo_hits + self.dedup_memo_misses} partitions, "
+            f"{self.dedup_pinned_sets} pinned / "
+            f"{self.dedup_certified_sets} certified sets, "
+            f"{self.dedup_pinned_solves} pinned / "
+            f"{self.dedup_refresh_reuses} reused solves"
         )
 
 
@@ -135,10 +176,34 @@ class RtaContext:
         admission outcome (``tests/rta/test_quick_accept.py``); disable
         only to measure their effect or to force every probe through the
         exact fixed point.
+    kernel:
+        Which fixed-point kernel tier solves the exact Eq. 1/6-8
+        iterations: ``"python"`` (default, the pure reference tier),
+        ``"compiled"`` (the :mod:`repro.rta.compiled` backend, warning
+        once and falling back when unavailable) or ``"auto"`` (compiled
+        when available, silently python otherwise).  Results are byte-equal
+        across tiers; see the differential suites in ``tests/rta/``.
+    dedup:
+        Enables cross-call structural dedup of migrating-task solves via a
+        :class:`~repro.rta.dedup.StructuralCache`.  ``None`` (default)
+        rides ``warm_start``, so the PR 4-profile baseline
+        (``warm_start=False``) stays dedup-free.  Like seeding, dedup can
+        never change a result -- replayed verdicts are byte-equal.
+    structural_cache:
+        Optional externally owned :class:`~repro.rta.dedup.StructuralCache`
+        to share across contexts (the batch service injects one per
+        evaluated chunk; the serve daemon a bounded long-lived one).
+        Providing one implies ``dedup``.
     """
 
     def __init__(
-        self, num_cores, quick_accept: bool = True, warm_start: bool = True
+        self,
+        num_cores,
+        quick_accept: bool = True,
+        warm_start: bool = True,
+        kernel: str = "python",
+        dedup: Optional[bool] = None,
+        structural_cache: Optional[StructuralCache] = None,
     ) -> None:
         if isinstance(num_cores, Platform):
             num_cores = num_cores.num_cores
@@ -152,6 +217,17 @@ class RtaContext:
         #: only to reproduce the pre-seeding (PR 4) compute profile, as the
         #: vectorized-screen benchmark gate does.
         self.warm_start = warm_start
+        self.kernel_name = normalise_kernel(kernel)
+        #: The loaded compiled backend, or ``None`` on the pure-python tier
+        #: (requested, unavailable, or fallback).  Kernel consumers
+        #: (``CoreState``, ``CorePeriodAssigner``, ``security_response_time``)
+        #: dispatch on this per solve.
+        self.compiled_kernel = resolve_kernel(self.kernel_name)
+        if structural_cache is not None:
+            self.structural_cache: Optional[StructuralCache] = structural_cache
+        else:
+            enable_dedup = warm_start if dedup is None else bool(dedup)
+            self.structural_cache = StructuralCache() if enable_dedup else None
         self.stats = KernelStats()
         self._rt_caches: Dict[object, RtWorkloadCache] = {}
         self._global_engine: Optional[GlobalRtaEngine] = None
@@ -192,11 +268,33 @@ class RtaContext:
         every consumer analysing the same partition of this task set --
         HYDRA-C period selection, whole-task-set helpers, the batch
         service's phases -- shares one cache.
+
+        With a structural cache in play the instance is additionally
+        interned by the partition's *canonical* layout
+        (:func:`~repro.rta.migrating.structural_layout_key`): structurally
+        equal partitions -- across the task sets of a batch chunk, or
+        relabelled/core-permuted within one -- share a single cache and
+        with it every per-window workload and interference memo.  Sound
+        because the Eq. 2-3 interference those memos feed clamps per-core
+        sums and then adds them, which is invariant under core order; the
+        interned instance also serves as the identity-hashed layout proxy
+        in the dedup verdict keys (see
+        :func:`~repro.rta.migrating.security_response_time`).
         """
         key = _partition_key(rt_tasks_by_core)
         cache = self._rt_caches.get(key)
         if cache is None:
-            cache = RtWorkloadCache(rt_tasks_by_core)
+            if self.structural_cache is not None:
+                layout = structural_layout_key(rt_tasks_by_core)
+                cache = self.structural_cache.rt_cache(layout)
+                if cache is None:
+                    self.stats.dedup_memo_misses += 1
+                    cache = RtWorkloadCache(rt_tasks_by_core)
+                    self.structural_cache.store_rt_cache(layout, cache)
+                else:
+                    self.stats.dedup_memo_hits += 1
+            else:
+                cache = RtWorkloadCache(rt_tasks_by_core)
             self._rt_caches[key] = cache
         return cache
 

@@ -55,6 +55,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.model.time_utils import ceil_div
+from repro.rta.compiled import UNSUPPORTED
 from repro.schedulability.uniprocessor import (
     liu_layland_bound,
     response_time_upper_bound,
@@ -258,6 +259,29 @@ class CoreState:
         if view.wcet > threshold:
             return None
         self._context.stats.exact_solves += 1
+        kernel = getattr(self._context, "compiled_kernel", None)
+        if kernel is not None:
+            # Dispatch only when the interference source is a task list the
+            # C kernel can consume directly: the prefix demand, or the
+            # state's full-demand memo (whose closed-over task list is
+            # ``self._entries``).  An arbitrary caller-supplied demand
+            # callable stays on the python tier.
+            if demand is None:
+                tasks: Optional[Sequence[TaskView]] = prefix
+            elif demand is self._full_demand_at:
+                tasks = self._entries
+            else:
+                tasks = None
+            if tasks is not None:
+                solved = kernel.eq1(
+                    view.wcet,
+                    threshold,
+                    [task.period for task in tasks],
+                    [task.wcet for task in tasks],
+                )
+                if solved is not UNSUPPORTED:
+                    self._context.stats.compiled_solves += 1
+                    return solved
         demand_at = demand if demand is not None else (
             lambda window: self._demand_of(prefix, window)
         )

@@ -39,6 +39,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.model.tasks import RealTimeTask
+from repro.rta.compiled import INT31_LIMIT, MAX_COMPILED_SETS, UNSUPPORTED
+from repro.rta.dedup import MISS
 from repro.rta.terms import greedy_positive_sum, scalar_terms, vector_terms
 from repro.schedulability.carry_in import (
     count_carry_in_sets,
@@ -51,6 +53,7 @@ __all__ = [
     "RtWorkloadCache",
     "SecurityTaskState",
     "security_response_time",
+    "structural_layout_key",
     "DEFAULT_EXACT_ENUMERATION_LIMIT",
     "SCALAR_TERMS_THRESHOLD",
 ]
@@ -113,6 +116,27 @@ class SecurityTaskState:
             )
 
 
+def structural_layout_key(
+    rt_tasks_by_core: Mapping[int, Sequence[RealTimeTask]],
+) -> Tuple[Tuple[Tuple[int, int], ...], ...]:
+    """Canonical workload identity of an RT partition.
+
+    ``(wcet, period)`` pairs sorted within each core, per-core groups
+    themselves sorted.  Eq. 2-3 interference is invariant under both orders
+    (per-core workloads are summed after clamping, core identity never
+    matters), so two partitions with equal keys produce identical
+    interference for every window -- the structural-dedup layer
+    (:mod:`repro.rta.dedup`) shares one :class:`RtWorkloadCache` between
+    them.
+    """
+    return tuple(
+        sorted(
+            tuple(sorted((task.wcet, task.period) for task in tasks))
+            for tasks in rt_tasks_by_core.values()
+        )
+    )
+
+
 class RtWorkloadCache:
     """Memoised, vectorised per-core RT workload sums.
 
@@ -123,6 +147,13 @@ class RtWorkloadCache:
     re-analyses every lower-priority task for each candidate period), which
     makes this cache worthwhile; the evaluation itself is a single NumPy
     pass over all RT tasks with a ``bincount`` reduction per core.
+
+    Instances are identity-hashed on purpose: the structural-dedup layer
+    interns one instance per :func:`structural_layout_key`, so "same cache
+    object" means "same partition structure" wherever a
+    :class:`~repro.rta.dedup.StructuralCache` is in play, and the dedup
+    verdict keys use the instance itself instead of re-hashing the nested
+    layout tuple on every solve.
     """
 
     def __init__(
@@ -144,6 +175,25 @@ class RtWorkloadCache:
         self._periods = np.asarray(periods, dtype=np.int64)
         self._cache: Dict[int, np.ndarray] = {}
         self._interference_cache: Dict[Tuple[int, int], int] = {}
+        self._compiled_fit: Optional[bool] = None
+
+    def compiled_fit(self) -> bool:
+        """Whether the RT operands satisfy the compiled kernel's guards.
+
+        Requires every period below :data:`~repro.rta.compiled.INT31_LIMIT`
+        and ``wcet <= period`` (the task model guarantees the latter; it is
+        re-checked because the C per-core accumulation relies on it to stay
+        within ``int64``).  Computed once -- the arrays never change.
+        """
+        if self._compiled_fit is None:
+            if self._wcets.size == 0:
+                self._compiled_fit = True
+            else:
+                self._compiled_fit = bool(
+                    int(self._periods.max()) < INT31_LIMIT
+                    and bool((self._wcets <= self._periods).all())
+                )
+        return self._compiled_fit
 
     def per_core_workloads(self, window: int) -> np.ndarray:
         """Un-clamped RT workload on each core for the given window."""
@@ -323,6 +373,78 @@ def _solve_fixed_point(
         window = candidate
 
 
+def _compiled_solve(
+    kernel,
+    security_wcet: int,
+    limit: int,
+    num_cores: int,
+    rt_cache: RtWorkloadCache,
+    higher_security: Sequence[SecurityTaskState],
+    max_carry_in: int,
+    strategy: CarryInStrategy,
+    set_seeds: Optional[Mapping],
+):
+    """Attempt the Eq. 6-8 solve on the compiled backend.
+
+    Returns ``(response, sink_items)`` -- ``sink_items`` being the solved
+    per-set fixed points in ``seed_sink`` key form -- or
+    :data:`~repro.rta.compiled.UNSUPPORTED` when any operand falls outside
+    the C kernels' guarded integer range (the caller then stays on the
+    python tier; both tiers produce byte-equal results).
+    """
+    if security_wcet >= INT31_LIMIT or limit >= INT31_LIMIT:
+        return UNSUPPORTED
+    if not rt_cache.compiled_fit():
+        return UNSUPPORTED
+    for state in higher_security:
+        # wcet <= period keeps the C per-window accumulation within int64;
+        # response_time only feeds the Eq. 4 shift and needs the magnitude
+        # guard alone.
+        if (
+            state.period >= INT31_LIMIT
+            or state.response_time >= INT31_LIMIT
+            or state.wcet > state.period
+        ):
+            return UNSUPPORTED
+    greedy = strategy is CarryInStrategy.GREEDY
+    if greedy:
+        seeds = [set_seeds.get(GREEDY_SEED, -1) if set_seeds else -1]
+    else:
+        n_sets = count_carry_in_sets(len(higher_security), max_carry_in)
+        if n_sets > MAX_COMPILED_SETS:
+            return UNSUPPORTED
+        if set_seeds:
+            seeds = [set_seeds.get(index, -1) for index in range(n_sets)]
+        else:
+            seeds = [-1] * n_sets
+    hp_tasks = [
+        (s.wcet, s.period, s.wcet - 1 + s.period - s.response_time)
+        for s in higher_security
+    ]
+    response, sink = kernel.eq7(
+        security_wcet,
+        limit,
+        num_cores,
+        rt_cache._core_ids,
+        rt_cache._wcets,
+        rt_cache._periods,
+        rt_cache._num_cores,
+        hp_tasks,
+        max_carry_in,
+        greedy,
+        seeds,
+    )
+    if greedy:
+        sink_items: Tuple = (
+            ((GREEDY_SEED, sink[0]),) if sink[0] >= 0 else ()
+        )
+    else:
+        sink_items = tuple(
+            (index, value) for index, value in enumerate(sink) if value >= 0
+        )
+    return response, sink_items
+
+
 def security_response_time(
     security_wcet: int,
     limit: int,
@@ -334,7 +456,9 @@ def security_response_time(
     rt_cache: Optional[RtWorkloadCache] = None,
     rta_context=None,
     set_seeds: Optional[Mapping] = None,
+    set_uppers: Optional[Mapping] = None,
     seed_sink: Optional[Dict] = None,
+    response_floor: Optional[int] = None,
 ) -> Optional[int]:
     """WCRT of a migrating security task (paper Eq. 6-8).
 
@@ -372,11 +496,29 @@ def security_response_time(
         higher-priority response times -- as period selection's monotone
         exploration produces; see :func:`_solve_fixed_point` for why such
         seeds cannot change the result.  Unknown keys are ignored.
+    set_uppers:
+        Optional sound *upper* bounds on the per-set fixed points, keyed
+        like ``set_seeds``: fixed points of the same ``(task, carry-in
+        set)`` solved under pointwise *stronger* interference (shorter
+        higher-priority periods and/or larger higher-priority response
+        times).  A set whose seed equals its upper bound is **pinned** --
+        the least fixed point is sandwiched to that exact integer and the
+        iteration is skipped outright (the structural-dedup layer's
+        cross-probe verdict reuse; ``dedup_pinned_sets`` counts them).
+        Pinning only fires when both bounds name the value the iteration
+        would converge to, so it can never change a result.
     seed_sink:
         Optional dictionary collecting the per-set fixed points of this
         call (same keys as ``set_seeds``), so the caller can seed future,
         more-interfered solves of the same set.  Only fully solved sets are
         recorded; a set that exceeds ``limit`` records nothing.
+    response_floor:
+        Optional sound lower bound on the *whole* response (the Eq. 8
+        maximum over carry-in sets): a completed response of the same task
+        solved under pointwise weaker interference, as Algorithm 2's
+        larger probed candidates produce.  Only consulted on the exact
+        dedup-profile path, where it primes the certification incumbent --
+        like seeding, it can never change a result.
 
     Returns
     -------
@@ -401,7 +543,6 @@ def security_response_time(
         rta_context.stats.seeded_solves += 1
 
     max_carry_in = num_cores - 1
-    memo = _OmegaMemo(rt_cache, higher_security, security_wcet, max_carry_in)
 
     if strategy is CarryInStrategy.AUTO:
         sets = count_carry_in_sets(len(higher_security), max_carry_in)
@@ -411,38 +552,237 @@ def security_response_time(
             else CarryInStrategy.GREEDY
         )
 
-    if strategy is CarryInStrategy.GREEDY:
-        response = _solve_fixed_point(
-            security_wcet,
-            limit,
-            num_cores,
-            memo.greedy_total,
-            seed=set_seeds.get(GREEDY_SEED) if set_seeds else None,
-        )
-        if response is not None and seed_sink is not None:
-            seed_sink[GREEDY_SEED] = response
-        return response
+    # -- PR 7 kernel tiers: structural dedup + compiled dispatch ----------
+    # Both riders are context-sourced and flip-free: dedup replays the
+    # byte-identical verdict (per-set fixed points are seed-independent,
+    # so the cached sink applies to any caller), and the compiled backend
+    # iterates the same integers as the python tier below.
+    #
+    # The verdict key leads with the *identity* of ``rt_cache`` rather than
+    # its nested layout tuple: within a :class:`StructuralCache`'s scope the
+    # context's ``rt_workload_cache`` interns one cache instance per
+    # structural layout, so identity equality is structural equality -- at
+    # an O(1) hash instead of re-hashing ~N (wcet, period) pairs on every
+    # solve (which used to cost more than the replayed hits saved).
+    stats = rta_context.stats if rta_context is not None else None
+    kernel = rta_context.compiled_kernel if rta_context is not None else None
+    structural = (
+        rta_context.structural_cache if rta_context is not None else None
+    )
 
-    # Exact: Eq. 8 -- maximise the per-partition fixed point.  If any
-    # partition exceeds the limit, so does the maximum.  The memo is shared
-    # across partitions: their fixed-point trajectories overlap heavily, so
-    # each distinct window is materialised only once.
-    worst: int = 0
-    for set_index, carry_in_indices in enumerate(
-        enumerate_carry_in_sets(len(higher_security), max_carry_in)
-    ):
-        response = _solve_fixed_point(
+    verdict_key: Optional[Tuple] = None
+    if structural is not None:
+        verdict_key = (
+            rt_cache,
             security_wcet,
             limit,
             num_cores,
-            lambda window, chosen=carry_in_indices: memo.total_for_set(
-                window, chosen
+            strategy.value,
+            tuple(
+                (s.wcet, s.period, s.response_time) for s in higher_security
             ),
-            seed=set_seeds.get(set_index) if set_seeds else None,
         )
-        if response is None:
-            return None
+        cached = structural.verdict(verdict_key)
+        if cached is not MISS:
+            stats.dedup_verdict_hits += 1
+            response, sink_items = cached
+            if seed_sink is not None:
+                seed_sink.update(sink_items)
+            return response
+        stats.dedup_verdict_misses += 1
+
+    if kernel is not None:
+        solved = _compiled_solve(
+            kernel,
+            security_wcet,
+            limit,
+            num_cores,
+            rt_cache,
+            higher_security,
+            max_carry_in,
+            strategy,
+            set_seeds,
+        )
+        if solved is not UNSUPPORTED:
+            response, sink_items = solved
+            stats.compiled_solves += 1
+            if seed_sink is not None:
+                seed_sink.update(sink_items)
+            if structural is not None:
+                structural.store_verdict(verdict_key, (response, sink_items))
+            return response
+
+    memo = _OmegaMemo(rt_cache, higher_security, security_wcet, max_carry_in)
+
+    # When the verdict store is active, per-set fixed points are recorded
+    # locally even if the caller brought no sink, so the stored verdict can
+    # replay the full seed_sink contract (including the partial sink of an
+    # over-limit result) to any future caller.
+    record_sink: Optional[Dict] = (
+        {} if structural is not None else seed_sink
+    )
+
+    if strategy is CarryInStrategy.GREEDY:
+        seed = set_seeds.get(GREEDY_SEED) if set_seeds else None
+        if (
+            seed is not None
+            and set_uppers is not None
+            and set_uppers.get(GREEDY_SEED) == seed
+        ):
+            result = seed
+            if stats is not None:
+                stats.dedup_pinned_sets += 1
+        else:
+            result = _solve_fixed_point(
+                security_wcet, limit, num_cores, memo.greedy_total, seed=seed
+            )
+        if result is not None and record_sink is not None:
+            record_sink[GREEDY_SEED] = result
+    elif structural is None:
+        # Exact, PR 5 profile: Eq. 8 -- solve every enumerated carry-in
+        # set and maximise.  If any set exceeds the limit, so does the
+        # maximum.  The memo is shared across sets: their fixed-point
+        # trajectories overlap heavily, so each distinct window is
+        # materialised only once.
+        worst: int = 0
+        result = None
+        for set_index, carry_in_indices in enumerate(
+            enumerate_carry_in_sets(len(higher_security), max_carry_in)
+        ):
+            seed = set_seeds.get(set_index) if set_seeds else None
+            if (
+                seed is not None
+                and set_uppers is not None
+                and set_uppers.get(set_index) == seed
+            ):
+                # Sandwiched: seed (weaker-interference fixed point) and
+                # upper (stronger-interference fixed point) agree, so this
+                # set's least fixed point is exactly that value.
+                response: Optional[int] = seed
+                if stats is not None:
+                    stats.dedup_pinned_sets += 1
+            else:
+                response = _solve_fixed_point(
+                    security_wcet,
+                    limit,
+                    num_cores,
+                    lambda window, chosen=carry_in_indices: memo.total_for_set(
+                        window, chosen
+                    ),
+                    seed=seed,
+                )
+            if response is None:
+                break
+            if record_sink is not None:
+                record_sink[set_index] = response
+            worst = max(worst, response)
+        else:
+            result = worst
+    else:
+        # Exact, dedup profile (PR 7): incumbent certification.  Eq. 8
+        # only needs the *maximum* of the per-set least fixed points, so
+        # once an incumbent ``worst`` is on the table most sets need no
+        # iteration at all: the solve map ``h(x) = Omega_set(x)//M + C_s``
+        # is monotone, so ``h(worst) <= worst`` proves a descending
+        # iteration from ``worst`` reaches a fixed point at or below it --
+        # that set's least fixed point cannot raise the maximum and its
+        # solve is skipped after a single Omega evaluation (all checks
+        # share the one materialised window at ``worst``).  Sets failing
+        # the check (the true maximum, plus occasional near-ties) are
+        # solved in full from their own sound seeds, so the result is
+        # byte-identical to the exhaustive enumeration above.
+        #
+        # The incumbent starts as the largest *sound lower bound on the
+        # maximum* on the table -- the caller's whole-response floor
+        # (``response_floor``) and every per-set seed (each seed is <= its
+        # set's least fixed point, which is <= the maximum) -- so a call
+        # whose response did not move past its bounds certifies every set
+        # against that bound and performs no iteration at all.  The final
+        # ``worst`` is sound both ways: it only ever holds sound lower
+        # bounds on the maximum, and every set was certified, solved or
+        # pinned at or below it, so it *is* the maximum.  Sandwich-pinned
+        # sets (seed == upper bound) fold their exact value in.  Certified
+        # sets are *not* recorded in the sink (their exact fixed point is
+        # never computed); solved and pinned sets are, keeping the
+        # seed_sink contract sound.
+        worst = 0
+        result = None
+        have_incumbent = False
+        if response_floor is not None:
+            worst = response_floor
+            have_incumbent = True
+        pending = []
+        for set_index, carry_in_indices in enumerate(
+            enumerate_carry_in_sets(len(higher_security), max_carry_in)
+        ):
+            seed = set_seeds.get(set_index) if set_seeds else None
+            if (
+                seed is not None
+                and set_uppers is not None
+                and set_uppers.get(set_index) == seed
+            ):
+                stats.dedup_pinned_sets += 1
+                record_sink[set_index] = seed
+                if seed > worst:
+                    worst = seed
+                have_incumbent = True
+            else:
+                if seed is not None:
+                    if seed > worst:
+                        worst = seed
+                    have_incumbent = True
+                pending.append((set_index, carry_in_indices, seed))
+        # Try best-seeded sets first: the max attainer usually carries the
+        # largest seed, and solving it first raises the incumbent so the
+        # remaining sets certify instead of solving.  (Stable sort: equal
+        # seeds keep enumeration order.)
+        pending.sort(
+            key=lambda entry: -1 if entry[2] is None else entry[2],
+            reverse=True,
+        )
+        over_limit = False
+        # The certification window is the incumbent itself, so every check
+        # shares one materialised (base, deltas) pair; ``h(worst) <= worst``
+        # rearranges to ``Omega < M * (worst - C_s + 1)``, turning each
+        # check into delta adds and a compare.
+        cert_window = -1
+        cert_base = cert_budget = 0
+        cert_deltas: Sequence[int] = ()
+        for set_index, carry_in_indices, seed in pending:
+            if have_incumbent:
+                if cert_window != worst:
+                    cert_base, cert_deltas = memo._materialise(worst)
+                    cert_budget = (worst - security_wcet + 1) * num_cores
+                    cert_window = worst
+                total = cert_base
+                for carry_index in carry_in_indices:
+                    total += cert_deltas[carry_index]
+                if total < cert_budget:
+                    stats.dedup_certified_sets += 1
+                    continue
+            response = _solve_fixed_point(
+                security_wcet,
+                limit,
+                num_cores,
+                lambda window, chosen=carry_in_indices: memo.total_for_set(
+                    window, chosen
+                ),
+                seed=seed,
+            )
+            if response is None:
+                over_limit = True
+                break
+            record_sink[set_index] = response
+            if response > worst:
+                worst = response
+            have_incumbent = True
+        if not over_limit:
+            result = worst
+
+    if structural is not None:
+        structural.store_verdict(
+            verdict_key, (result, tuple(record_sink.items()))
+        )
         if seed_sink is not None:
-            seed_sink[set_index] = response
-        worst = max(worst, response)
-    return worst
+            seed_sink.update(record_sink)
+    return result

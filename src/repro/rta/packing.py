@@ -25,6 +25,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.model.tasks import RealTimeTask, SecurityTask
+from repro.rta.compiled import UNSUPPORTED
 from repro.rta.context import RtaContext, rt_task_view
 from repro.rta.core_state import CoreState, TaskView
 
@@ -85,6 +86,20 @@ class CorePeriodAssigner:
         """Exact WCRT under the core's RT tasks plus ``(wcet, period)`` pairs."""
         if wcet > limit:
             return None
+        kernel = getattr(self._context, "compiled_kernel", None)
+        if kernel is not None:
+            # RT tasks and higher-priority security pairs contribute the
+            # same ceil(x/T)*C demand terms, so they concatenate into one
+            # Eq. 1 task array for the C kernel.
+            periods = [view.period for view in self._state.tasks]
+            wcets = [view.wcet for view in self._state.tasks]
+            for hp_wcet, hp_period in higher_security:
+                periods.append(hp_period)
+                wcets.append(hp_wcet)
+            solved = kernel.eq1(wcet, limit, periods, wcets)
+            if solved is not UNSUPPORTED:
+                self._context.stats.compiled_solves += 1
+                return solved
         rt_demand = self._state.demand
         response = wcet
         while True:

@@ -57,12 +57,17 @@ _INLINE_OPS = frozenset({"ping", "stats", "shutdown"})
 _WORKER_SERVICE: Optional[AdmissionService] = None
 
 
-def _answer_in_worker(payload: Tuple[str, int]) -> Dict[str, object]:
+def _answer_in_worker(payload: Tuple[str, int, str]) -> Dict[str, object]:
     """Pool entry point: answer one raw request line in this worker."""
     global _WORKER_SERVICE
-    line, max_contexts = payload
+    line, max_contexts, kernel = payload
     if _WORKER_SERVICE is None:
-        _WORKER_SERVICE = AdmissionService(max_contexts=max_contexts)
+        # First query in this worker: the service (and, for the compiled
+        # tier, the dlopen of the machine-cached kernel object) is built
+        # once and kept warm for the daemon's lifetime.
+        _WORKER_SERVICE = AdmissionService(
+            max_contexts=max_contexts, kernel=kernel
+        )
     return _WORKER_SERVICE.handle_line(line)
 
 
@@ -115,6 +120,9 @@ class ServeDaemon:
     max_contexts:
         Warm-context LRU size of each service (see
         :class:`AdmissionService`).
+    kernel:
+        Fixed-point kernel tier of each service (``"python"``,
+        ``"compiled"`` or ``"auto"``; byte-equal results across tiers).
     quiet:
         Suppress the stderr lifecycle log lines.
     """
@@ -124,6 +132,7 @@ class ServeDaemon:
         jobs: int = 1,
         timeout: Optional[float] = None,
         max_contexts: int = DEFAULT_MAX_CONTEXTS,
+        kernel: str = "python",
         quiet: bool = False,
     ) -> None:
         if timeout is not None and timeout <= 0:
@@ -131,8 +140,9 @@ class ServeDaemon:
         self._jobs = max(1, jobs)
         self._timeout = timeout
         self._max_contexts = max_contexts
+        self._kernel = kernel
         self._quiet = quiet
-        self._service = AdmissionService(max_contexts=max_contexts)
+        self._service = AdmissionService(max_contexts=max_contexts, kernel=kernel)
         self._thread_executor: Optional[ThreadPoolExecutor] = None
         self._pool: Optional[PersistentPool] = None
         self._stop_event: Optional[asyncio.Event] = None
@@ -164,7 +174,7 @@ class ServeDaemon:
             )
         if self._pool is None:
             self._pool = PersistentPool(max_workers=self._jobs)
-        payload = (line, self._max_contexts)
+        payload = (line, self._max_contexts, self._kernel)
         try:
             return await asyncio.wrap_future(
                 self._pool.submit(_answer_in_worker, payload)

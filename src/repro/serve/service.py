@@ -36,7 +36,7 @@ from repro.errors import AllocationError, ReproError
 from repro.model.tasks import RealTimeTask, SecurityTask
 from repro.model.taskset import TaskSet
 from repro.partitioning.heuristics import partition_rt_tasks
-from repro.rta import KernelStats, RtaContext
+from repro.rta import KernelStats, RtaContext, StructuralCache, normalise_kernel
 from repro.serve.protocol import (
     QueryError,
     error_response,
@@ -47,10 +47,16 @@ from repro.serve.protocol import (
     require_task_list,
 )
 
-__all__ = ["AdmissionService", "DEFAULT_MAX_CONTEXTS"]
+__all__ = ["AdmissionService", "DEFAULT_MAX_CONTEXTS", "DEFAULT_DEDUP_ENTRIES"]
 
 #: Default size of the per-query warm-context LRU.
 DEFAULT_MAX_CONTEXTS = 64
+
+#: Bound on the daemon's long-lived structural-dedup cache: unlike the
+#: batch sweeps' per-chunk caches this one would otherwise grow for the
+#: process lifetime.  Cleared wholesale at the cap (dedup is a pure
+#: accelerator, so eviction only costs future hits).
+DEFAULT_DEDUP_ENTRIES = 4096
 
 
 class AdmissionService:
@@ -62,15 +68,35 @@ class AdmissionService:
         How many per-query :class:`~repro.rta.RtaContext` objects to keep
         warm (least recently used evicted first).  ``0`` disables context
         reuse entirely -- every query runs cold, which is the
-        byte-identical baseline the serve benchmark compares against.
+        byte-identical baseline the serve benchmark compares against
+        (cold queries also skip the shared dedup cache below).
+    kernel:
+        Fixed-point kernel tier for every context this service creates
+        (``"python"``, ``"compiled"`` or ``"auto"``; byte-equal results
+        across tiers, see :class:`~repro.rta.RtaContext`).
     """
 
-    def __init__(self, max_contexts: int = DEFAULT_MAX_CONTEXTS) -> None:
+    def __init__(
+        self,
+        max_contexts: int = DEFAULT_MAX_CONTEXTS,
+        kernel: str = "python",
+    ) -> None:
         if max_contexts < 0:
             raise ValueError("max_contexts must be >= 0")
         self._max_contexts = max_contexts
+        self._kernel = normalise_kernel(kernel)
         self._services: Dict[tuple, BatchDesignService] = {}
         self._contexts: "OrderedDict[str, RtaContext]" = OrderedDict()
+        #: One bounded structural-dedup store shared by every warm context,
+        #: so distinct-but-structurally-equal queries replay each other's
+        #: fixed points across the whole daemon lifetime.
+        self._dedup_cache = StructuralCache(max_entries=DEFAULT_DEDUP_ENTRIES)
+        #: Counters of contexts evicted from the LRU.  Without this sink an
+        #: evicted context took its kernel counters (including the PR 7
+        #: compiled/dedup ones) with it, so a long-running daemon's
+        #: ``stats`` op under-reported -- totals even *shrank* across
+        #: queries.  ``stats`` answers retired + live.
+        self._retired_stats = KernelStats()
         #: Queries answered (any op), successful or not.
         self.queries = 0
         #: Design/admit queries that found their context warm in the LRU.
@@ -88,7 +114,10 @@ class AdmissionService:
         service = self._services.get(key)
         if service is None:
             service = BatchDesignService(
-                num_cores, scheme_names=schemes, search_mode=search_mode
+                num_cores,
+                scheme_names=schemes,
+                search_mode=search_mode,
+                kernel=self._kernel,
             )
             self._services[key] = service
         return service
@@ -103,10 +132,11 @@ class AdmissionService:
             self._contexts.move_to_end(query_key)
             self.context_hits += 1
             return context
-        context = service._new_context()
+        context = service._new_context(self._dedup_cache)
         self._contexts[query_key] = context
         while len(self._contexts) > self._max_contexts:
-            self._contexts.popitem(last=False)
+            _, evicted = self._contexts.popitem(last=False)
+            self._retired_stats.merge(evicted.stats.as_dict())
         return context
 
     def _common_fields(
@@ -241,6 +271,7 @@ class AdmissionService:
 
     def _handle_stats(self) -> Dict[str, object]:
         kernel = KernelStats()
+        kernel.merge(self._retired_stats.as_dict())
         for context in self._contexts.values():
             kernel.merge(context.stats.as_dict())
         return {

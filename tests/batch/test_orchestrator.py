@@ -194,6 +194,34 @@ class TestExecutorLifecycle:
         assert instances[0].closed
 
 
+class TestStatsAggregation:
+    """Regression (PR 7): per-worker kernel counters -- including the
+    compiled/dedup ones added with the structural-dedup layer -- must
+    aggregate through the ``--stats`` sink exactly as a serial run's.
+
+    ``chunk_size=1`` pins the dedup scope: every chunk (hence every
+    chunk-shared :class:`~repro.rta.dedup.StructuralCache`) holds exactly
+    one slot in both executions, so the counters are comparable number by
+    number, not merely in aggregate shape.
+    """
+
+    def test_worker_counters_sum_to_the_serial_runs(self):
+        serial_sink: dict = {}
+        worker_sink: dict = {}
+        serial = run_batch_sweep(
+            small_config(chunk_size=1, n_jobs=1), stats_sink=serial_sink
+        )
+        parallel = run_batch_sweep(
+            small_config(chunk_size=1, n_jobs=2), stats_sink=worker_sink
+        )
+        assert parallel.evaluations == serial.evaluations
+        assert worker_sink == serial_sink
+        # The sink carries the PR 7 counters (not only the legacy ones).
+        assert "compiled_solves" in serial_sink
+        assert "dedup_verdict_hits" in serial_sink
+        assert serial_sink["exact_solves"] > 0
+
+
 class _Poison(Exception):
     pass
 

@@ -54,6 +54,24 @@ class TestWorkerCountIndependence:
         )
 
 
+class TestKernelTierIndependence:
+    """PR 7: the fixed-point kernel tier is an execution detail too --
+    ``compiled`` and ``auto`` (whether the backend built or fell back to
+    python) must reproduce the python tier's evaluation stream exactly."""
+
+    @pytest.mark.parametrize("kernel", ["compiled", "auto"])
+    def test_kernel_tier_does_not_change_results(
+        self, determinism_config, serial_result, kernel
+    ):
+        import warnings
+
+        retiered = dataclasses.replace(determinism_config, kernel=kernel)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            result = run_sweep(retiered)
+        assert tuple(result.evaluations) == tuple(serial_result.evaluations)
+
+
 class TestCheckpointResume:
     def test_killed_then_resumed_equals_uninterrupted(
         self, determinism_config, serial_result, tmp_path

@@ -6,6 +6,13 @@ pre-kernel packing paths preserved in :mod:`repro.batch.reference`.  On
 randomized task sets -- including zero-slack tasks (``wcet == deadline``)
 and overloaded cores (utilization above one) -- every kernel path must
 reproduce the frozen response times and schedulability verdicts exactly.
+
+The Eq. 1 and Eq. 6-8 classes run once per kernel tier (``KERNEL_MODES``):
+the pure-python reference and the optional compiled backend of
+:mod:`repro.rta.compiled`.  Where the backend is unavailable (no cffi, no
+compiler, or ``REPRO_DISABLE_COMPILED=1`` -- the CI forced-fallback stage)
+the ``compiled`` parametrization transparently exercises the fallback
+path, which must equal the frozen oracles all the same.
 """
 
 import numpy as np
@@ -31,6 +38,14 @@ from repro.schedulability.uniprocessor import (
     core_is_schedulable,
     uniprocessor_response_time,
 )
+
+#: Kernel tiers every Eq. 1 / Eq. 6-8 differential runs under.  The
+#: compiled tier degrades to the (once-per-process warned) python fallback
+#: when the backend cannot be built, so the suite runs on any machine --
+#: under ``REPRO_DISABLE_COMPILED=1`` both parametrizations exercise the
+#: pure path, which is exactly what the CI forced-fallback stage pins.
+KERNEL_MODES = ("python", "compiled")
+
 
 # ---------------------------------------------------------------------------
 # Strategies
@@ -83,10 +98,13 @@ def tasksets(draw, max_cores=4):
 
 
 class TestUniprocessorDifferential:
+    @pytest.mark.parametrize("kernel", KERNEL_MODES)
     @given(uniprocessor_cores())
     @settings(max_examples=200, deadline=None)
-    def test_sequential_admission_equals_frozen_core_analysis(self, tasks):
-        context = RtaContext(2)
+    def test_sequential_admission_equals_frozen_core_analysis(
+        self, kernel, tasks
+    ):
+        context = RtaContext(2, kernel=kernel)
         state = context.core_state()
         kernel_ok = True
         for position, task in enumerate(tasks):
@@ -117,13 +135,14 @@ class TestUniprocessorDifferential:
 
 
 class TestPartitionedDifferential:
+    @pytest.mark.parametrize("kernel_mode", KERNEL_MODES)
     @given(tasksets())
     @settings(max_examples=100, deadline=None)
-    def test_partitioned_check_equals_frozen(self, data):
+    def test_partitioned_check_equals_frozen(self, kernel_mode, data):
         platform, taskset, allocation = data
         frozen = partitioned_rt_schedulable(taskset, allocation, platform)
         kernel = partitioned_rt_check(
-            taskset, allocation, platform, RtaContext(platform)
+            taskset, allocation, platform, RtaContext(platform, kernel=kernel_mode)
         )
         assert kernel.schedulable == frozen.schedulable
         assert kernel.response_times == frozen.response_times
@@ -204,9 +223,12 @@ def migrating_scenarios(draw):
 
 
 class TestMigratingDifferential:
+    @pytest.mark.parametrize("kernel_mode", KERNEL_MODES)
     @given(migrating_scenarios(), st.sampled_from(list(CarryInStrategy)))
     @settings(max_examples=150, deadline=None)
-    def test_kernel_engine_equals_frozen_seed_engine(self, scenario, strategy):
+    def test_kernel_engine_equals_frozen_seed_engine(
+        self, kernel_mode, scenario, strategy
+    ):
         num_cores, rt_by_core, states, wcet, limit = scenario
         kernel = security_response_time(
             security_wcet=wcet,
@@ -215,7 +237,7 @@ class TestMigratingDifferential:
             higher_security=states,
             num_cores=num_cores,
             strategy=strategy,
-            rta_context=RtaContext(num_cores),
+            rta_context=RtaContext(num_cores, kernel=kernel_mode),
         )
         frozen = reference_security_response_time(
             security_wcet=wcet,

@@ -194,3 +194,18 @@ class TestErrorHandling:
         stats = service.handle({"op": "stats"})["result"]
         assert stats["queries"] == 3
         assert stats["kernel"]["exact_solves"] >= 0
+
+    def test_evicted_contexts_keep_their_kernel_counters(self):
+        """Regression (PR 7): ``stats`` merged only the *live* LRU contexts,
+        so evicting a context silently dropped its counters -- a daemon's
+        kernel totals could even shrink between two ``stats`` queries.
+        Evicted counters must retire into the aggregate instead."""
+        tiny = AdmissionService(max_contexts=1)
+        roomy = AdmissionService(max_contexts=8)
+        for seed in (1, 2, 3):
+            tiny.handle(dict(DESIGN_QUERY, seed=seed))
+            roomy.handle(dict(DESIGN_QUERY, seed=seed))
+        tiny_kernel = tiny.handle({"op": "stats"})["result"]["kernel"]
+        roomy_kernel = roomy.handle({"op": "stats"})["result"]["kernel"]
+        assert tiny_kernel["exact_solves"] > 0
+        assert tiny_kernel == roomy_kernel
