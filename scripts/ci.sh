@@ -12,10 +12,13 @@
 #            fallback path can never silently regress on machines where
 #            the compiled backend normally takes over.  Deterministic;
 #            always blocking.
-#   smoke -- two deterministic end-to-end drills, always blocking:
+#   smoke -- deterministic end-to-end drills, always blocking:
 #            (a) a tiny Monte Carlo attack campaign executed under BOTH
 #            simulation backends (event-compressed and tick oracle);
-#            their aggregate reports must match byte for byte.
+#            their aggregate reports must match byte for byte.  Run twice:
+#            once on the default platform and once under a non-default
+#            platform model (--scheduler edf --protocol pip), so the
+#            platform plugin layer is exercised end to end through the CLI.
 #            (b) a live `hydra-c serve` daemon on a Unix socket, driven
 #            through `hydra-c query`: ping, a design query, an infeasible
 #            admission (an answer, not an error), a query that exceeds a
@@ -66,7 +69,9 @@ if [[ "$stage" == "tier1" || "$stage" == "all" ]]; then
     python -m pytest -x -q tests/rta
     echo "== tier 1b: RTA differential under forced pure-python fallback =="
     REPRO_DISABLE_COMPILED=1 python -m pytest -x -q tests/rta
-    echo "== tier 1c: pytest -m 'not bench' =="
+    echo "== tier 1c: platform models, fast-vs-tick differential (smoke) =="
+    python -m pytest -x -q tests/platform
+    echo "== tier 1d: pytest -m 'not bench' =="
     python -m pytest -x -q -m "not bench"
 fi
 
@@ -82,6 +87,17 @@ if [[ "$stage" == "smoke" || "$stage" == "all" ]]; then
         exit 1
     fi
     printf '%s\n' "$fast_report"
+
+    echo "== campaign smoke: non-default platform (EDF + PIP) under both backends =="
+    platform_args=("${campaign_args[@]}" --scheduler edf --protocol pip)
+    fast_platform=$(python -m repro campaign "${platform_args[@]}" --backend fast)
+    tick_platform=$(python -m repro campaign "${platform_args[@]}" --backend tick)
+    if [[ "$fast_platform" != "$tick_platform" ]]; then
+        echo "campaign smoke FAILED: backends disagree under EDF+PIP" >&2
+        diff <(printf '%s\n' "$fast_platform") <(printf '%s\n' "$tick_platform") >&2 || true
+        exit 1
+    fi
+    printf '%s\n' "$fast_platform"
 
     echo "== serve smoke: live admission daemon over a Unix socket =="
     serve_dir=$(mktemp -d)
@@ -138,7 +154,8 @@ if [[ "$stage" == "bench" || "$stage" == "all" ]]; then
         benchmarks/test_bench_serve.py
     echo "== golden pins: figures_output.txt and campaign_golden.txt must be unchanged =="
     if ! git diff --exit-code -- benchmarks/figures_output.txt \
-            benchmarks/campaign_golden.txt; then
+            benchmarks/campaign_golden.txt \
+            benchmarks/campaign_edf_pip_golden.txt; then
         echo "bench stage FAILED: a golden pin changed (results drift)" >&2
         exit 1
     fi
@@ -151,7 +168,8 @@ if [[ "$stage" == "bench-compiled" || "$stage" == "all" ]]; then
     python -m pytest -x -q benchmarks/test_bench_compiled_kernel.py
     echo "== golden pins: unchanged after the kernel gates =="
     if ! git diff --exit-code -- benchmarks/figures_output.txt \
-            benchmarks/campaign_golden.txt; then
+            benchmarks/campaign_golden.txt \
+            benchmarks/campaign_edf_pip_golden.txt; then
         echo "bench-compiled stage FAILED: a golden pin changed (results drift)" >&2
         exit 1
     fi

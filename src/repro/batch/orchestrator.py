@@ -38,6 +38,7 @@ from repro.batch.results import SweepResult, TasksetEvaluation
 from repro.batch.service import BatchDesignService, TasksetSpec
 from repro.batch.store import open_result_store
 from repro.exec import PersistentPool, slice_evenly
+from repro.platform import PlatformModel
 from repro.rta import KernelStats
 from repro.storage import CheckpointStore
 
@@ -121,6 +122,10 @@ class SpecBlock:
     # Kernel tier of the worker's service.  Declared last with a default so
     # pre-PR 7 pickled blocks (and positional constructions) stay valid.
     kernel: str = "python"
+    # Platform-model selection (PR 8), defaulted for the same reason.
+    scheduler: str = "rm"
+    protocol: str = "none"
+    overheads: str = "zero"
 
     @classmethod
     def encode(
@@ -135,6 +140,9 @@ class SpecBlock:
             search_mode=config.search_mode,
             collect_stats=collect_stats,
             kernel=config.kernel,
+            scheduler=config.scheduler,
+            protocol=config.protocol,
+            overheads=config.overheads,
             job_indices=np.asarray(
                 [spec.job_index for spec in specs], dtype=np.int64
             ),
@@ -170,9 +178,7 @@ class SpecBlock:
 
 #: Per-process service cache for the worker entry point: building the
 #: service is cheap, but there is no reason to rebuild it per slice.
-_WORKER_SERVICES: Dict[
-    Tuple[int, Tuple[str, ...], str], BatchDesignService
-] = {}
+_WORKER_SERVICES: Dict[Tuple[object, ...], BatchDesignService] = {}
 
 
 def _evaluate_block_worker(
@@ -186,7 +192,15 @@ def _evaluate_block_worker(
     registered at import time of a module the workers also import -- see
     the :mod:`repro.schemes` docstring.
     """
-    key = (block.num_cores, block.scheme_names, block.search_mode, block.kernel)
+    key = (
+        block.num_cores,
+        block.scheme_names,
+        block.search_mode,
+        block.kernel,
+        block.scheduler,
+        block.protocol,
+        block.overheads,
+    )
     service = _WORKER_SERVICES.get(key)
     if service is None:
         # The compiled backend (if requested) loads here, once per worker
@@ -197,6 +211,9 @@ def _evaluate_block_worker(
             scheme_names=block.scheme_names,
             search_mode=block.search_mode,
             kernel=block.kernel,
+            platform_model=PlatformModel.parse(
+                block.scheduler, block.protocol, block.overheads
+            ),
         )
         _WORKER_SERVICES[key] = service
     stats: Optional[Dict[str, int]] = {} if block.collect_stats else None
@@ -252,6 +269,7 @@ class SweepOrchestrator:
             scheme_names=config.schemes,
             search_mode=config.search_mode,
             kernel=config.kernel,
+            platform_model=config.platform_model,
         )
 
     def run(self) -> SweepResult:

@@ -48,6 +48,7 @@ from repro.model.platform import Platform
 from repro.model.taskset import TaskSet
 from repro.partitioning.allocation import Allocation
 from repro.partitioning.heuristics import partition_rt_tasks
+from repro.platform import DEFAULT_PLATFORM, PlatformModel
 from repro.rta import (
     RtaContext,
     StructuralCache,
@@ -121,6 +122,12 @@ class BatchDesignService:
         :class:`~repro.rta.dedup.StructuralCache` across all contexts of
         each :meth:`evaluate_specs` chunk, so repeated partition/task
         shapes across that chunk's task sets replay their fixed points.
+    platform_model:
+        The :class:`~repro.platform.PlatformModel` selection.  At design
+        time only the resource protocol matters: every context the service
+        creates carries the model, so the protocol's blocking terms inflate
+        the Eq. 1/7 analyses of claim-annotated task sets.  The default is
+        the paper's platform (no locks, so blocking never engages).
     """
 
     def __init__(
@@ -133,6 +140,7 @@ class BatchDesignService:
         accelerated: bool = True,
         kernel: str = "python",
         dedup: Optional[bool] = None,
+        platform_model: PlatformModel = DEFAULT_PLATFORM,
     ) -> None:
         if num_cores < 1:
             raise ConfigurationError("num_cores must be >= 1")
@@ -140,10 +148,12 @@ class BatchDesignService:
         self._kernel = normalise_kernel(kernel)
         self._dedup = accelerated if dedup is None else bool(dedup)
         self._platform = Platform(num_cores=num_cores)
+        self._platform_model = platform_model
         self._specs = registry.resolve(scheme_names)
         self._scheme_names = tuple(spec.name for spec in self._specs)
         self._options = DesignOptions(
-            search_mode=normalise_search_mode(search_mode)
+            search_mode=normalise_search_mode(search_mode),
+            platform=platform_model,
         )
         self._plugins = tuple(
             spec.factory(self._platform) for spec in self._specs
@@ -173,6 +183,7 @@ class BatchDesignService:
             kernel=self._kernel,
             dedup=self._dedup,
             structural_cache=structural_cache if self._dedup else None,
+            platform_model=self._platform_model,
         )
 
     @property

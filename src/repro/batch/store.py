@@ -45,7 +45,10 @@ def config_fingerprint(config: "ExperimentConfig") -> Dict[str, object]:
     set would silently mix incompatible result rows.  The Algorithm 2
     ``search_mode`` is included as well -- the modes are
     equivalence-tested, but a checkpoint documents the configuration that
-    produced it, so a resume under a different mode is rejected.
+    produced it, so a resume under a different mode is rejected.  The
+    platform-model axes (``scheduler``/``protocol``/``overheads``) are
+    included for the stronger reason: a non-default platform changes the
+    analysis itself, so mixing platforms would mix incompatible results.
     """
     return {
         "num_cores": config.num_cores,
@@ -56,6 +59,9 @@ def config_fingerprint(config: "ExperimentConfig") -> Dict[str, object]:
         "seed": config.seed,
         "schemes": list(config.schemes),
         "search_mode": config.search_mode,
+        "scheduler": config.scheduler,
+        "protocol": config.protocol,
+        "overheads": config.overheads,
     }
 
 
@@ -77,6 +83,16 @@ class SweepRecordCodec:
                 # Pre-kernel checkpoints predate the --search-mode knob and
                 # were always produced by the binary Algorithm 2 search.
                 fingerprint = {**fingerprint, "search_mode": "binary"}
+            for axis, default in (
+                ("scheduler", "rm"),
+                ("protocol", "none"),
+                ("overheads", "zero"),
+            ):
+                if axis not in fingerprint:
+                    # Checkpoints written before the platform-model layer
+                    # existed were always analysed under the paper's
+                    # platform (rm/none/zero).
+                    fingerprint = {**fingerprint, axis: default}
         return fingerprint
 
     def _encode_result(

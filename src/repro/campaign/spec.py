@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.platform import PlatformModel
 from repro.rover.case_study import ROVER_HORIZON_TICKS
 from repro.schemes import REGISTRY
 from repro.sim.fast import SIMULATOR_BACKENDS
@@ -100,6 +101,13 @@ class CampaignSpec:
         ``"tick"`` (the slow oracle).  Deliberately *not* part of the
         checkpoint fingerprint: the differential suite pins both backends
         bit-identical, so a campaign may be resumed under either.
+    scheduler / protocol / overheads:
+        The platform-model selection (:mod:`repro.platform`), one canonical
+        string per registry axis.  Unlike ``backend``, all three *are*
+        fingerprint-relevant: a different platform model yields different
+        traces, so resuming a checkpoint across platforms is rejected.
+        Defaults (``rm``/``none``/``zero``) are the paper's platform and
+        reproduce ``campaign_golden.txt`` byte-for-byte.
     n_jobs / chunk_size / checkpoint_path:
         Execution knobs, exactly as on
         :class:`~repro.experiments.config.ExperimentConfig`; none of them
@@ -116,10 +124,17 @@ class CampaignSpec:
     n_jobs: int = 1
     chunk_size: int = 8
     checkpoint_path: Optional[str] = None
+    scheduler: str = "rm"
+    protocol: str = "none"
+    overheads: str = "zero"
 
     def __post_init__(self) -> None:
         resolved = REGISTRY.resolve(self.schemes)
         object.__setattr__(self, "schemes", tuple(spec.name for spec in resolved))
+        # Validate the platform selection and canonicalise the overhead
+        # spelling so equal models fingerprint equal (const:5 == const:5,0).
+        model = PlatformModel.parse(self.scheduler, self.protocol, self.overheads)
+        object.__setattr__(self, "overheads", model.overheads.describe())
         if self.num_trials < 1:
             raise ConfigurationError("num_trials must be >= 1")
         if self.horizon < 1:
@@ -157,7 +172,15 @@ class CampaignSpec:
             "seed": self.seed,
             "latest_injection_fraction": float(self.latest_injection_fraction),
             "jitter": self.jitter.describe(),
+            "scheduler": self.scheduler,
+            "protocol": self.protocol,
+            "overheads": self.overheads,
         }
+
+    @property
+    def platform_model(self) -> PlatformModel:
+        """The validated platform-model bundle of this campaign."""
+        return PlatformModel.parse(self.scheduler, self.protocol, self.overheads)
 
 
 @dataclass(frozen=True)

@@ -34,6 +34,20 @@ class CampaignRecordCodec:
     _fingerprint_field = "campaign"
     _noun = "campaign"
 
+    def _normalise_header_fingerprint(self, fingerprint: object) -> object:
+        if isinstance(fingerprint, dict):
+            for axis, default in (
+                ("scheduler", "rm"),
+                ("protocol", "none"),
+                ("overheads", "zero"),
+            ):
+                if axis not in fingerprint:
+                    # Checkpoints written before the platform-model layer
+                    # existed were always simulated under the paper's
+                    # platform (rm/none/zero).
+                    fingerprint = {**fingerprint, axis: default}
+        return fingerprint
+
     def _encode_result(self, entry: TrialRecord) -> Dict[str, object]:
         return {"kind": "result", "trial": entry.to_json()}
 

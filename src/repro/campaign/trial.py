@@ -31,6 +31,7 @@ from repro.rover.case_study import (
     rover_rt_allocation,
     rover_taskset,
 )
+from repro.rta import RtaContext
 from repro.schemes import REGISTRY, SharedPhases
 from repro.security.attacks import generate_attacks
 from repro.security.detection import evaluate_detection
@@ -129,8 +130,19 @@ class CampaignRunner:
         self._simulator_cls = resolve_backend(spec.backend)
         # The rover's legacy RT partition is the shared RT_PARTITION phase;
         # schemes that do not consume it (GLOBAL-TMax, the re-partitioning
-        # variants) simply ignore the bundle.
-        shared = SharedPhases(rt_allocation=Allocation(dict(rover_rt_allocation())))
+        # variants) simply ignore the bundle.  The shared RTA context
+        # carries the campaign's platform model, so a lock-using protocol's
+        # blocking terms inflate every scheme's design-time analysis
+        # (under the default protocol the context is blocking-free and the
+        # designs are unchanged).
+        context = RtaContext(
+            self._platform, platform_model=spec.platform_model
+        )
+        context.prime_blocking(self._taskset)
+        shared = SharedPhases(
+            rt_allocation=Allocation(dict(rover_rt_allocation())),
+            rta_context=context,
+        )
         self._designs = {}
         for name in spec.schemes:
             plugin = REGISTRY.create(name, self._platform)
@@ -174,7 +186,11 @@ class CampaignRunner:
                 task.name: int(rng.integers(0, spec.jitter.max_offset + 1))
                 for task in self._taskset.all_tasks
             }
-        config = SimulationConfig(horizon=spec.horizon, release_jitter=jitter)
+        config = SimulationConfig(
+            horizon=spec.horizon,
+            release_jitter=jitter,
+            platform=spec.platform_model,
+        )
 
         outcomes: Dict[str, SchemeTrialOutcome] = {}
         for name, design in self._designs.items():

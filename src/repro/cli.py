@@ -34,6 +34,13 @@ registered schemes to evaluate (default: the paper's four; see
 HYDRA-C/HYDRA variants the scheme registry adds) and ``--search-mode``
 to pick HYDRA-C's Algorithm 2 period search (binary/linear; identical
 periods either way, but checkpoint-fingerprint relevant).
+
+Every experiment command (``sweep``, the fig* sweeps and ``campaign``)
+additionally takes the platform-model flags
+``--scheduler/--protocol/--overheads`` (see :mod:`repro.platform`); the
+defaults ``rm``/``none``/``zero`` are the paper's platform and reproduce
+the golden outputs byte-for-byte, and all three are checkpoint-fingerprint
+relevant.
 """
 
 from __future__ import annotations
@@ -64,6 +71,49 @@ from repro.experiments.fig7b_period_diff import compute_fig7b, format_fig7b, run
 from repro.experiments.sweep import SweepProgress, run_sweep
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_platform_arguments(sub: argparse.ArgumentParser) -> None:
+    """The three platform-model flags, shared by every experiment command.
+
+    Choices come straight from the :mod:`repro.platform` registries, so a
+    newly registered scheduler model is selectable without touching the CLI
+    (the overhead models are parameterised, hence free-form with
+    config-level validation).
+    """
+    from repro.platform import SCHEDULER_MODELS
+
+    sub.add_argument(
+        "--scheduler",
+        choices=tuple(SCHEDULER_MODELS),
+        default="rm",
+        help=(
+            "runtime scheduler model: 'rm' (the paper's fixed-priority "
+            "platform) or 'edf' (banded EDF; RT jobs still outrank "
+            "security jobs).  Checkpoint-fingerprint relevant"
+        ),
+    )
+    sub.add_argument(
+        "--protocol",
+        choices=("none", "pip", "pcp"),
+        default="none",
+        help=(
+            "resource-sharing protocol over the task model's declared "
+            "claims: 'none' (claims ignored -- the paper's independent-"
+            "task model), 'pip' (priority inheritance) or 'pcp' "
+            "(priority ceiling).  Checkpoint-fingerprint relevant"
+        ),
+    )
+    sub.add_argument(
+        "--overheads",
+        default="zero",
+        metavar="MODEL",
+        help=(
+            "context-switch overhead model: 'zero' (the paper's free "
+            "switches) or 'const:S[,M]' charging S ticks per switch-in "
+            "plus M per migration.  Checkpoint-fingerprint relevant"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -137,6 +187,7 @@ def build_parser() -> argparse.ArgumentParser:
                 "never affects results"
             ),
         )
+        _add_platform_arguments(sub)
 
     campaign = subparsers.add_parser(
         "campaign",
@@ -197,6 +248,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress per-chunk progress on stderr",
     )
+    _add_platform_arguments(campaign)
 
     subparsers.add_parser(
         "schemes", help="list the registered integration schemes"
@@ -342,6 +394,9 @@ def _sweep_config(args: argparse.Namespace) -> ExperimentConfig:
         schemes=_parse_schemes(args.schemes),
         search_mode=args.search_mode,
         kernel=args.kernel,
+        scheduler=args.scheduler,
+        protocol=args.protocol,
+        overheads=args.overheads,
     )
 
 
@@ -356,6 +411,9 @@ def _batch_sweep_config(args: argparse.Namespace) -> ExperimentConfig:
         schemes=_parse_schemes(args.schemes),
         search_mode=args.search_mode,
         kernel=args.kernel,
+        scheduler=args.scheduler,
+        protocol=args.protocol,
+        overheads=args.overheads,
     )
 
 
@@ -436,6 +494,9 @@ def _campaign_spec(args: argparse.Namespace) -> CampaignSpec:
         n_jobs=args.jobs,
         chunk_size=args.chunk_size,
         checkpoint_path=args.checkpoint,
+        scheduler=args.scheduler,
+        protocol=args.protocol,
+        overheads=args.overheads,
     )
 
 

@@ -113,6 +113,8 @@ def analyze_security_tasks(
     """
     rt_by_core = _group_rt_tasks(taskset, rt_allocation, platform)
     if rta_context is not None:
+        if hasattr(rta_context, "prime_blocking"):
+            rta_context.prime_blocking(taskset)
         rt_cache = rta_context.rt_workload_cache(rt_by_core)
     else:
         rt_cache = RtWorkloadCache(rt_by_core)
@@ -122,6 +124,12 @@ def analyze_security_tasks(
 
     for task in taskset.security_by_priority():
         period = overrides.get(task.name, task.effective_period)
+        blocking = (
+            rta_context.blocking_of(task.name)
+            if rta_context is not None
+            and getattr(rta_context, "has_blocking", False)
+            else 0
+        )
         response = security_response_time(
             security_wcet=task.wcet,
             limit=task.max_period,
@@ -130,6 +138,7 @@ def analyze_security_tasks(
             num_cores=platform.num_cores,
             strategy=strategy,
             rt_cache=rt_cache,
+            blocking=blocking,
         )
         results[task.name] = response
         effective_response = response if response is not None else task.max_period

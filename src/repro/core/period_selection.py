@@ -192,6 +192,10 @@ class PeriodSelector:
         self._strategy = strategy
         self._search_mode = search_mode
         self._rta_context = rta_context
+        if rta_context is not None and hasattr(rta_context, "prime_blocking"):
+            # No-op unless the context carries a lock-using platform model
+            # and the task set declares resource claims.
+            rta_context.prime_blocking(taskset)
         if warm_start is None:
             warm_start = getattr(rta_context, "warm_start", True)
         self._warm_start = warm_start
@@ -275,6 +279,12 @@ class PeriodSelector:
         """
         task = self._security[index]
         self._analysis_calls += 1
+        blocking = (
+            self._rta_context.blocking_of(task.name)
+            if self._rta_context is not None
+            and getattr(self._rta_context, "has_blocking", False)
+            else 0
+        )
         return security_response_time(
             security_wcet=task.wcet,
             limit=task.max_period,
@@ -288,6 +298,7 @@ class PeriodSelector:
             set_uppers=uppers,
             seed_sink=sink,
             response_floor=floor,
+            blocking=blocking,
         )
 
     def _lower_priority_schedulable(

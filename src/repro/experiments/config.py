@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.period_selection import SearchMode, normalise_search_mode
 from repro.errors import ConfigurationError
 from repro.generation.taskset_generator import TasksetGenerationConfig
+from repro.platform import PlatformModel
 from repro.schemes import REGISTRY
 
 __all__ = ["TABLE3_PARAMETERS", "UTILIZATION_GROUPS", "ExperimentConfig"]
@@ -87,6 +88,14 @@ class ExperimentConfig:
         figure outputs), so -- unlike ``search_mode`` -- this knob is
         deliberately *not* part of the checkpoint fingerprint: a sweep may
         be resumed under a different kernel without mixing anything.
+    scheduler / protocol / overheads:
+        The platform-model selection (see :mod:`repro.platform`), one
+        canonical string per registry axis.  The defaults
+        (``rm``/``none``/``zero``) are the paper's platform and reproduce
+        every golden pin byte-for-byte.  All three are checkpoint-
+        fingerprint relevant: a sweep analysed under a different platform
+        model is a different experiment, so resuming across models is
+        rejected.
     """
 
     num_cores: int = 2
@@ -99,6 +108,9 @@ class ExperimentConfig:
     schemes: Optional[Sequence[str]] = None
     search_mode: str = SearchMode.BINARY.value
     kernel: str = "python"
+    scheduler: str = "rm"
+    protocol: str = "none"
+    overheads: str = "zero"
 
     def __post_init__(self) -> None:
         from repro.rta.compiled import normalise_kernel
@@ -111,6 +123,10 @@ class ExperimentConfig:
             self, "search_mode", normalise_search_mode(self.search_mode).value
         )
         object.__setattr__(self, "kernel", normalise_kernel(self.kernel))
+        # Validate the platform selection and canonicalise the overhead
+        # spelling (const:5 -> const:5,0) so equal models fingerprint equal.
+        model = PlatformModel.parse(self.scheduler, self.protocol, self.overheads)
+        object.__setattr__(self, "overheads", model.overheads.describe())
         if self.num_cores < 1:
             raise ConfigurationError("num_cores must be >= 1")
         if self.tasksets_per_group < 1:
@@ -124,6 +140,11 @@ class ExperimentConfig:
                 raise ConfigurationError(
                     f"invalid utilization group ({low}, {high})"
                 )
+
+    @property
+    def platform_model(self) -> PlatformModel:
+        """The validated platform-model bundle of this sweep."""
+        return PlatformModel.parse(self.scheduler, self.protocol, self.overheads)
 
     def generation_config(self) -> TasksetGenerationConfig:
         """The matching Table-3 taskset-generator configuration."""

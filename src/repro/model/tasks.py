@@ -23,9 +23,9 @@ objects and derives new task sets rather than mutating tasks in place (e.g.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
-__all__ = ["Task", "RealTimeTask", "SecurityTask", "Job"]
+__all__ = ["ResourceClaim", "Task", "RealTimeTask", "SecurityTask", "Job"]
 
 
 def _require_positive_int(value: int, name: str) -> int:
@@ -47,6 +47,34 @@ def _require_non_negative_int(value: int, name: str) -> int:
 
 
 @dataclass(frozen=True)
+class ResourceClaim:
+    """One critical section: the task holds *resource* for the execution
+    progress window ``[start, start + duration)`` (in work ticks from the
+    start of each job, overhead-free).
+
+    Claims exist for the resource-sharing protocols of
+    :mod:`repro.platform`; under the default ``none`` protocol they are
+    inert -- the runtime ignores them and the analysis adds no blocking --
+    so annotating a task set never perturbs default-platform results.
+    """
+
+    resource: str
+    start: int
+    duration: int
+
+    def __post_init__(self) -> None:
+        if not self.resource:
+            raise ValueError("claim resource must be a non-empty string")
+        _require_non_negative_int(self.start, "claim start")
+        _require_positive_int(self.duration, "claim duration")
+
+    @property
+    def end(self) -> int:
+        """First progress unit *after* the section (the release point)."""
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
 class Task:
     """Common base for periodic tasks.
 
@@ -59,11 +87,17 @@ class Task:
     priority:
         Fixed priority.  **Lower numeric value means higher priority**
         (priority 0 is the most urgent).  ``None`` means "not yet assigned".
+    claims:
+        Shared-resource critical sections (:class:`ResourceClaim`).  They
+        must not overlap (so sections never nest and priority-inheritance
+        chains have depth one), must fit inside the WCET, and may name each
+        resource at most once per task.
     """
 
     name: str
     wcet: int
     priority: Optional[int] = None
+    claims: Tuple[ResourceClaim, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -71,6 +105,35 @@ class Task:
         _require_positive_int(self.wcet, "wcet")
         if self.priority is not None:
             _require_non_negative_int(self.priority, "priority")
+        if self.claims:
+            object.__setattr__(
+                self,
+                "claims",
+                tuple(sorted(self.claims, key=lambda claim: claim.start)),
+            )
+            self._validate_claims()
+
+    def _validate_claims(self) -> None:
+        seen = set()
+        previous_end = 0
+        for claim in self.claims:
+            if claim.resource in seen:
+                raise ValueError(
+                    f"task {self.name!r} claims resource {claim.resource!r} "
+                    "more than once"
+                )
+            seen.add(claim.resource)
+            if claim.start < previous_end:
+                raise ValueError(
+                    f"task {self.name!r} has overlapping resource claims "
+                    f"(sections must not nest)"
+                )
+            previous_end = claim.end
+        if previous_end > self.wcet:
+            raise ValueError(
+                f"task {self.name!r} claim section ends at {previous_end}, "
+                f"beyond wcet={self.wcet}"
+            )
 
     # -- derived quantities -------------------------------------------------
 

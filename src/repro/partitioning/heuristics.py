@@ -88,6 +88,7 @@ def partition_rt_tasks(
         return Allocation.empty()
 
     context = rta_context if rta_context is not None else RtaContext(platform)
+    context.prime_blocking(taskset)
     order = sorted(
         taskset.rt_tasks, key=lambda t: (-t.utilization, t.name)
     )

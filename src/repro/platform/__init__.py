@@ -1,0 +1,69 @@
+"""Pluggable platform models: schedulers, resource protocols, overheads.
+
+The paper fixes one platform -- partitioned fixed-priority rate-monotonic
+scheduling with independent tasks and zero-cost context switches.  This
+package makes each of those three assumptions a *named, registry-selected
+plugin* so a campaign or sweep can ask for "HYDRA-C under EDF with
+PIP-shared sensors and a 5-tick switch cost" as a flag set:
+
+* :class:`SchedulerModel` -- how ready jobs are priority-ordered at runtime
+  (``rm``: the paper's fixed priorities; ``edf``: banded
+  earliest-deadline-first that preserves the paper's invariant that every
+  security job ranks below every RT job).
+* :class:`ResourceProtocol` -- how jobs sharing :class:`~repro.model.tasks.
+  ResourceClaim` critical sections synchronise (``none``, ``pip``, ``pcp``)
+  and which blocking terms enter the Eq. 1/7 response-time analysis.
+* :class:`OverheadModel` -- the cost, in ticks, charged to a job when it is
+  switched in and when it migrates (``zero``, ``const:S``, ``const:S,M``).
+
+The bundle of one selection from each registry is a
+:class:`PlatformModel`; the frozen default
+(:data:`DEFAULT_PLATFORM` = ``rm``/``none``/``zero``) reproduces every
+golden pin byte-for-byte, and non-default selections are
+fingerprint-relevant for checkpoint resume.
+
+Both simulation backends consume one shared :class:`PlatformRuntime`
+(`runtime.py`), so the tick oracle and the event-compressed engine make
+identical platform decisions by construction; ``blocking.py`` computes the
+per-task blocking terms the RTA layer adds to Eq. 1 and Eq. 7.
+"""
+
+from repro.platform.blocking import blocking_terms
+from repro.platform.models import (
+    DEFAULT_PLATFORM,
+    OVERHEAD_MODELS,
+    RESOURCE_PROTOCOLS,
+    SCHEDULER_MODELS,
+    EarliestDeadlineFirstModel,
+    OverheadModel,
+    PlatformModel,
+    RateMonotonicModel,
+    ResourceProtocol,
+    SchedulerModel,
+    ZERO_OVERHEADS,
+    parse_overhead_model,
+    register_scheduler_model,
+    resolve_protocol,
+    resolve_scheduler_model,
+)
+from repro.platform.runtime import PlatformRuntime
+
+__all__ = [
+    "DEFAULT_PLATFORM",
+    "OVERHEAD_MODELS",
+    "RESOURCE_PROTOCOLS",
+    "SCHEDULER_MODELS",
+    "ZERO_OVERHEADS",
+    "EarliestDeadlineFirstModel",
+    "OverheadModel",
+    "PlatformModel",
+    "PlatformRuntime",
+    "RateMonotonicModel",
+    "ResourceProtocol",
+    "SchedulerModel",
+    "blocking_terms",
+    "parse_overhead_model",
+    "register_scheduler_model",
+    "resolve_protocol",
+    "resolve_scheduler_model",
+]

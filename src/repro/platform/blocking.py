@@ -1,0 +1,77 @@
+"""Blocking terms for the response-time analysis (Eq. 1 and Eq. 7).
+
+When tasks share resources under PIP or PCP, a job can be *blocked* by a
+lower-priority job holding a lock.  The RTA layer accounts for that with a
+per-task additive blocking term ``B_i`` folded into the task's own demand
+(solving ``R = C + B + I(R)`` is the same fixed point as inflating the WCET
+by ``B``, which is why the compiled Eq. 1 kernel is reusable unchanged).
+
+The bounds are the classic uniprocessor single-outermost-section bounds
+(claims cannot nest -- :class:`~repro.model.tasks.ResourceClaim` sections
+are validated non-overlapping -- so inheritance chains have depth one):
+
+* A resource ``R`` can block ``tau_i`` iff its priority ceiling (the
+  highest priority among claimants) is at or above ``tau_i``'s priority.
+* **PIP**: each lower-priority task can block ``tau_i`` at most once, for
+  its longest such section: ``B_i = sum over lower-priority tau_j of
+  max blocking-capable section of tau_j``.
+* **PCP**: at most one blocking section total:
+  ``B_i = max over lower-priority tau_j of that same quantity``.
+
+Applied to migrating security tasks these uniprocessor bounds are a
+deliberate conservative simplification (a full multiprocessor locking
+analysis such as MSRP is out of scope); the simulation runtime remains the
+ground truth for observed blocking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+from repro.platform.models import ResourceProtocol, resolve_protocol
+
+__all__ = ["blocking_terms"]
+
+
+def blocking_terms(
+    taskset, protocol: Union[str, ResourceProtocol]
+) -> Dict[str, int]:
+    """Per-task blocking terms (ticks) for *taskset* under *protocol*.
+
+    Returns an empty mapping when the protocol does not use locks or no
+    task declares claims; tasks with a zero term are omitted.
+    """
+    if isinstance(protocol, str):
+        protocol = resolve_protocol(protocol)
+    if not protocol.uses_locks:
+        return {}
+    tasks = [task for task in taskset.all_tasks if task.priority is not None]
+    if not any(task.claims for task in tasks):
+        return {}
+
+    # Priority ceiling of each resource: the numerically smallest (most
+    # urgent) priority among its claimants.
+    ceilings: Dict[str, int] = {}
+    for task in tasks:
+        for claim in task.claims:
+            current = ceilings.get(claim.resource)
+            if current is None or task.priority < current:
+                ceilings[claim.resource] = task.priority
+
+    terms: Dict[str, int] = {}
+    for task in tasks:
+        per_lower = []
+        for other in tasks:
+            if other.priority <= task.priority:
+                continue
+            longest = 0
+            for claim in other.claims:
+                if ceilings[claim.resource] <= task.priority:
+                    longest = max(longest, claim.duration)
+            if longest:
+                per_lower.append(longest)
+        if not per_lower:
+            continue
+        blocking = max(per_lower) if protocol.ceiling_check else sum(per_lower)
+        terms[task.name] = blocking
+    return terms

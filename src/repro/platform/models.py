@@ -1,0 +1,306 @@
+"""The three platform-model registries and the :class:`PlatformModel` bundle.
+
+Registry shape
+--------------
+Each axis is a small class hierarchy plus a name-keyed registry dict:
+
+* ``SCHEDULER_MODELS``   -- ``"rm"``, ``"edf"``
+* ``RESOURCE_PROTOCOLS`` -- ``"none"``, ``"pip"``, ``"pcp"``
+* ``OVERHEAD_MODELS``    -- ``"zero"``, ``"const"`` (parameterised:
+  ``const:S`` or ``const:S,M`` with switch cost ``S`` and migration cost
+  ``M`` in ticks)
+
+A :class:`PlatformModel` carries one *canonical string* per axis (plus the
+parsed overhead costs) so it can be hashed, compared, serialised into
+checkpoint fingerprints, and round-tripped through CLI flags without ever
+pickling plugin objects.  ``PlatformModel.describe()`` is the canonical
+form used by both the sweep and campaign fingerprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "SchedulerModel",
+    "RateMonotonicModel",
+    "EarliestDeadlineFirstModel",
+    "ResourceProtocol",
+    "OverheadModel",
+    "PlatformModel",
+    "SCHEDULER_MODELS",
+    "RESOURCE_PROTOCOLS",
+    "OVERHEAD_MODELS",
+    "ZERO_OVERHEADS",
+    "DEFAULT_PLATFORM",
+    "register_scheduler_model",
+    "resolve_scheduler_model",
+    "resolve_protocol",
+    "parse_overhead_model",
+]
+
+
+# -- scheduler models ------------------------------------------------------------------
+
+
+class SchedulerModel:
+    """Runtime priority-ordering policy for ready jobs.
+
+    A scheduler model maps a :class:`~repro.sim.schedulers.ReadyJob` to a
+    totally ordered sort key (smaller = more urgent).  It does NOT choose
+    *which core* a job runs on -- core placement stays with the existing
+    partitioned / semi-partitioned / global policies -- it only decides the
+    order in which those policies consider jobs.
+    """
+
+    name: str = ""
+
+    def sort_key(self, job) -> Tuple:
+        raise NotImplementedError
+
+
+class RateMonotonicModel(SchedulerModel):
+    """The paper's model: fixed priorities (RM for RT tasks), as assigned
+    by :meth:`repro.model.taskset.TaskSet.create`.  Ties break on release
+    time, then job id -- exactly :attr:`ReadyJob.sort_key`."""
+
+    name = "rm"
+
+    def sort_key(self, job) -> Tuple:
+        return job.sort_key
+
+
+class EarliestDeadlineFirstModel(SchedulerModel):
+    """Banded EDF: earliest absolute deadline first *within each band*.
+
+    The paper's security model requires every security job to rank strictly
+    below every RT job (Section 3); plain EDF would violate that whenever a
+    security deadline precedes an RT deadline.  Banded EDF therefore orders
+    by ``(band, absolute deadline, release, job id)`` with RT jobs in band 0
+    and security jobs in band 1: RT jobs are EDF among themselves (optimal
+    on each core under partitioned placement), security jobs are EDF among
+    themselves with implicit deadlines (release + assigned period), and the
+    RT-over-security invariant is preserved.
+    """
+
+    name = "edf"
+
+    def sort_key(self, job) -> Tuple:
+        deadline = job.absolute_deadline
+        if deadline is None:
+            deadline = job.release_time
+        band = 1 if job.is_security else 0
+        return (band, deadline, job.release_time, job.job_id)
+
+
+SCHEDULER_MODELS: Dict[str, SchedulerModel] = {}
+
+
+def register_scheduler_model(model: SchedulerModel) -> SchedulerModel:
+    """Register *model* under ``model.name`` (last registration wins)."""
+    if not model.name:
+        raise ConfigurationError("scheduler model must define a non-empty name")
+    SCHEDULER_MODELS[model.name] = model
+    return model
+
+
+register_scheduler_model(RateMonotonicModel())
+register_scheduler_model(EarliestDeadlineFirstModel())
+
+
+def resolve_scheduler_model(name: str) -> SchedulerModel:
+    model = SCHEDULER_MODELS.get(name)
+    if model is None:
+        raise ConfigurationError(
+            f"unknown scheduler model {name!r}; available: "
+            f"{', '.join(sorted(SCHEDULER_MODELS))}"
+        )
+    return model
+
+
+# -- resource protocols ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResourceProtocol:
+    """A resource-sharing protocol over the task model's
+    :class:`~repro.model.tasks.ResourceClaim` sections.
+
+    ``uses_locks`` tells the simulation runtime whether claims are enforced
+    at all (``none`` ignores them entirely, keeping claim-annotated task
+    sets byte-identical to unannotated ones); ``ceiling_check`` switches the
+    acquisition rule from plain locking-with-inheritance (PIP) to the
+    priority-ceiling admission test (PCP).
+    """
+
+    name: str
+    uses_locks: bool
+    ceiling_check: bool
+
+
+RESOURCE_PROTOCOLS: Dict[str, ResourceProtocol] = {
+    "none": ResourceProtocol(name="none", uses_locks=False, ceiling_check=False),
+    "pip": ResourceProtocol(name="pip", uses_locks=True, ceiling_check=False),
+    "pcp": ResourceProtocol(name="pcp", uses_locks=True, ceiling_check=True),
+}
+
+
+def resolve_protocol(name: str) -> ResourceProtocol:
+    protocol = RESOURCE_PROTOCOLS.get(name)
+    if protocol is None:
+        raise ConfigurationError(
+            f"unknown resource protocol {name!r}; available: "
+            f"{', '.join(sorted(RESOURCE_PROTOCOLS))}"
+        )
+    return protocol
+
+
+# -- overhead models -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OverheadModel:
+    """Context-switch / migration costs in ticks, charged on switch-in.
+
+    A job switched onto a core pays ``switch_cost`` extra ticks of
+    execution before making progress; if the switch-in is also a migration
+    (the job last ran on a *different* core) it additionally pays
+    ``migration_cost``.  The frozen default is zero-cost, matching the
+    paper's model and every golden pin.
+    """
+
+    switch_cost: int = 0
+    migration_cost: int = 0
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("switch_cost", self.switch_cost),
+            ("migration_cost", self.migration_cost),
+        ):
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ConfigurationError(f"{label} must be an int (ticks)")
+            if value < 0:
+                raise ConfigurationError(f"{label} must be >= 0, got {value}")
+
+    @property
+    def is_zero(self) -> bool:
+        return self.switch_cost == 0 and self.migration_cost == 0
+
+    def describe(self) -> str:
+        """Canonical spelling: ``zero`` or ``const:S,M`` (``const:5`` and
+        ``const:5,0`` both describe as ``const:5,0``)."""
+        if self.is_zero:
+            return "zero"
+        return f"const:{self.switch_cost},{self.migration_cost}"
+
+
+ZERO_OVERHEADS = OverheadModel()
+
+
+def _parse_const_overheads(spec: str) -> OverheadModel:
+    parts = spec.split(",") if spec else []
+    if not 1 <= len(parts) <= 2:
+        raise ConfigurationError(
+            f"const overhead model takes 1 or 2 costs (const:S or const:S,M), "
+            f"got {spec!r}"
+        )
+    try:
+        costs = [int(part) for part in parts]
+    except ValueError:
+        raise ConfigurationError(
+            f"overhead costs must be integers (ticks), got {spec!r}"
+        ) from None
+    switch = costs[0]
+    migration = costs[1] if len(costs) == 2 else 0
+    return OverheadModel(switch_cost=switch, migration_cost=migration)
+
+
+#: Overhead-model parsers keyed by model name (the part before ``:``).
+OVERHEAD_MODELS: Dict[str, Callable[[str], OverheadModel]] = {
+    "zero": lambda spec: ZERO_OVERHEADS,
+    "const": _parse_const_overheads,
+}
+
+
+def parse_overhead_model(text: str) -> OverheadModel:
+    """Parse ``"zero"``, ``"const:S"`` or ``"const:S,M"``."""
+    name, _, spec = text.partition(":")
+    parser = OVERHEAD_MODELS.get(name)
+    if parser is None:
+        raise ConfigurationError(
+            f"unknown overhead model {text!r}; available: "
+            f"{', '.join(sorted(OVERHEAD_MODELS))}"
+        )
+    if name == "zero" and spec:
+        raise ConfigurationError("the zero overhead model takes no parameters")
+    return parser(spec)
+
+
+# -- the bundle ------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlatformModel:
+    """One selection from each of the three registries.
+
+    Hashable and comparable; the canonical string form
+    (:meth:`describe`) is what enters checkpoint fingerprints, so two
+    spellings of the same model (``const:5`` vs ``const:5,0``) compare
+    equal everywhere.
+    """
+
+    scheduler: str = "rm"
+    protocol: str = "none"
+    overheads: OverheadModel = field(default_factory=lambda: ZERO_OVERHEADS)
+
+    def __post_init__(self) -> None:
+        resolve_scheduler_model(self.scheduler)
+        resolve_protocol(self.protocol)
+        if isinstance(self.overheads, str):
+            object.__setattr__(self, "overheads", parse_overhead_model(self.overheads))
+        elif not isinstance(self.overheads, OverheadModel):
+            raise ConfigurationError(
+                "overheads must be an OverheadModel or a spec string "
+                "(zero / const:S / const:S,M)"
+            )
+
+    @classmethod
+    def parse(
+        cls,
+        scheduler: str = "rm",
+        protocol: str = "none",
+        overheads: str = "zero",
+    ) -> "PlatformModel":
+        """Build a model from the three CLI/config strings, validating each."""
+        return cls(
+            scheduler=scheduler,
+            protocol=protocol,
+            overheads=parse_overhead_model(overheads),
+        )
+
+    @property
+    def scheduler_model(self) -> SchedulerModel:
+        return resolve_scheduler_model(self.scheduler)
+
+    @property
+    def resource_protocol(self) -> ResourceProtocol:
+        return resolve_protocol(self.protocol)
+
+    @property
+    def is_default(self) -> bool:
+        return self == DEFAULT_PLATFORM
+
+    def describe(self) -> Mapping[str, str]:
+        """Canonical fingerprint fields (insertion order is stable)."""
+        return {
+            "scheduler": self.scheduler,
+            "protocol": self.protocol,
+            "overheads": self.overheads.describe(),
+        }
+
+
+#: The paper's platform: fixed-priority RM, independent tasks, free switches.
+DEFAULT_PLATFORM = PlatformModel()

@@ -1,0 +1,258 @@
+"""The per-run platform runtime shared by BOTH simulation backends.
+
+Every platform decision a simulation makes -- how ready jobs are ordered,
+whether a job may be dispatched given the lock state, what acquiring a lock
+does, when locks are released, and what a switch-in costs -- lives here, in
+one class, consumed by the tick oracle and the event-compressed engine at
+the *same decision points*.  Bit-identity between the backends under
+non-default platform models is therefore by construction: the fast engine
+only adds the event-jump arithmetic (see ``next_boundary_delta``), never a
+second implementation of platform semantics.
+
+Lock semantics (``pip`` / ``pcp``)
+----------------------------------
+A job whose task declares :class:`~repro.model.tasks.ResourceClaim`
+``(R, s, d)`` must hold ``R`` while executing progress units ``s`` ..
+``s + d - 1``:
+
+* **Acquisition** happens at the scheduling decision that dispatches the
+  job while its progress equals ``s`` (overhead debt, if any, is paid
+  *after* acquisition -- the lock is taken at dispatch).
+* A job at a section start whose resource is held by another job is *not
+  dispatchable* and -- decision-time PIP -- donates its sort key to the
+  holder, raising the holder's effective urgency.  Claims cannot overlap,
+  so holders are never themselves blocked and inheritance has depth one.
+* Under **PCP** an acquisition must additionally pass the ceiling test:
+  the job's static priority must be numerically smaller (more urgent) than
+  the ceiling of every resource currently held by other jobs; otherwise
+  the job is blocked and donates its key to those holders.  Ceilings are
+  computed over static task priorities even under EDF ordering.
+* **Release** happens as soon as the job's progress reaches the section
+  exit ``s + d`` (processed via :meth:`advance` right after execution, so
+  the next scheduling decision sees the resource free); completion
+  releases everything because every exit is ``<= wcet``.
+
+Overheads
+---------
+A job switched onto a core (the core's previous occupant was a different
+job, including idle) is charged ``switch_cost`` ticks -- plus
+``migration_cost`` if it last ran on a different core -- as *debt*: its
+remaining work grows and the debt ticks burn first, without advancing
+section progress.  Trace counters (``executed``, slices, switches) are
+unchanged in meaning; the job simply occupies its core longer.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.platform.models import (
+    DEFAULT_PLATFORM,
+    PlatformModel,
+    RateMonotonicModel,
+)
+
+__all__ = ["PlatformRuntime", "NULL_RUNTIME"]
+
+
+class PlatformRuntime:
+    """Runtime state of one simulation run under a :class:`PlatformModel`.
+
+    ``taskset`` may be ``None`` when the protocol cannot use locks (the
+    default model); otherwise it supplies the per-task claim tables.
+    Create one per simulator; :meth:`reset` clears all per-run state.
+    """
+
+    def __init__(
+        self, platform: PlatformModel = DEFAULT_PLATFORM, taskset=None
+    ) -> None:
+        self.platform = platform
+        self._model = platform.scheduler_model
+        protocol = platform.resource_protocol
+        overheads = platform.overheads
+        self._switch_cost = overheads.switch_cost
+        self._migration_cost = overheads.migration_cost
+        #: True when switch-in charges are non-zero (engine fast-path guard).
+        self.has_overheads = not overheads.is_zero
+        self._ceiling_check = protocol.ceiling_check
+
+        # Claim tables: task -> claims sorted by start; resource exits per
+        # task; static priority ceilings per resource.
+        self._claims: Dict[str, Tuple] = {}
+        self._exits: Dict[str, Dict[str, int]] = {}
+        self._ceilings: Dict[str, int] = {}
+        if protocol.uses_locks and taskset is not None:
+            for task in taskset.all_tasks:
+                if not task.claims:
+                    continue
+                ordered = tuple(sorted(task.claims, key=lambda c: c.start))
+                self._claims[task.name] = ordered
+                self._exits[task.name] = {
+                    claim.resource: claim.start + claim.duration
+                    for claim in ordered
+                }
+                if task.priority is not None:
+                    for claim in ordered:
+                        ceiling = self._ceilings.get(claim.resource)
+                        if ceiling is None or task.priority < ceiling:
+                            self._ceilings[claim.resource] = task.priority
+        #: True when claims are actually enforced this run (engine guard).
+        self.locking = bool(self._claims)
+
+        # Hot path: under the default RM model the sort key is exactly the
+        # job's own ``sort_key`` attribute -- use a C-level attrgetter so the
+        # frozen oracle path pays (almost) nothing for the indirection.
+        if not self.locking and isinstance(self._model, RateMonotonicModel):
+            self.sort_key = operator.attrgetter("sort_key")
+
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear all per-run lock state (call at the start of ``run()``)."""
+        self._held: Dict[str, str] = {}
+        self._job_holds: Dict[str, List[str]] = {}
+        self._boosts: Dict[str, Tuple] = {}
+        self._blocked: Dict[str, bool] = {}
+
+    # -- priority ordering ---------------------------------------------------------
+
+    def sort_key(self, job) -> Tuple:
+        """Effective sort key of *job*: its scheduler-model key, boosted by
+        priority inheritance when the job holds a lock someone more urgent
+        is blocked on."""
+        key = self._model.sort_key(job)
+        boost = self._boosts.get(job.job_id)
+        if boost is not None and boost < key:
+            return boost
+        return key
+
+    # -- per-round lock bookkeeping ------------------------------------------------
+
+    def _acquire_target(self, job) -> Optional[str]:
+        """The resource *job* must acquire to run right now, if any."""
+        claims = self._claims.get(job.task_name)
+        if claims is None:
+            return None
+        progress = job.progress
+        for claim in claims:
+            if claim.start == progress:
+                return claim.resource
+        return None
+
+    def begin_round(self, ready: Sequence) -> None:
+        """Recompute blocked jobs and inheritance boosts from the lock state
+        at the start of a scheduling round.  Call before ``assign()``."""
+        self._boosts = {}
+        blocked: Dict[str, bool] = {}
+        self._blocked = blocked
+        if not self._held:
+            return
+        model = self._model
+        held = self._held
+        for job in ready:
+            target = self._acquire_target(job)
+            if target is None:
+                continue
+            holder = held.get(target)
+            if holder is not None and holder != job.job_id:
+                blocked[job.job_id] = True
+                self._donate(holder, model.sort_key(job))
+                continue
+            if self._ceiling_check:
+                blockers = self._ceiling_blockers(job)
+                if blockers:
+                    blocked[job.job_id] = True
+                    key = model.sort_key(job)
+                    for blocker in blockers:
+                        self._donate(blocker, key)
+
+    def _donate(self, holder_id: str, key: Tuple) -> None:
+        current = self._boosts.get(holder_id)
+        if current is None or key < current:
+            self._boosts[holder_id] = key
+
+    def _ceiling_blockers(self, job) -> List[str]:
+        """Holders of resources whose ceiling blocks *job*'s acquisition
+        under the PCP rule (static priority not above the ceiling)."""
+        blockers = []
+        priority = job.priority
+        for resource, holder in self._held.items():
+            if holder != job.job_id and self._ceilings[resource] <= priority:
+                blockers.append(holder)
+        return blockers
+
+    def try_dispatch(self, job) -> bool:
+        """May *job* run this round?  Called by the placement policies at
+        the moment a job would actually be placed; acquires the job's
+        section-start resource as a side effect when it returns True."""
+        if not self.locking:
+            return True
+        job_id = job.job_id
+        if job_id in self._blocked:
+            return False
+        target = self._acquire_target(job)
+        if target is None:
+            return True
+        holder = self._held.get(target)
+        if holder is not None:
+            # Held by another job -- including one granted the lock earlier
+            # in this same round's placement order.
+            return holder == job_id
+        if self._ceiling_check and self._ceiling_blockers(job):
+            return False
+        self._held[target] = job_id
+        self._job_holds.setdefault(job_id, []).append(target)
+        return True
+
+    def advance(self, job_id: str, task_name: str, progress: int) -> None:
+        """Release every held resource whose section exit has been reached.
+        Call after a job's progress advances (tick engine: each executed
+        work tick; fast engine: each event-interval delta)."""
+        holds = self._job_holds.get(job_id)
+        if not holds:
+            return
+        exits = self._exits[task_name]
+        kept = [resource for resource in holds if exits[resource] > progress]
+        if len(kept) == len(holds):
+            return
+        for resource in holds:
+            if exits[resource] <= progress:
+                del self._held[resource]
+        if kept:
+            self._job_holds[job_id] = kept
+        else:
+            del self._job_holds[job_id]
+
+    # -- overheads -----------------------------------------------------------------
+
+    def switch_in_cost(self, migrated: bool) -> int:
+        """Debt (ticks) charged to a job being switched onto a core."""
+        if migrated:
+            return self._switch_cost + self._migration_cost
+        return self._switch_cost
+
+    # -- event compression support ---------------------------------------------------
+
+    def next_boundary_delta(
+        self, task_name: str, progress: int, debt: int
+    ) -> Optional[int]:
+        """Ticks until a *running* job next crosses a claim-section boundary
+        (start or exit), counting its unpaid overhead debt; ``None`` when no
+        boundary lies ahead.  The fast engine cuts its jump intervals here
+        so lock acquisitions and releases happen at scheduling events."""
+        claims = self._claims.get(task_name)
+        if claims is None:
+            return None
+        for claim in claims:
+            if progress < claim.start:
+                return debt + (claim.start - progress)
+            end = claim.start + claim.duration
+            if progress < end:
+                return debt + (end - progress)
+        return None
+
+
+#: Shared default runtime: RM keys, no locks, zero overheads.  Stateless in
+#: practice (no claims -> no lock state), so one instance is safe to share.
+NULL_RUNTIME = PlatformRuntime(DEFAULT_PLATFORM)

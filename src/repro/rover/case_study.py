@@ -34,7 +34,7 @@ import numpy as np
 from repro.baselines.hydra import Hydra
 from repro.core.framework import HydraC, SystemDesign
 from repro.model.platform import Platform
-from repro.model.tasks import RealTimeTask, SecurityTask
+from repro.model.tasks import RealTimeTask, ResourceClaim, SecurityTask
 from repro.model.taskset import TaskSet
 from repro.security.attacks import AttackScenario, generate_attacks
 from repro.security.detection import DetectionResult, evaluate_detection
@@ -66,7 +66,18 @@ KMOD_COVERAGE_UNITS = 32
 
 
 def rover_taskset() -> TaskSet:
-    """The rover's combined RT + security task set (Section 5.1.2 parameters)."""
+    """The rover's combined RT + security task set (Section 5.1.2 parameters).
+
+    Both monitors scan state reachable through the rover's audit log, so
+    each declares one :class:`~repro.model.tasks.ResourceClaim` section on
+    the shared ``audit-log`` resource.  Under the paper's platform model
+    (resource protocol ``none``, the default everywhere) the claims are
+    completely inert -- the simulators ignore them and the RTA sees no
+    blocking terms, keeping every golden output byte-identical -- while a
+    lock-using protocol (``pip``/``pcp``) makes the monitors genuinely
+    contend: tripwire, the higher-priority monitor, picks up a blocking
+    term equal to kmod-checker's section length.
+    """
     rt_tasks = [
         RealTimeTask(name="navigation", wcet=240, period=500),
         RealTimeTask(name="camera", wcet=1120, period=5000),
@@ -77,12 +88,14 @@ def rover_taskset() -> TaskSet:
             wcet=5342,
             max_period=10_000,
             coverage_units=TRIPWIRE_COVERAGE_UNITS,
+            claims=(ResourceClaim(resource="audit-log", start=256, duration=128),),
         ),
         SecurityTask(
             name="kmod-checker",
             wcet=223,
             max_period=10_000,
             coverage_units=KMOD_COVERAGE_UNITS,
+            claims=(ResourceClaim(resource="audit-log", start=32, duration=64),),
         ),
     ]
     return TaskSet.create(rt_tasks, security_tasks)

@@ -204,6 +204,7 @@ class RtaContext:
         kernel: str = "python",
         dedup: Optional[bool] = None,
         structural_cache: Optional[StructuralCache] = None,
+        platform_model=None,
     ) -> None:
         if isinstance(num_cores, Platform):
             num_cores = num_cores.num_cores
@@ -211,6 +212,12 @@ class RtaContext:
             raise ValueError("num_cores must be >= 1")
         self.num_cores = int(num_cores)
         self.quick_accept = quick_accept
+        #: The :class:`~repro.platform.models.PlatformModel` whose resource
+        #: protocol supplies per-task blocking terms; ``None`` (or the
+        #: default model, or a claim-free task set) keeps every solve
+        #: blocking-free -- the frozen PR 4-7 behaviour.
+        self.platform_model = platform_model
+        self._blocking: Dict[str, int] = {}
         #: Enables the monotone fixed-point warm starts of the period
         #: selector (see ``repro.core.period_selection``).  Like
         #: ``quick_accept``, seeding can never change a result -- disable
@@ -231,6 +238,37 @@ class RtaContext:
         self.stats = KernelStats()
         self._rt_caches: Dict[object, RtWorkloadCache] = {}
         self._global_engine: Optional[GlobalRtaEngine] = None
+
+    # -- blocking terms (resource protocols) -----------------------------------
+
+    @property
+    def has_blocking(self) -> bool:
+        """True when any task carries a non-zero blocking term.
+
+        :class:`~repro.rta.core_state.CoreState` keys on this: with
+        blocking in play the accept-only shortcuts (LL / Bini bounds, which
+        know nothing of blocking) are disabled and every solve runs the
+        exact fixed point with the task's term folded in.
+        """
+        return bool(self._blocking)
+
+    def blocking_of(self, name: str) -> int:
+        """Blocking term ``B`` (ticks) of the named task (0 by default)."""
+        return self._blocking.get(name, 0)
+
+    def prime_blocking(self, taskset) -> None:
+        """(Re)compute per-task blocking terms for *taskset* under this
+        context's platform model.  A no-op without a lock-using protocol or
+        without claims; idempotent for a fixed task set.  Call before
+        analysing a task set whose tasks declare resource claims."""
+        if self.platform_model is None:
+            return
+        protocol = self.platform_model.resource_protocol
+        if not protocol.uses_locks:
+            return
+        from repro.platform.blocking import blocking_terms
+
+        self._blocking = blocking_terms(taskset, protocol)
 
     # -- factories -------------------------------------------------------------
 

@@ -254,9 +254,19 @@ class CoreState:
         demand: Optional[Callable[[int], int]] = None,
         limit: Optional[int] = None,
     ) -> Optional[int]:
-        """Exact Eq. 1 fixed point; same iterates as the frozen solver."""
+        """Exact Eq. 1 fixed point; same iterates as the frozen solver.
+
+        With a resource protocol in play the task's blocking term ``B``
+        inflates its own demand constant (``R = C + B + I(R)`` -- the same
+        fixed point as solving with WCET ``C + B``, so the compiled kernel
+        is reused unchanged); interference from higher-priority tasks is
+        untouched, matching the classic uniprocessor blocking analysis.
+        """
         threshold = view.deadline if limit is None else limit
-        if view.wcet > threshold:
+        wcet = view.wcet
+        if getattr(self._context, "has_blocking", False):
+            wcet += self._context.blocking_of(view.name)
+        if wcet > threshold:
             return None
         self._context.stats.exact_solves += 1
         kernel = getattr(self._context, "compiled_kernel", None)
@@ -274,7 +284,7 @@ class CoreState:
                 tasks = None
             if tasks is not None:
                 solved = kernel.eq1(
-                    view.wcet,
+                    wcet,
                     threshold,
                     [task.period for task in tasks],
                     [task.wcet for task in tasks],
@@ -285,9 +295,9 @@ class CoreState:
         demand_at = demand if demand is not None else (
             lambda window: self._demand_of(prefix, window)
         )
-        response = view.wcet
+        response = wcet
         while True:
-            total = view.wcet + demand_at(response)
+            total = wcet + demand_at(response)
             if total == response:
                 return response
             if total > threshold:
@@ -305,6 +315,10 @@ class CoreState:
         Accept-only: a pass implies the exact test passes for every task.
         """
         if not self._context.quick_accept:
+            return False
+        if getattr(self._context, "has_blocking", False):
+            # The LL bound knows nothing of blocking terms; accept-only
+            # soundness no longer holds, so force the exact fixed point.
             return False
         if not (self._implicit_deadlines and view.deadline == view.period):
             return False
@@ -331,6 +345,10 @@ class CoreState:
     def _bound_accepts(self, view: TaskView, prefix: Sequence[TaskView]) -> bool:
         """Per-task Bini upper-bound quick-accept (exact WCRT <= bound)."""
         if not self._context.quick_accept:
+            return False
+        if getattr(self._context, "has_blocking", False):
+            # Blocking-blind bound: no longer an upper bound on the
+            # blocking-inflated response.
             return False
         bound = response_time_upper_bound(view.wcet, prefix)
         if bound is not None and bound <= view.deadline:

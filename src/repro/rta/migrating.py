@@ -459,13 +459,21 @@ def security_response_time(
     set_uppers: Optional[Mapping] = None,
     seed_sink: Optional[Dict] = None,
     response_floor: Optional[int] = None,
+    blocking: int = 0,
 ) -> Optional[int]:
     """WCRT of a migrating security task (paper Eq. 6-8).
 
     Parameters
     ----------
     security_wcet:
-        WCET ``C_s`` of the task under analysis.
+        WCET ``C_s`` of the task under analysis.  A non-zero ``blocking``
+        term ``B`` (resource protocols; see
+        :func:`repro.platform.blocking.blocking_terms`) is folded in as
+        ``C_s + B`` at entry -- the Eq. 6-8 fixed point with an additive
+        self-demand constant is identical to one with an inflated WCET, and
+        every downstream consumer (dedup verdict keys, warm-start seeds,
+        the compiled kernel) then sees the inflated value, keeping reuse
+        machinery automatically blocking-aware.
     limit:
         Abort threshold, normally ``T^max_s``: if the response time exceeds
         it the task is trivially unschedulable and ``None`` is returned.
@@ -531,6 +539,9 @@ def security_response_time(
         raise ValueError("limit must be positive")
     if num_cores <= 0:
         raise ValueError("num_cores must be positive")
+    if blocking < 0:
+        raise ValueError("blocking must be >= 0")
+    security_wcet += blocking
     if security_wcet > limit:
         return None
     if rt_cache is None:

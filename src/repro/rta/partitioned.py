@@ -43,6 +43,7 @@ def partitioned_rt_check(
     context.
     """
     context = rta_context if rta_context is not None else RtaContext(platform)
+    context.prime_blocking(taskset)
     groups = rt_tasks_by_core(taskset, allocation, platform)
     response_times: Dict[str, Optional[int]] = {}
     for _core_index, tasks in groups.items():

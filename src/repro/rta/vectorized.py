@@ -388,6 +388,26 @@ def partition_column(
     accumulation (the best-fit tie-break) uses the same float summation
     order.
     """
+    # Resource-protocol blocking terms are outside the vectorized filters'
+    # model (the LL/Bini/demand screens are blocking-blind); when any
+    # context carries them, route the whole column through the scalar
+    # kernel path, whose exact solves fold the terms in.
+    for taskset, context in zip(tasksets, contexts):
+        if hasattr(context, "prime_blocking"):
+            context.prime_blocking(taskset)
+    if any(getattr(context, "has_blocking", False) for context in contexts):
+        from repro.partitioning.heuristics import partition_rt_tasks
+
+        scalar_results: List[Optional[Allocation]] = []
+        for taskset, context in zip(tasksets, contexts):
+            try:
+                scalar_results.append(
+                    partition_rt_tasks(taskset, platform, strategy, context)
+                )
+            except AllocationError:
+                scalar_results.append(None)
+        return scalar_results
+
     num_sets = len(tasksets)
     num_cores = platform.num_cores
     arena = TaskSetArena(tasksets, num_cores)

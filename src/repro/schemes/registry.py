@@ -40,7 +40,7 @@ Shared phases
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import (
     Callable,
     Dict,
@@ -58,6 +58,7 @@ from repro.core.period_selection import SearchMode
 from repro.errors import ConfigurationError
 from repro.model.platform import Platform
 from repro.model.tasks import RealTimeTask
+from repro.platform import DEFAULT_PLATFORM, PlatformModel
 from repro.model.taskset import TaskSet
 from repro.partitioning.allocation import Allocation
 from repro.rta import RtaContext
@@ -101,9 +102,18 @@ class DesignOptions:
     period -- so this is a performance/ablation knob).  It participates in
     the sweep checkpoint fingerprint, so resuming a checkpoint under a
     different mode is rejected rather than silently mixed.
+
+    ``platform`` is the run's :class:`~repro.platform.PlatformModel`
+    selection.  At design time only its resource protocol matters (the
+    protocol's blocking terms inflate the Eq. 1/7 response-time analyses
+    through the shared :class:`~repro.rta.RtaContext`); the scheduler and
+    overhead axes are runtime-side and reach the simulators through
+    :class:`~repro.sim.engine.SimulationConfig` instead.  Like
+    ``search_mode`` it is checkpoint-fingerprint relevant.
     """
 
     search_mode: SearchMode = SearchMode.BINARY
+    platform: PlatformModel = field(default_factory=lambda: DEFAULT_PLATFORM)
 
 
 @dataclass(frozen=True)

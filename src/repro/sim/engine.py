@@ -23,6 +23,8 @@ from repro.core.framework import SystemDesign
 from repro.errors import SimulationError
 from repro.model.tasks import RealTimeTask, SecurityTask
 from repro.model.taskset import TaskSet
+from repro.platform.models import DEFAULT_PLATFORM, PlatformModel
+from repro.platform.runtime import PlatformRuntime
 from repro.sim.schedulers import ReadyJob, SchedulerPolicy, make_scheduler
 from repro.sim.trace import ExecutionSlice, JobRecord, SimulationTrace
 
@@ -45,11 +47,17 @@ class SimulationConfig:
     release_jitter:
         Mapping task name -> release offset in ticks (default: synchronous
         release at tick 0 for every task, the critical instant).
+    platform:
+        The :class:`~repro.platform.models.PlatformModel` governing runtime
+        priority ordering, resource-sharing protocol and switch/migration
+        overheads.  The default (``rm`` / ``none`` / ``zero``) is the
+        paper's platform and reproduces pre-platform traces byte-for-byte.
     """
 
     horizon: int
     fail_on_rt_deadline_miss: bool = True
     release_jitter: Mapping[str, int] = field(default_factory=dict)
+    platform: PlatformModel = DEFAULT_PLATFORM
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:
@@ -57,6 +65,8 @@ class SimulationConfig:
         for name, offset in self.release_jitter.items():
             if offset < 0:
                 raise ValueError(f"release offset for {name!r} must be >= 0")
+        if not isinstance(self.platform, PlatformModel):
+            raise ValueError("platform must be a PlatformModel")
 
 
 @dataclass
@@ -78,13 +88,22 @@ class _TaskRuntime:
 
 @dataclass
 class _JobRuntime:
-    """Mutable state of a released, not-yet-finished job."""
+    """Mutable state of a released, not-yet-finished job.
+
+    ``remaining`` counts ticks of core occupancy left (work plus unpaid
+    overhead debt); ``progress`` counts pure work ticks completed (resource
+    claims index on it); ``debt`` is the overhead still to burn before work
+    resumes -- ``remaining == debt + (wcet - progress)`` at all times.
+    """
 
     record: JobRecord
     priority: int
     bound_core: Optional[int]
     remaining: int
     last_core: Optional[int] = None
+    progress: int = 0
+    debt: int = 0
+    absolute_deadline: Optional[int] = None
 
 
 class Simulator:
@@ -101,11 +120,12 @@ class Simulator:
     ) -> None:
         self._taskset = taskset
         self._num_cores = num_cores
-        self._scheduler = make_scheduler(policy, num_cores)
+        self._config = config or SimulationConfig(horizon=10_000)
+        self._runtime = PlatformRuntime(self._config.platform, taskset)
+        self._scheduler = make_scheduler(policy, num_cores, self._runtime)
         self._policy = SchedulerPolicy(policy)
         self._rt_allocation = dict(rt_allocation or {})
         self._security_allocation = dict(security_allocation or {})
-        self._config = config or SimulationConfig(horizon=10_000)
         self._validate_bindings()
         self._validate_release_jitter()
 
@@ -180,9 +200,16 @@ class Simulator:
         open_slices: List[Optional[Tuple[str, int, int]]] = [None] * self._num_cores
         previous_occupants: List[Optional[str]] = [None] * self._num_cores
 
+        runtime = self._runtime
+        runtime.reset()
+        locking = runtime.locking
+        charge_overheads = runtime.has_overheads
+
         for now in range(horizon):
             self._release_jobs(now, tasks, jobs, trace)
             ready = self._ready_jobs(jobs)
+            if locking:
+                runtime.begin_round(ready)
             assignment = self._scheduler.assign(ready)
 
             running_now: List[Optional[str]] = [None] * self._num_cores
@@ -192,9 +219,21 @@ class Simulator:
                 if job_id is None:
                     continue
                 job = jobs[job_id]
-                if job.last_core is not None and job.last_core != core:
+                migrated = job.last_core is not None and job.last_core != core
+                if migrated:
                     trace.migrations += 1
+                if charge_overheads and previous_occupants[core] != job_id:
+                    cost = runtime.switch_in_cost(migrated)
+                    if cost:
+                        job.remaining += cost
+                        job.debt += cost
                 job.last_core = core
+                if job.debt:
+                    job.debt -= 1
+                else:
+                    job.progress += 1
+                    if locking:
+                        runtime.advance(job_id, job.record.task_name, job.progress)
                 job.remaining -= 1
                 job.record.executed += 1
                 if job.remaining == 0:
@@ -289,6 +328,14 @@ class Simulator:
                     priority=task.priority,
                     bound_core=task.bound_core,
                     remaining=task.wcet,
+                    # Security jobs have implicit deadlines (release + the
+                    # assigned period); used only by deadline-driven
+                    # scheduler models, never by the trace.
+                    absolute_deadline=(
+                        deadline
+                        if deadline is not None
+                        else release_time + task.period
+                    ),
                 )
                 if task.is_security:
                     task.active_job = job_id
@@ -303,6 +350,8 @@ class Simulator:
                 bound_core=job.bound_core,
                 last_core=job.last_core,
                 release_time=job.record.release_time,
+                progress=job.progress,
+                absolute_deadline=job.absolute_deadline,
             )
             for job_id, job in jobs.items()
         ]
@@ -406,11 +455,13 @@ def simulate_design(
     horizon: int,
     fail_on_rt_deadline_miss: bool = True,
     release_jitter: Optional[Mapping[str, int]] = None,
+    platform: Optional[PlatformModel] = None,
 ) -> SimulationTrace:
     """Convenience wrapper: simulate a design for ``horizon`` ticks."""
     config = SimulationConfig(
         horizon=horizon,
         fail_on_rt_deadline_miss=fail_on_rt_deadline_miss,
         release_jitter=dict(release_jitter or {}),
+        platform=platform if platform is not None else DEFAULT_PLATFORM,
     )
     return Simulator.from_design(design, config).run()

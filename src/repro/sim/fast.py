@@ -32,6 +32,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.framework import SystemDesign
 from repro.errors import ConfigurationError
+from repro.platform.models import DEFAULT_PLATFORM, PlatformModel
 from repro.sim.engine import SimulationConfig, Simulator, _JobRuntime
 from repro.sim.trace import SimulationTrace
 
@@ -62,6 +63,11 @@ class EventCompressedSimulator(Simulator):
         jobs: Dict[str, _JobRuntime] = {}
         trace = SimulationTrace(horizon=horizon, num_cores=num_cores)
 
+        runtime = self._runtime
+        runtime.reset()
+        locking = runtime.locking
+        charge_overheads = runtime.has_overheads
+
         open_slices: List[Optional[Tuple[str, int, int]]] = [None] * num_cores
         previous: List[Optional[str]] = [None] * num_cores
 
@@ -72,9 +78,13 @@ class EventCompressedSimulator(Simulator):
             # advancing to it (below), before any release at `now` -- the
             # same order the tick engine produces, where a job finishing
             # during tick `now - 1` frees its monitor before the release
-            # scan of tick `now`.
+            # scan of tick `now`.  Lock releases were likewise applied while
+            # advancing, so this round's `begin_round` sees them freed.
             self._release_jobs(now, tasks, jobs, trace)
-            assignment = scheduler.assign(self._ready_jobs(jobs))
+            ready = self._ready_jobs(jobs)
+            if locking:
+                runtime.begin_round(ready)
+            assignment = scheduler.assign(ready)
             running_now: List[Optional[str]] = [
                 assignment.get(core) for core in range(num_cores)
             ]
@@ -95,13 +105,21 @@ class EventCompressedSimulator(Simulator):
                     ):
                         trace.preemptions += 1
 
-            # Migrations, affinity state, and slice transitions.
+            # Migrations, affinity state, switch-in charges and slice
+            # transitions.  Overhead debt is charged exactly where the tick
+            # engine charges it: when a core's occupant changed.
             for core in range(num_cores):
                 job_id = running_now[core]
                 if job_id is not None:
                     job = jobs[job_id]
-                    if job.last_core is not None and job.last_core != core:
+                    migrated = job.last_core is not None and job.last_core != core
+                    if migrated:
                         trace.migrations += 1
+                    if charge_overheads and previous[core] != job_id:
+                        cost = runtime.switch_in_cost(migrated)
+                        if cost:
+                            job.remaining += cost
+                            job.debt += cost
                     job.last_core = core
                 current = open_slices[core]
                 if current is not None and current[0] != job_id:
@@ -114,6 +132,11 @@ class EventCompressedSimulator(Simulator):
             previous = running_now
 
             # -- jump to the next event ------------------------------------------
+            # Events: releases, completions of the running jobs, and -- under
+            # a locking protocol -- the next claim-section boundary any
+            # running job will cross (acquisitions and releases change the
+            # assignment function, so the interval must be cut there; the
+            # assignment is a fixpoint strictly between boundaries).
             next_time = horizon
             for task in tasks.values():
                 if task.next_release < next_time:
@@ -122,10 +145,28 @@ class EventCompressedSimulator(Simulator):
                 finish = now + jobs[job_id].remaining
                 if finish < next_time:
                     next_time = finish
+            if locking:
+                for job_id in running_set:
+                    job = jobs[job_id]
+                    boundary = runtime.next_boundary_delta(
+                        job.record.task_name, job.progress, job.debt
+                    )
+                    if boundary is not None and now + boundary < next_time:
+                        next_time = now + boundary
 
             delta = next_time - now
             for job_id in running_set:
                 job = jobs[job_id]
+                if job.debt:
+                    burn = job.debt if job.debt < delta else delta
+                    job.debt -= burn
+                    work = delta - burn
+                else:
+                    work = delta
+                if work:
+                    job.progress += work
+                    if locking:
+                        runtime.advance(job_id, job.record.task_name, job.progress)
                 job.remaining -= delta
                 job.record.executed += delta
                 if job.remaining == 0:
@@ -163,11 +204,13 @@ def simulate_design_fast(
     horizon: int,
     fail_on_rt_deadline_miss: bool = True,
     release_jitter: Optional[Mapping[str, int]] = None,
+    platform: Optional[PlatformModel] = None,
 ) -> SimulationTrace:
     """Event-compressed twin of :func:`repro.sim.engine.simulate_design`."""
     config = SimulationConfig(
         horizon=horizon,
         fail_on_rt_deadline_miss=fail_on_rt_deadline_miss,
         release_jitter=dict(release_jitter or {}),
+        platform=platform if platform is not None else DEFAULT_PLATFORM,
     )
     return EventCompressedSimulator.from_design(design, config).run()

@@ -17,13 +17,34 @@ evaluation:
 All policies prefer keeping a job on the core it last used when that core is
 available ("affinity"), which is how a real OS scheduler (and the paper's
 Linux testbed) behaves and keeps migration counts meaningful.
+
+Platform hooks
+--------------
+Every policy consults a :class:`~repro.platform.runtime.PlatformRuntime`
+(default: the RM / no-locks / zero-overhead null runtime) at exactly two
+points: ``runtime.sort_key(job)`` orders the ready jobs (RM fixed
+priorities or banded EDF, plus priority-inheritance boosts), and
+``runtime.try_dispatch(job)`` -- called at the moment a job would actually
+be placed -- filters out lock-blocked jobs and acquires section-start
+resources.  Under the default runtime both hooks are identity-transparent,
+so default traces are byte-identical to the pre-platform engine.
+
+Determinism contract: wherever a policy considers cores, it does so in
+**ascending core-index order** -- free cores are collected by iterating
+core indices ``0 .. num_cores-1`` and consumed left to right.  (This used
+to lean on dict insertion order in ``SemiPartitionedScheduler``; it is now
+an explicit, tested guarantee, because both simulation backends and any
+scheduler plugin must tie-break identically for the differential suite to
+hold.)
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
+
+from repro.platform.runtime import NULL_RUNTIME, PlatformRuntime
 
 __all__ = [
     "SchedulerPolicy",
@@ -49,7 +70,11 @@ class ReadyJob:
 
     ``bound_core`` is ``None`` for jobs that may run on any core.
     ``last_core`` is the core the job most recently executed on (``None`` if
-    it has not run yet); schedulers use it for affinity.
+    it has not run yet); schedulers use it for affinity.  ``progress`` is
+    the work (overhead-free) ticks completed so far and
+    ``absolute_deadline`` the job's deadline if it has one -- both exist for
+    the platform runtime (resource claims index on progress; EDF orders on
+    deadlines) and default to values that reproduce pre-platform behaviour.
     """
 
     job_id: str
@@ -59,10 +84,12 @@ class ReadyJob:
     bound_core: Optional[int]
     last_core: Optional[int]
     release_time: int
+    progress: int = 0
+    absolute_deadline: Optional[int] = None
 
     @property
     def sort_key(self):
-        """Priority order with deterministic tie-breaking."""
+        """Fixed-priority order with deterministic tie-breaking."""
         return (self.priority, self.release_time, self.job_id)
 
 
@@ -71,31 +98,46 @@ class _BaseScheduler:
 
     policy: SchedulerPolicy
 
-    def __init__(self, num_cores: int) -> None:
+    def __init__(
+        self, num_cores: int, runtime: Optional[PlatformRuntime] = None
+    ) -> None:
         if num_cores <= 0:
             raise ValueError("num_cores must be positive")
         self._num_cores = num_cores
+        self._runtime = runtime if runtime is not None else NULL_RUNTIME
+        self._key = self._runtime.sort_key
 
     @property
     def num_cores(self) -> int:
         return self._num_cores
 
+    @property
+    def runtime(self) -> PlatformRuntime:
+        return self._runtime
+
     def assign(self, ready: Sequence[ReadyJob]) -> Dict[int, Optional[str]]:
         """Return the core -> job_id assignment for this tick."""
         raise NotImplementedError
 
-    @staticmethod
     def _place_with_affinity(
+        self,
         jobs: Sequence[ReadyJob],
         free_cores: List[int],
         assignment: Dict[int, Optional[str]],
     ) -> None:
         """Place *jobs* (already priority-ordered) onto *free_cores*.
 
-        Jobs that last ran on a still-free core keep it; the rest fill the
-        remaining cores in index order.  ``free_cores`` is consumed in place.
+        The first dispatchable ``len(free_cores)`` jobs are selected in
+        order; of those, jobs that last ran on a still-free core keep it,
+        and the rest fill the remaining cores in ascending index order
+        (``free_cores`` is pre-sorted and consumed in place).
         """
-        selected = list(jobs[: len(free_cores)])
+        selected: List[ReadyJob] = []
+        for job in jobs:
+            if len(selected) == len(free_cores):
+                break
+            if self._runtime.try_dispatch(job):
+                selected.append(job)
         pending: List[ReadyJob] = []
         for job in selected:
             if job.last_core is not None and job.last_core in free_cores:
@@ -117,13 +159,15 @@ class PartitionedScheduler(_BaseScheduler):
         assignment: Dict[int, Optional[str]] = {
             core: None for core in range(self._num_cores)
         }
-        for job in sorted(ready, key=lambda j: j.sort_key):
+        for job in sorted(ready, key=self._key):
             if job.bound_core is None:
                 raise ValueError(
                     f"job {job.job_id} has no core binding under partitioned "
                     "scheduling"
                 )
-            if assignment[job.bound_core] is None:
+            if assignment[job.bound_core] is None and self._runtime.try_dispatch(
+                job
+            ):
                 assignment[job.bound_core] = job.job_id
         return assignment
 
@@ -134,7 +178,8 @@ class SemiPartitionedScheduler(_BaseScheduler):
     RT jobs are dispatched first, each on its bound core (highest priority
     wins).  Security jobs -- all of which rank below every RT job -- then
     fill the remaining idle cores in security-priority order, migrating to
-    whichever core is free.
+    whichever core is free (lowest index first for jobs without a usable
+    affinity core).
     """
 
     policy = SchedulerPolicy.SEMI_PARTITIONED
@@ -144,25 +189,31 @@ class SemiPartitionedScheduler(_BaseScheduler):
             core: None for core in range(self._num_cores)
         }
         rt_jobs = [job for job in ready if not job.is_security]
-        for job in sorted(rt_jobs, key=lambda j: j.sort_key):
+        for job in sorted(rt_jobs, key=self._key):
             if job.bound_core is None:
                 raise ValueError(
                     f"RT job {job.job_id} has no core binding under "
                     "semi-partitioned scheduling"
                 )
-            if assignment[job.bound_core] is None:
+            if assignment[job.bound_core] is None and self._runtime.try_dispatch(
+                job
+            ):
                 assignment[job.bound_core] = job.job_id
 
-        free_cores = [core for core, job in assignment.items() if job is None]
+        # Explicit determinism guarantee: candidate cores for the migrating
+        # security jobs are the idle cores in ascending index order.
+        free_cores = [
+            core for core in range(self._num_cores) if assignment[core] is None
+        ]
         security_jobs = sorted(
-            (job for job in ready if job.is_security), key=lambda j: j.sort_key
+            (job for job in ready if job.is_security), key=self._key
         )
         self._place_with_affinity(security_jobs, free_cores, assignment)
         return assignment
 
 
 class GlobalFixedPriorityScheduler(_BaseScheduler):
-    """Global fixed-priority scheduling: the M highest-priority jobs run."""
+    """Global scheduling: the M most urgent dispatchable jobs run."""
 
     policy = SchedulerPolicy.GLOBAL
 
@@ -170,25 +221,28 @@ class GlobalFixedPriorityScheduler(_BaseScheduler):
         assignment: Dict[int, Optional[str]] = {
             core: None for core in range(self._num_cores)
         }
-        ordered = sorted(ready, key=lambda j: j.sort_key)
+        ordered = sorted(ready, key=self._key)
         free_cores = list(range(self._num_cores))
         self._place_with_affinity(ordered, free_cores, assignment)
         return assignment
 
 
 def make_scheduler(
-    policy: SchedulerPolicy | str, num_cores: int
+    policy: SchedulerPolicy | str,
+    num_cores: int,
+    runtime: Optional[PlatformRuntime] = None,
 ) -> _BaseScheduler:
     """Instantiate the scheduler implementing *policy*.
 
     Accepts either a :class:`SchedulerPolicy` member or its string value
     (which matches :class:`repro.core.framework.SchedulingPolicy` values, so
     a :class:`~repro.core.framework.SystemDesign`'s policy can be passed
-    straight through).
+    straight through).  *runtime* selects the platform model; omitted, the
+    null runtime reproduces the paper's platform exactly.
     """
     resolved = SchedulerPolicy(policy)
     if resolved is SchedulerPolicy.PARTITIONED:
-        return PartitionedScheduler(num_cores)
+        return PartitionedScheduler(num_cores, runtime)
     if resolved is SchedulerPolicy.SEMI_PARTITIONED:
-        return SemiPartitionedScheduler(num_cores)
-    return GlobalFixedPriorityScheduler(num_cores)
+        return SemiPartitionedScheduler(num_cores, runtime)
+    return GlobalFixedPriorityScheduler(num_cores, runtime)

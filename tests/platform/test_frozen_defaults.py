@@ -1,0 +1,107 @@
+"""Frozen-default regression pins for the platform-model layer.
+
+Two guarantees, each pinned byte-for-byte:
+
+* The *default* platform (``rm``/``none``/``zero``), spelled out
+  explicitly, still reproduces ``benchmarks/campaign_golden.txt`` -- the
+  plugin layer added knobs, not behaviour.
+* A *non-default* platform is itself deterministic and backend-independent:
+  ``benchmarks/campaign_edf_pip_golden.txt`` pins the same campaign under
+  banded EDF with PIP resource sharing.  Regenerate after an intentional
+  change with ``python -m tests.platform.test_frozen_defaults``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import CampaignSpec, JitterModel, format_campaign, run_campaign
+from repro.experiments.config import ExperimentConfig
+from repro.platform import DEFAULT_PLATFORM
+
+BENCHMARKS = Path(__file__).parent.parent.parent / "benchmarks"
+DEFAULT_GOLDEN_PATH = BENCHMARKS / "campaign_golden.txt"
+EDF_PIP_GOLDEN_PATH = BENCHMARKS / "campaign_edf_pip_golden.txt"
+
+#: The same campaign ``tests/campaign/test_golden_campaign.py`` pins.
+GOLDEN_SPEC = dict(
+    schemes=None,  # the canonical four
+    num_trials=8,
+    horizon=45_000,
+    seed=2020,
+    jitter=JitterModel.uniform(250),
+)
+
+#: The non-default pin: banded EDF runtime ordering + PIP over the rover's
+#: shared audit log.  Everything else matches the default golden campaign,
+#: so a diff between the two files is exactly the platform's effect.
+EDF_PIP_PLATFORM = dict(scheduler="edf", protocol="pip", overheads="zero")
+
+
+def regenerate_edf_pip() -> str:
+    result = run_campaign(
+        CampaignSpec(backend="fast", **EDF_PIP_PLATFORM, **GOLDEN_SPEC)
+    )
+    return format_campaign(result) + "\n"
+
+
+class TestDefaultPlatformFrozen:
+    def test_config_defaults_are_the_papers_platform(self):
+        for config in (ExperimentConfig(num_cores=2), CampaignSpec()):
+            assert config.scheduler == "rm"
+            assert config.protocol == "none"
+            assert config.overheads == "zero"
+            assert config.platform_model == DEFAULT_PLATFORM
+
+    def test_default_fingerprints_carry_the_platform_axes(self):
+        fingerprint = CampaignSpec().fingerprint()
+        assert fingerprint["scheduler"] == "rm"
+        assert fingerprint["protocol"] == "none"
+        assert fingerprint["overheads"] == "zero"
+
+    @pytest.mark.slow
+    def test_explicit_defaults_reproduce_the_golden_campaign(self):
+        """Passing the defaults by name changes nothing: the campaign
+        golden pin comes out byte-for-byte."""
+        spec = CampaignSpec(
+            backend="fast",
+            scheduler="rm",
+            protocol="none",
+            overheads="zero",
+            **GOLDEN_SPEC,
+        )
+        assert format_campaign(run_campaign(spec)) + "\n" == (
+            DEFAULT_GOLDEN_PATH.read_text(encoding="utf-8")
+        )
+
+
+class TestEdfPipGoldenPin:
+    @pytest.mark.slow
+    def test_pin_unchanged(self):
+        assert EDF_PIP_GOLDEN_PATH.exists(), (
+            f"missing golden pin {EDF_PIP_GOLDEN_PATH}; regenerate it with "
+            "python -m tests.platform.test_frozen_defaults"
+        )
+        assert regenerate_edf_pip() == EDF_PIP_GOLDEN_PATH.read_text(
+            encoding="utf-8"
+        )
+
+    @pytest.mark.slow
+    def test_pin_backend_independent(self):
+        """The tick oracle reproduces the EDF/PIP pin byte for byte."""
+        result = run_campaign(
+            CampaignSpec(backend="tick", **EDF_PIP_PLATFORM, **GOLDEN_SPEC)
+        )
+        assert format_campaign(result) + "\n" == EDF_PIP_GOLDEN_PATH.read_text(
+            encoding="utf-8"
+        )
+
+    def test_pin_differs_from_the_default_campaign(self):
+        """The two pins must not be byte-identical -- if they were, the
+        non-default platform would be silently inert."""
+        assert EDF_PIP_GOLDEN_PATH.read_bytes() != DEFAULT_GOLDEN_PATH.read_bytes()
+
+
+if __name__ == "__main__":  # pragma: no cover - regeneration helper
+    EDF_PIP_GOLDEN_PATH.write_text(regenerate_edf_pip(), encoding="utf-8")
+    print(f"wrote {EDF_PIP_GOLDEN_PATH}")

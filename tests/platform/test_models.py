@@ -1,0 +1,248 @@
+"""Unit tests for the three platform-model registries and the bundle."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model import RealTimeTask, SecurityTask, TaskSet
+from repro.model.tasks import ResourceClaim
+from repro.platform import (
+    DEFAULT_PLATFORM,
+    OVERHEAD_MODELS,
+    RESOURCE_PROTOCOLS,
+    SCHEDULER_MODELS,
+    ZERO_OVERHEADS,
+    OverheadModel,
+    PlatformModel,
+    blocking_terms,
+    parse_overhead_model,
+    resolve_protocol,
+    resolve_scheduler_model,
+)
+from repro.platform.models import (
+    EarliestDeadlineFirstModel,
+    RateMonotonicModel,
+    SchedulerModel,
+    register_scheduler_model,
+)
+from repro.sim.schedulers import ReadyJob
+
+
+def make_job(**overrides):
+    defaults = dict(
+        job_id="t:0",
+        task_name="t",
+        priority=5,
+        is_security=False,
+        bound_core=None,
+        last_core=None,
+        release_time=0,
+        progress=0,
+        absolute_deadline=None,
+    )
+    defaults.update(overrides)
+    return ReadyJob(**defaults)
+
+
+class TestRegistries:
+    def test_builtin_names(self):
+        assert set(SCHEDULER_MODELS) >= {"rm", "edf"}
+        assert set(RESOURCE_PROTOCOLS) == {"none", "pip", "pcp"}
+        assert set(OVERHEAD_MODELS) >= {"zero", "const"}
+
+    def test_resolvers_reject_unknown_names(self):
+        with pytest.raises(ConfigurationError, match="unknown scheduler model"):
+            resolve_scheduler_model("fifo")
+        with pytest.raises(ConfigurationError, match="unknown resource protocol"):
+            resolve_protocol("mrsp")
+        with pytest.raises(ConfigurationError, match="unknown overhead model"):
+            parse_overhead_model("gaussian:3")
+
+    def test_register_requires_a_name(self):
+        class Nameless(SchedulerModel):
+            pass
+
+        with pytest.raises(ConfigurationError, match="non-empty name"):
+            register_scheduler_model(Nameless())
+
+    def test_registration_is_by_name_and_last_wins(self):
+        class Custom(RateMonotonicModel):
+            name = "test-custom"
+
+        try:
+            model = register_scheduler_model(Custom())
+            assert resolve_scheduler_model("test-custom") is model
+        finally:
+            SCHEDULER_MODELS.pop("test-custom", None)
+
+
+class TestSchedulerModels:
+    def test_rm_key_is_the_static_sort_key(self):
+        job = make_job(priority=3, release_time=7)
+        assert RateMonotonicModel().sort_key(job) == job.sort_key
+
+    def test_edf_orders_by_absolute_deadline_within_a_band(self):
+        edf = EarliestDeadlineFirstModel()
+        early = make_job(job_id="a:0", priority=9, absolute_deadline=50)
+        late = make_job(job_id="b:0", priority=1, absolute_deadline=80)
+        # Deadline wins over static priority.
+        assert edf.sort_key(early) < edf.sort_key(late)
+
+    def test_edf_keeps_rt_above_security(self):
+        """Banded EDF: a security job never outranks an RT job, even with
+        an earlier absolute deadline (the paper's Section 3 invariant)."""
+        edf = EarliestDeadlineFirstModel()
+        rt = make_job(job_id="rt:0", absolute_deadline=1_000)
+        security = make_job(
+            job_id="sec:0", is_security=True, absolute_deadline=10
+        )
+        assert edf.sort_key(rt) < edf.sort_key(security)
+
+    def test_edf_without_deadline_falls_back_to_release(self):
+        edf = EarliestDeadlineFirstModel()
+        job = make_job(release_time=42, absolute_deadline=None)
+        assert edf.sort_key(job)[1] == 42
+
+
+class TestOverheadModels:
+    def test_zero_is_the_default_and_canonical(self):
+        assert ZERO_OVERHEADS.is_zero
+        assert ZERO_OVERHEADS.describe() == "zero"
+        assert parse_overhead_model("zero") is ZERO_OVERHEADS
+
+    def test_zero_takes_no_parameters(self):
+        with pytest.raises(ConfigurationError, match="takes no parameters"):
+            parse_overhead_model("zero:1")
+
+    def test_const_spellings_canonicalise_equal(self):
+        assert parse_overhead_model("const:5") == parse_overhead_model("const:5,0")
+        assert parse_overhead_model("const:5").describe() == "const:5,0"
+        assert parse_overhead_model("const:2,3").describe() == "const:2,3"
+
+    def test_const_requires_one_or_two_integer_costs(self):
+        with pytest.raises(ConfigurationError, match="1 or 2 costs"):
+            parse_overhead_model("const:1,2,3")
+        with pytest.raises(ConfigurationError, match="1 or 2 costs"):
+            parse_overhead_model("const:")
+        with pytest.raises(ConfigurationError, match="must be integers"):
+            parse_overhead_model("const:five")
+
+    def test_costs_must_be_non_negative_ints(self):
+        with pytest.raises(ConfigurationError, match=">= 0"):
+            OverheadModel(switch_cost=-1)
+        with pytest.raises(ConfigurationError, match="must be an int"):
+            OverheadModel(switch_cost=1.5)
+        with pytest.raises(ConfigurationError, match="must be an int"):
+            OverheadModel(migration_cost=True)
+
+
+class TestPlatformModelBundle:
+    def test_parse_defaults_to_the_papers_platform(self):
+        model = PlatformModel.parse()
+        assert model == DEFAULT_PLATFORM
+        assert model.is_default
+        assert model.describe() == {
+            "scheduler": "rm",
+            "protocol": "none",
+            "overheads": "zero",
+        }
+
+    def test_equal_spellings_compare_and_hash_equal(self):
+        a = PlatformModel.parse("edf", "pip", "const:5")
+        b = PlatformModel.parse("edf", "pip", "const:5,0")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.describe() == b.describe()
+
+    def test_parse_validates_every_axis(self):
+        with pytest.raises(ConfigurationError, match="unknown scheduler"):
+            PlatformModel.parse(scheduler="fifo")
+        with pytest.raises(ConfigurationError, match="unknown resource protocol"):
+            PlatformModel.parse(protocol="mrsp")
+        with pytest.raises(ConfigurationError, match="unknown overhead model"):
+            PlatformModel.parse(overheads="gaussian")
+
+    def test_string_overheads_are_parsed_by_the_constructor(self):
+        model = PlatformModel(scheduler="rm", protocol="none", overheads="const:4")
+        assert model.overheads == OverheadModel(switch_cost=4)
+        with pytest.raises(ConfigurationError, match="must be an OverheadModel"):
+            PlatformModel(scheduler="rm", protocol="none", overheads=7)
+
+    def test_accessors_resolve_the_registries(self):
+        model = PlatformModel.parse("edf", "pcp", "zero")
+        assert model.scheduler_model.name == "edf"
+        assert model.resource_protocol.ceiling_check
+        assert not model.is_default
+
+
+class TestBlockingTerms:
+    def taskset(self):
+        """Priorities after TaskSet.create: rt-a=0, rt-b=1, sec-a=2, sec-b=3.
+
+        ``disk`` is shared by rt-b (40 ticks) and sec-b (25 ticks); ``log``
+        is shared by sec-a (10 ticks) and sec-b (15 ticks).
+        """
+        return TaskSet.create(
+            [
+                RealTimeTask(name="rt-a", wcet=10, period=50),
+                RealTimeTask(
+                    name="rt-b",
+                    wcet=60,
+                    period=300,
+                    claims=(ResourceClaim(resource="disk", start=5, duration=40),),
+                ),
+            ],
+            [
+                SecurityTask(
+                    name="sec-a",
+                    wcet=30,
+                    max_period=900,
+                    claims=(ResourceClaim(resource="log", start=0, duration=10),),
+                ),
+                SecurityTask(
+                    name="sec-b",
+                    wcet=50,
+                    max_period=1000,
+                    claims=(
+                        ResourceClaim(resource="disk", start=0, duration=25),
+                        ResourceClaim(resource="log", start=30, duration=15),
+                    ),
+                ),
+            ],
+        )
+
+    def test_none_protocol_has_no_terms(self):
+        assert blocking_terms(self.taskset(), "none") == {}
+
+    def test_unclaimed_taskset_has_no_terms(self):
+        taskset = TaskSet.create(
+            [RealTimeTask(name="rt", wcet=1, period=10)],
+            [SecurityTask(name="sec", wcet=1, max_period=100)],
+        )
+        assert blocking_terms(taskset, "pip") == {}
+        assert blocking_terms(taskset, "pcp") == {}
+
+    def test_pip_sums_one_section_per_lower_priority_task(self):
+        terms = blocking_terms(self.taskset(), "pip")
+        # rt-a shares nothing and no ceiling reaches priority 0.
+        assert "rt-a" not in terms
+        # rt-b can be blocked by sec-b's disk section (ceiling = rt-b).
+        assert terms["rt-b"] == 25
+        # sec-a: lower-priority sec-b's longest blocking-capable section
+        # is its disk section (ceiling 1 <= 2) of 25 ticks.
+        assert terms["sec-a"] == 25
+        # sec-b has no lower-priority tasks.
+        assert "sec-b" not in terms
+
+    def test_pcp_takes_the_single_worst_section(self):
+        pip = blocking_terms(self.taskset(), "pip")
+        pcp = blocking_terms(self.taskset(), "pcp")
+        assert set(pcp) == set(pip)
+        for name, term in pcp.items():
+            assert term <= pip[name]
+        assert pcp["rt-b"] == 25
+
+    def test_protocol_object_and_name_agree(self):
+        taskset = self.taskset()
+        assert blocking_terms(taskset, resolve_protocol("pip")) == blocking_terms(
+            taskset, "pip"
+        )

@@ -1,0 +1,282 @@
+"""Unit tests for :class:`PlatformRuntime` -- the one object both
+simulation backends consult for ordering, locking and overhead decisions.
+
+The tests drive the runtime directly with hand-built
+:class:`~repro.sim.schedulers.ReadyJob` views, mirroring the call sequence
+of a scheduling round: ``begin_round(ready)`` then ``try_dispatch(job)``
+per placement, then ``advance(...)`` as progress accrues.
+"""
+
+import pytest
+
+from repro.model import RealTimeTask, SecurityTask, TaskSet
+from repro.model.tasks import ResourceClaim
+from repro.platform import PlatformModel, PlatformRuntime
+from repro.platform.runtime import NULL_RUNTIME
+from repro.sim.schedulers import ReadyJob
+
+
+def locked_taskset():
+    """Three security tasks with one shared resource and two private ones.
+
+    Priorities after ``TaskSet.create``: rt=0, s-high=1, s-mid=2, s-low=3.
+    ``shared`` is claimed by s-high (at progress 4) and s-low (at 0);
+    ``private`` belongs to s-mid alone.
+    """
+    return TaskSet.create(
+        [RealTimeTask(name="rt", wcet=1, period=100)],
+        [
+            SecurityTask(
+                name="s-high",
+                wcet=20,
+                max_period=500,
+                claims=(ResourceClaim(resource="shared", start=4, duration=6),),
+            ),
+            SecurityTask(
+                name="s-mid",
+                wcet=20,
+                max_period=600,
+                claims=(ResourceClaim(resource="private", start=2, duration=5),),
+            ),
+            SecurityTask(
+                name="s-low",
+                wcet=20,
+                max_period=700,
+                claims=(ResourceClaim(resource="shared", start=0, duration=8),),
+            ),
+        ],
+    )
+
+
+def job_for(taskset, name, job_id=None, progress=0, release_time=0):
+    task = next(task for task in taskset.all_tasks if task.name == name)
+    return ReadyJob(
+        job_id=job_id or f"{name}:0",
+        task_name=name,
+        priority=task.priority,
+        is_security=name.startswith("s-"),
+        bound_core=None,
+        last_core=None,
+        release_time=release_time,
+        progress=progress,
+    )
+
+
+def runtime_for(protocol, taskset=None, scheduler="rm", overheads="zero"):
+    model = PlatformModel.parse(scheduler, protocol, overheads)
+    return PlatformRuntime(model, taskset or locked_taskset())
+
+
+class TestDefaultRuntime:
+    def test_null_runtime_is_inert(self):
+        job = ReadyJob(
+            job_id="x:0",
+            task_name="x",
+            priority=1,
+            is_security=False,
+            bound_core=None,
+            last_core=None,
+            release_time=0,
+        )
+        assert not NULL_RUNTIME.locking
+        assert not NULL_RUNTIME.has_overheads
+        assert NULL_RUNTIME.sort_key(job) == job.sort_key
+        assert NULL_RUNTIME.try_dispatch(job)
+        assert NULL_RUNTIME.switch_in_cost(migrated=True) == 0
+        assert NULL_RUNTIME.next_boundary_delta("x", 0, 0) is None
+
+    def test_none_protocol_ignores_claims(self):
+        runtime = runtime_for("none")
+        assert not runtime.locking
+        low = job_for(locked_taskset(), "s-low")
+        high = job_for(locked_taskset(), "s-high", progress=4)
+        runtime.begin_round([low, high])
+        assert runtime.try_dispatch(low)
+        assert runtime.try_dispatch(high)  # no lock state, no blocking
+
+
+class TestLockAcquisition:
+    def test_acquired_at_section_start_on_dispatch(self):
+        taskset = locked_taskset()
+        runtime = runtime_for("pip", taskset)
+        assert runtime.locking
+        low = job_for(taskset, "s-low")  # section starts at progress 0
+        runtime.begin_round([low])
+        assert runtime.try_dispatch(low)
+        # The resource is now held: a competing job at its own section
+        # start must not dispatch, even within the same round.
+        high = job_for(taskset, "s-high", progress=4)
+        assert not runtime.try_dispatch(high)
+
+    def test_no_acquisition_needed_outside_a_section_start(self):
+        taskset = locked_taskset()
+        runtime = runtime_for("pip", taskset)
+        high = job_for(taskset, "s-high", progress=1)  # before its section
+        runtime.begin_round([high])
+        assert runtime.try_dispatch(high)
+        # Nothing was acquired: s-low can still take the shared resource.
+        low = job_for(taskset, "s-low")
+        assert runtime.try_dispatch(low)
+
+    def test_holder_redispatches_through_its_own_section(self):
+        taskset = locked_taskset()
+        runtime = runtime_for("pip", taskset)
+        low = job_for(taskset, "s-low")
+        runtime.begin_round([low])
+        assert runtime.try_dispatch(low)
+        # Preempted and re-dispatched at the same progress: still allowed.
+        runtime.begin_round([low])
+        assert runtime.try_dispatch(low)
+
+    def test_released_at_section_exit_via_advance(self):
+        taskset = locked_taskset()
+        runtime = runtime_for("pip", taskset)
+        low = job_for(taskset, "s-low")
+        runtime.begin_round([low])
+        assert runtime.try_dispatch(low)
+        runtime.advance("s-low:0", "s-low", progress=7)  # still inside [0, 8)
+        high = job_for(taskset, "s-high", progress=4)
+        runtime.begin_round([high, low])
+        assert not runtime.try_dispatch(high)
+        runtime.advance("s-low:0", "s-low", progress=8)  # exit reached
+        runtime.begin_round([high])
+        assert runtime.try_dispatch(high)
+
+    def test_reset_clears_lock_state(self):
+        taskset = locked_taskset()
+        runtime = runtime_for("pip", taskset)
+        low = job_for(taskset, "s-low")
+        runtime.begin_round([low])
+        assert runtime.try_dispatch(low)
+        runtime.reset()
+        high = job_for(taskset, "s-high", progress=4)
+        runtime.begin_round([high])
+        assert runtime.try_dispatch(high)
+
+
+class TestPriorityInheritance:
+    def test_blocked_job_donates_its_key_to_the_holder(self):
+        taskset = locked_taskset()
+        runtime = runtime_for("pip", taskset)
+        low = job_for(taskset, "s-low")
+        runtime.begin_round([low])
+        assert runtime.try_dispatch(low)
+        high = job_for(taskset, "s-high", progress=4)
+        runtime.begin_round([high, low])
+        assert not runtime.try_dispatch(high)
+        # The holder now sorts with the blocked job's (more urgent) key.
+        assert runtime.sort_key(low) == high.sort_key
+        assert runtime.sort_key(low) < low.sort_key
+
+    def test_boost_never_lowers_the_holders_own_key(self):
+        """A *less* urgent waiter must not drag the holder down."""
+        taskset = locked_taskset()
+        runtime = runtime_for("pip", taskset)
+        high = job_for(taskset, "s-high", progress=4)
+        runtime.begin_round([high])
+        assert runtime.try_dispatch(high)
+        low = job_for(taskset, "s-low")
+        runtime.begin_round([low, high])
+        assert not runtime.try_dispatch(low)
+        assert runtime.sort_key(high) == high.sort_key
+
+    def test_boosts_recomputed_each_round(self):
+        taskset = locked_taskset()
+        runtime = runtime_for("pip", taskset)
+        low = job_for(taskset, "s-low")
+        runtime.begin_round([low])
+        assert runtime.try_dispatch(low)
+        high = job_for(taskset, "s-high", progress=4)
+        runtime.begin_round([high, low])
+        assert runtime.sort_key(low) == high.sort_key
+        # Next round the waiter is gone (completed): no boost survives.
+        runtime.begin_round([low])
+        assert runtime.sort_key(low) == low.sort_key
+
+
+class TestPriorityCeiling:
+    def test_ceiling_blocks_unrelated_acquisition(self):
+        """PCP: while s-high's resource is held, s-mid (whose priority does
+        not beat the shared ceiling) may not acquire even its *private*
+        resource; under PIP it may."""
+        taskset = locked_taskset()
+        mid = job_for(taskset, "s-mid", progress=2)
+        low = job_for(taskset, "s-low")
+
+        pip = runtime_for("pip", taskset)
+        pip.begin_round([low])
+        assert pip.try_dispatch(low)
+        pip.begin_round([mid, low])
+        assert pip.try_dispatch(mid)
+
+        pcp = runtime_for("pcp", taskset)
+        pcp.begin_round([low])
+        assert pcp.try_dispatch(low)
+        # ceiling(shared) = priority of s-high = 1 <= priority of s-mid.
+        pcp.begin_round([mid, low])
+        assert not pcp.try_dispatch(mid)
+        # The ceiling-blocked job donates its key to the offending holder.
+        assert pcp.sort_key(low) == mid.sort_key
+
+    def test_priority_above_every_ceiling_passes(self):
+        """A job strictly more urgent than all held ceilings acquires
+        freely -- the classic PCP admission rule."""
+        taskset = TaskSet.create(
+            [
+                RealTimeTask(
+                    name="rt-locker",
+                    wcet=10,
+                    period=100,
+                    claims=(ResourceClaim(resource="bus", start=0, duration=4),),
+                )
+            ],
+            [
+                SecurityTask(
+                    name="s-low",
+                    wcet=20,
+                    max_period=700,
+                    claims=(ResourceClaim(resource="disk", start=0, duration=8),),
+                )
+            ],
+        )
+        runtime = runtime_for("pcp", taskset)
+        low = job_for(taskset, "s-low")
+        runtime.begin_round([low])
+        assert runtime.try_dispatch(low)
+        # ceiling(disk) = s-low's priority; rt-locker beats it.
+        rt = job_for(taskset, "rt-locker", job_id="rt-locker:0")
+        runtime.begin_round([rt, low])
+        assert runtime.try_dispatch(rt)
+
+
+class TestOverheads:
+    def test_zero_model_charges_nothing(self):
+        runtime = runtime_for("none")
+        assert not runtime.has_overheads
+        assert runtime.switch_in_cost(migrated=False) == 0
+        assert runtime.switch_in_cost(migrated=True) == 0
+
+    def test_const_model_charges_switch_and_migration(self):
+        runtime = runtime_for("none", overheads="const:2,3")
+        assert runtime.has_overheads
+        assert runtime.switch_in_cost(migrated=False) == 2
+        assert runtime.switch_in_cost(migrated=True) == 5
+
+
+class TestNextBoundaryDelta:
+    def test_deltas_walk_the_section_boundaries(self):
+        runtime = runtime_for("pip")
+        # s-high claims [4, 10) on "shared".
+        assert runtime.next_boundary_delta("s-high", 0, 0) == 4
+        assert runtime.next_boundary_delta("s-high", 4, 0) == 6
+        assert runtime.next_boundary_delta("s-high", 9, 0) == 1
+        assert runtime.next_boundary_delta("s-high", 10, 0) is None
+
+    def test_debt_postpones_the_boundary(self):
+        runtime = runtime_for("pip", overheads="const:3")
+        assert runtime.next_boundary_delta("s-high", 0, 3) == 7
+        assert runtime.next_boundary_delta("s-high", 4, 2) == 8
+
+    def test_claimless_task_has_no_boundaries(self):
+        runtime = runtime_for("pip")
+        assert runtime.next_boundary_delta("rt", 0, 0) is None

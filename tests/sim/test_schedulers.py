@@ -70,6 +70,36 @@ class TestSemiPartitionedScheduler:
         with pytest.raises(ValueError):
             SemiPartitionedScheduler(1).assign([job("rt#0", 0)])
 
+    def test_affinity_tie_breaks_on_ascending_core_index(self):
+        """Determinism contract regression: a job with no usable affinity
+        (never ran, or its last core is taken) lands on the *lowest-index*
+        free core, never an arbitrary one."""
+        scheduler = SemiPartitionedScheduler(4)
+        # No affinity at all: first free core in ascending order.
+        assert scheduler.assign(
+            [job("sec#0", 100, security=True)]
+        )[0] == "sec#0"
+        # Core 0 taken by RT, last core 1 also taken: the displaced
+        # security job falls through to core 2, not core 3.
+        ready = [
+            job("rt-a#0", 0, bound=0),
+            job("rt-b#0", 1, bound=1),
+            job("sec#0", 100, security=True, last=1),
+        ]
+        assignment = scheduler.assign(ready)
+        assert assignment == {0: "rt-a#0", 1: "rt-b#0", 2: "sec#0", 3: None}
+
+    def test_equal_priority_security_jobs_fill_cores_in_key_order(self):
+        """Two never-run security jobs with the same priority: the job-id
+        tie-break orders them, ascending core order places them."""
+        scheduler = SemiPartitionedScheduler(3)
+        ready = [
+            job("sec-b#0", 100, security=True),
+            job("sec-a#0", 100, security=True),
+        ]
+        assignment = scheduler.assign(ready)
+        assert assignment == {0: "sec-a#0", 1: "sec-b#0", 2: None}
+
 
 class TestGlobalScheduler:
     def test_top_m_jobs_run(self):

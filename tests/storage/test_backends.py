@@ -406,6 +406,126 @@ class TestOrchestratorUris:
         assert again == first
 
 
+def strip_header_fields(uri, directory, *fields):
+    """Rewrite a store's header without *fields* inside its fingerprint,
+    simulating a checkpoint written before those axes existed."""
+
+    def strip(text):
+        header = json.loads(text)
+        for field_name in ("config", "campaign"):
+            fingerprint = header.get(field_name)
+            if isinstance(fingerprint, dict):
+                header[field_name] = {
+                    key: value
+                    for key, value in fingerprint.items()
+                    if key not in fields
+                }
+        return json.dumps(header)
+
+    if uri.startswith("sqlite:"):
+        connection = sqlite3.connect(uri[len("sqlite:") :])
+        try:
+            (record,) = connection.execute(
+                "SELECT record FROM meta WHERE field='header'"
+            ).fetchone()
+            connection.execute(
+                "UPDATE meta SET record=? WHERE field='header'", (strip(record),)
+            )
+            connection.commit()
+        finally:
+            connection.close()
+        return
+    if uri.startswith("shards:"):
+        paths = list((directory / "ck.d").glob("*.jsonl"))
+    else:
+        paths = [directory / "ck.jsonl"]
+    for path in paths:
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[0] = strip(lines[0])
+        path.write_text("".join(line + "\n" for line in lines), encoding="utf-8")
+
+
+@pytest.mark.parametrize("uri_for", URI_BUILDERS, ids=URI_IDS)
+class TestPlatformFingerprint:
+    """Checkpoints are platform-bound: the scheduler / protocol / overheads
+    axes are fingerprint-relevant (unlike the backend), and headers from
+    before the platform layer normalise to the default platform."""
+
+    PLATFORM_AXES = ("scheduler", "protocol", "overheads")
+
+    def test_sweep_resume_under_a_different_platform_rejected(
+        self, tmp_path, config, uri_for
+    ):
+        uri = uri_for(tmp_path)
+        store = open_result_store(uri, config)
+        store.load()
+        store.append_chunk([(0, make_evaluation())])
+        for other in (
+            dataclasses.replace(config, scheduler="edf"),
+            dataclasses.replace(config, protocol="pip"),
+            dataclasses.replace(config, overheads="const:5"),
+        ):
+            with pytest.raises(ConfigurationError, match="different sweep"):
+                open_result_store(uri, other).load()
+
+    def test_campaign_resume_under_a_different_platform_rejected(
+        self, tmp_path, uri_for
+    ):
+        from repro.campaign import CampaignSpec
+
+        spec = CampaignSpec(schemes=("HYDRA-C",), num_trials=2, horizon=5_000)
+        uri = uri_for(tmp_path)
+        open_campaign_store(uri, spec).load()
+        for other in (
+            dataclasses.replace(spec, scheduler="edf"),
+            dataclasses.replace(spec, protocol="pcp"),
+            dataclasses.replace(spec, overheads="const:2,3"),
+        ):
+            with pytest.raises(ConfigurationError, match="different campaign"):
+                open_campaign_store(uri, other).load()
+
+    def test_equivalent_overhead_spellings_resume(self, tmp_path, config, uri_for):
+        """``const:5`` and ``const:5,0`` are the same model and must share
+        a fingerprint."""
+        uri = uri_for(tmp_path)
+        first = dataclasses.replace(config, overheads="const:5")
+        store = open_result_store(uri, first)
+        store.load()
+        store.append_chunk([(0, make_evaluation())])
+        respelled = dataclasses.replace(config, overheads="const:5,0")
+        assert open_result_store(uri, respelled).load() == {0: make_evaluation()}
+
+    def test_legacy_sweep_header_normalises_to_the_default_platform(
+        self, tmp_path, config, uri_for
+    ):
+        """A pre-platform checkpoint (no scheduler/protocol/overheads keys)
+        was always simulated under the paper's platform: it must resume
+        under the defaults and stay rejected under anything else."""
+        uri = uri_for(tmp_path)
+        store = open_result_store(uri, config)
+        store.load()
+        store.append_chunk([(0, make_evaluation())])
+        strip_header_fields(uri, tmp_path, *self.PLATFORM_AXES)
+        assert open_result_store(uri, config).load() == {0: make_evaluation()}
+        pip = dataclasses.replace(config, protocol="pip")
+        with pytest.raises(ConfigurationError, match="different sweep"):
+            open_result_store(uri, pip).load()
+
+    def test_legacy_campaign_header_normalises_to_the_default_platform(
+        self, tmp_path, uri_for
+    ):
+        from repro.campaign import CampaignSpec
+
+        spec = CampaignSpec(schemes=("HYDRA-C",), num_trials=2, horizon=5_000)
+        uri = uri_for(tmp_path)
+        open_campaign_store(uri, spec).load()
+        strip_header_fields(uri, tmp_path, *self.PLATFORM_AXES)
+        assert open_campaign_store(uri, spec).load() == {}
+        edf = dataclasses.replace(spec, scheduler="edf")
+        with pytest.raises(ConfigurationError, match="different campaign"):
+            open_campaign_store(uri, edf).load()
+
+
 class TestCampaignStoreUris:
     def test_campaign_codec_rides_any_backend(self, tmp_path):
         from repro.campaign import (
