@@ -13,12 +13,15 @@
 #            the compiled backend normally takes over.  Deterministic;
 #            always blocking.
 #   smoke -- deterministic end-to-end drills, always blocking:
-#            (a) a tiny Monte Carlo attack campaign executed under BOTH
-#            simulation backends (event-compressed and tick oracle);
-#            their aggregate reports must match byte for byte.  Run twice:
-#            once on the default platform and once under a non-default
-#            platform model (--scheduler edf --protocol pip), so the
-#            platform plugin layer is exercised end to end through the CLI.
+#            (a) a tiny Monte Carlo attack campaign executed under ALL
+#            THREE simulation backends (event-compressed, tick oracle and
+#            trial-batched); their aggregate reports must match byte for
+#            byte.  Run twice: once on the default platform (where the
+#            batch backend runs its lockstep engine) and once under a
+#            non-default platform model (--scheduler edf --protocol pip,
+#            where it must transparently fall back per trial), so the
+#            platform plugin layer AND the campaign fast path are
+#            exercised end to end through the CLI.
 #            (b) a live `hydra-c serve` daemon on a Unix socket, driven
 #            through `hydra-c query`: ping, a design query, an infeasible
 #            admission (an answer, not an error), a query that exceeds a
@@ -27,14 +30,18 @@
 #            faster than the frozen seed path (repro/batch/reference.py),
 #            the RTA kernel >= 2x on the allocation-heavy Fig. 7a columns,
 #            the vectorized column layer >= 2x over the PR 4 kernel path
-#            on the period-selection-heavy Fig. 6 / Fig. 7b columns, and
-#            the event-compressed simulation backend >= 5x faster than
-#            the tick engine on the rover horizon, and the serve layer's
-#            warm repeat-query p50 below its cold p50.  None of these
-#            rewrite benchmarks/figures_output.txt or campaign_golden.txt
+#            on the period-selection-heavy Fig. 6 / Fig. 7b columns, the
+#            event-compressed simulation backend >= 5x faster than
+#            the tick engine on the rover horizon, the campaign fast path
+#            (design dedup + trial-batched lockstep engine) >= 3x over the
+#            PR 8 campaign path (dedup alone >= 1.3x), and the serve
+#            layer's warm repeat-query p50 below its cold p50.  None of
+#            these rewrite benchmarks/figures_output.txt or
+#            campaign_golden.txt
 #            -- that is asserted after the stage, because a dirty golden
 #            pin means results changed.  The stage also leaves the
-#            measured perf trajectories in benchmarks/BENCH_PR5.json and
+#            measured perf trajectories in benchmarks/BENCH_PR5.json,
+#            benchmarks/BENCH_PR9.json and
 #            benchmarks/BENCH_SERVE.json (uploaded as CI artifacts).
 #            Wall-clock based, so on shared CI runners they
 #            run as a separate, non-blocking workflow step; locally they
@@ -76,27 +83,31 @@ if [[ "$stage" == "tier1" || "$stage" == "all" ]]; then
 fi
 
 if [[ "$stage" == "smoke" || "$stage" == "all" ]]; then
-    echo "== campaign smoke: tiny campaign under both simulation backends =="
+    echo "== campaign smoke: tiny campaign under all three simulation backends =="
     campaign_args=(--trials 2 --horizon 9000 --schemes HYDRA-C,HYDRA
                    --jitter 50 --quiet)
     fast_report=$(python -m repro campaign "${campaign_args[@]}" --backend fast)
-    tick_report=$(python -m repro campaign "${campaign_args[@]}" --backend tick)
-    if [[ "$fast_report" != "$tick_report" ]]; then
-        echo "campaign smoke FAILED: fast and tick backends disagree" >&2
-        diff <(printf '%s\n' "$fast_report") <(printf '%s\n' "$tick_report") >&2 || true
-        exit 1
-    fi
+    for other in tick batch; do
+        other_report=$(python -m repro campaign "${campaign_args[@]}" --backend "$other")
+        if [[ "$fast_report" != "$other_report" ]]; then
+            echo "campaign smoke FAILED: fast and $other backends disagree" >&2
+            diff <(printf '%s\n' "$fast_report") <(printf '%s\n' "$other_report") >&2 || true
+            exit 1
+        fi
+    done
     printf '%s\n' "$fast_report"
 
-    echo "== campaign smoke: non-default platform (EDF + PIP) under both backends =="
+    echo "== campaign smoke: non-default platform (EDF + PIP) under all three backends =="
     platform_args=("${campaign_args[@]}" --scheduler edf --protocol pip)
     fast_platform=$(python -m repro campaign "${platform_args[@]}" --backend fast)
-    tick_platform=$(python -m repro campaign "${platform_args[@]}" --backend tick)
-    if [[ "$fast_platform" != "$tick_platform" ]]; then
-        echo "campaign smoke FAILED: backends disagree under EDF+PIP" >&2
-        diff <(printf '%s\n' "$fast_platform") <(printf '%s\n' "$tick_platform") >&2 || true
-        exit 1
-    fi
+    for other in tick batch; do
+        other_platform=$(python -m repro campaign "${platform_args[@]}" --backend "$other")
+        if [[ "$fast_platform" != "$other_platform" ]]; then
+            echo "campaign smoke FAILED: backends disagree under EDF+PIP ($other)" >&2
+            diff <(printf '%s\n' "$fast_platform") <(printf '%s\n' "$other_platform") >&2 || true
+            exit 1
+        fi
+    done
     printf '%s\n' "$fast_platform"
 
     echo "== serve smoke: live admission daemon over a Unix socket =="
@@ -146,11 +157,12 @@ if [[ "$stage" == "smoke" || "$stage" == "all" ]]; then
 fi
 
 if [[ "$stage" == "bench" || "$stage" == "all" ]]; then
-    echo "== bench gates: batch-service, RTA-kernel, vectorized-screen, fast-simulation and serve-latency speedups =="
+    echo "== bench gates: batch-service, RTA-kernel, vectorized-screen, fast-simulation, campaign-fast-path and serve-latency speedups =="
     python -m pytest -x -q benchmarks/test_bench_batch_service.py \
         benchmarks/test_bench_rta_kernel.py \
         benchmarks/test_bench_vectorized_screen.py \
         benchmarks/test_bench_sim_fast.py \
+        benchmarks/test_bench_campaign_fast.py \
         benchmarks/test_bench_serve.py
     echo "== golden pins: figures_output.txt and campaign_golden.txt must be unchanged =="
     if ! git diff --exit-code -- benchmarks/figures_output.txt \

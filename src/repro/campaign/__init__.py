@@ -4,7 +4,9 @@ The paper measures intrusion-detection latency over 35 rover trials; this
 package turns that into a campaign engine: a :class:`CampaignSpec`
 (schemes x trial count x attack scenario x jitter model) is expanded into
 deterministic per-trial seeds, evaluated in chunks across worker processes
-on the event-compressed simulation backend (:mod:`repro.sim.fast`),
+on any simulation backend (event-compressed by default, trial-vectorized
+via ``--backend batch``; see :mod:`repro.sim`), deduplicated across schemes
+whose integrated designs coincide,
 checkpointed to a fingerprint-guarded JSONL store, and aggregated into
 detection-latency distributions per scheme -- reproducing Fig. 5 and
 extending it to every scheme in the registry.
@@ -21,6 +23,7 @@ from repro.campaign.aggregate import (
 from repro.campaign.orchestrator import (
     CampaignOrchestrator,
     CampaignProgress,
+    TrialBlock,
     run_campaign,
 )
 from repro.campaign.spec import (
@@ -34,7 +37,12 @@ from repro.campaign.store import (
     CampaignResultStore,
     open_campaign_store,
 )
-from repro.campaign.trial import CampaignRunner, SchemeTrialOutcome, TrialRecord
+from repro.campaign.trial import (
+    CampaignRunner,
+    CampaignStats,
+    SchemeTrialOutcome,
+    TrialRecord,
+)
 
 __all__ = [
     "CampaignOrchestrator",
@@ -44,9 +52,11 @@ __all__ = [
     "CampaignResultStore",
     "CampaignRunner",
     "CampaignSpec",
+    "CampaignStats",
     "JitterModel",
     "LatencyDistribution",
     "SchemeTrialOutcome",
+    "TrialBlock",
     "TrialRecord",
     "TrialSpec",
     "build_trial_specs",

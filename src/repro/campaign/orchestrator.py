@@ -18,14 +18,19 @@ seeds are prefix-stable, so a checkpoint also resumes under a *larger*
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.campaign.aggregate import CampaignResult
 from repro.campaign.spec import CampaignSpec, TrialSpec, build_trial_specs
 from repro.campaign.store import open_campaign_store
-from repro.campaign.trial import CampaignRunner, TrialRecord
+from repro.campaign.trial import (
+    CampaignRunner,
+    CampaignStats,
+    SchemeTrialOutcome,
+    TrialRecord,
+)
 from repro.exec import PersistentPool, slice_evenly
 from repro.storage import CheckpointStore
 
@@ -63,15 +68,25 @@ class TrialBlock:
     :class:`TrialSpec` list is flattened into two parallel integer arrays
     next to the (shared, hashable) campaign spec -- one payload per worker
     slice instead of one pickled tuple per trial.
+
+    ``scheme_names`` (``None`` = all of the spec's schemes) restricts the
+    block to a subset of schemes: under the batched backend the
+    orchestrator slices work by *design group* as well as by trial, so a
+    worker simulates one distinct design across its whole trial slice in
+    lockstep and the orchestrator reassembles full records afterwards.
     """
 
     spec: CampaignSpec
     trial_indices: np.ndarray
     seeds: np.ndarray
+    scheme_names: Optional[Tuple[str, ...]] = None
 
     @classmethod
     def encode(
-        cls, spec: CampaignSpec, trials: List[TrialSpec]
+        cls,
+        spec: CampaignSpec,
+        trials: List[TrialSpec],
+        scheme_names: Optional[Tuple[str, ...]] = None,
     ) -> "TrialBlock":
         return cls(
             spec=spec,
@@ -79,6 +94,7 @@ class TrialBlock:
                 [trial.trial_index for trial in trials], dtype=np.int64
             ),
             seeds=np.asarray([trial.seed for trial in trials], dtype=np.uint64),
+            scheme_names=scheme_names,
         )
 
     def decode(self) -> List[TrialSpec]:
@@ -94,13 +110,25 @@ class TrialBlock:
 _WORKER_RUNNERS: Dict[CampaignSpec, CampaignRunner] = {}
 
 
-def _run_block_worker(block: TrialBlock) -> List[TrialRecord]:
-    """Module-level (hence picklable) worker entry point."""
+def _run_block_worker(
+    block: TrialBlock,
+) -> Tuple[List[TrialRecord], Dict[str, int]]:
+    """Module-level (hence picklable) worker entry point.
+
+    Returns the block's (possibly scheme-partial) records next to the
+    worker-side :class:`CampaignStats` snapshot, so the orchestrator can
+    aggregate fast-path counters across :class:`~repro.exec.PersistentPool`
+    processes.
+    """
     runner = _WORKER_RUNNERS.get(block.spec)
     if runner is None:
         runner = CampaignRunner(block.spec)
         _WORKER_RUNNERS[block.spec] = runner
-    return [runner.run_trial(trial) for trial in block.decode()]
+    stats = CampaignStats()
+    records = runner.run_trials(
+        block.decode(), schemes=block.scheme_names, stats=stats
+    )
+    return records, stats.as_dict()
 
 
 class CampaignOrchestrator:
@@ -121,6 +149,11 @@ class CampaignOrchestrator:
         shared across several campaigns (the caller closes it); by default
         one pool is created per run -- serving all of its chunks -- and
         closed on every exit path.
+    stats_sink:
+        Optional :class:`~repro.campaign.trial.CampaignStats` accumulating
+        the campaign's fast-path counters (design-dedup hits, batched vs
+        fallback design-trials), aggregated across worker processes.
+        Observability only -- never affects the result stream.
     """
 
     def __init__(
@@ -129,6 +162,7 @@ class CampaignOrchestrator:
         store: Optional[CheckpointStore] = None,
         progress: Optional[ProgressCallback] = None,
         pool: Optional[PersistentPool] = None,
+        stats_sink: Optional[CampaignStats] = None,
     ) -> None:
         if store is None and spec.checkpoint_path is not None:
             store = open_campaign_store(spec.checkpoint_path, spec)
@@ -136,6 +170,7 @@ class CampaignOrchestrator:
         self._store = store
         self._progress = progress
         self._pool = pool
+        self._stats = stats_sink if stats_sink is not None else CampaignStats()
         # Validates the scheme selection against the rover workload up
         # front (every scheme must admit it) and serves the serial path.
         self._runner = CampaignRunner(spec)
@@ -185,21 +220,69 @@ class CampaignOrchestrator:
         records = tuple(completed[trial.trial_index] for trial in trials)
         return CampaignResult(spec=spec, records=records)
 
+    @property
+    def stats(self) -> CampaignStats:
+        """Aggregated fast-path counters (see ``stats_sink``)."""
+        return self._stats
+
     def _evaluate_chunk(
         self,
         chunk: List[TrialSpec],
         pool: Optional[PersistentPool],
     ) -> List[TrialRecord]:
         if pool is None or self._spec.n_jobs <= 1:
-            return [self._runner.run_trial(trial) for trial in chunk]
-        blocks = [
-            TrialBlock.encode(self._spec, trial_slice)
-            for trial_slice in slice_evenly(chunk, self._spec.n_jobs)
+            return self._runner.run_trials(chunk, stats=self._stats)
+        blocks = self._encode_blocks(chunk)
+        if all(block.scheme_names is None for block in blocks):
+            records: List[TrialRecord] = []
+            for slice_records, stats in pool.map_chunk(_run_block_worker, blocks):
+                records.extend(slice_records)
+                self._stats.merge(stats)
+            return records
+        # Design-group slicing (batched backend): each worker returned
+        # scheme-partial records; reassemble full records per trial, with
+        # outcomes in the spec's scheme (= reporting) order.
+        partial: Dict[int, Dict[str, SchemeTrialOutcome]] = {
+            trial.trial_index: {} for trial in chunk
+        }
+        for slice_records, stats in pool.map_chunk(_run_block_worker, blocks):
+            self._stats.merge(stats)
+            for record in slice_records:
+                partial[record.trial_index].update(record.outcomes)
+        return [
+            TrialRecord(
+                trial_index=trial.trial_index,
+                seed=trial.seed,
+                outcomes={
+                    name: partial[trial.trial_index][name]
+                    for name in self._spec.schemes
+                },
+            )
+            for trial in chunk
         ]
-        records: List[TrialRecord] = []
-        for slice_records in pool.map_chunk(_run_block_worker, blocks):
-            records.extend(slice_records)
-        return records
+
+    def _encode_blocks(self, chunk: List[TrialSpec]) -> List[TrialBlock]:
+        """Split a chunk into worker payloads.
+
+        The per-trial backends parallelise over trials only.  The batched
+        backend slices by design group too -- one block simulates one
+        distinct design over a trial slice in lockstep -- so campaigns
+        whose scheme count exceeds their chunk length still saturate the
+        pool, and dedup work never repeats across workers.
+        """
+        spec = self._spec
+        if spec.backend != "batch":
+            return [
+                TrialBlock.encode(spec, trial_slice)
+                for trial_slice in slice_evenly(chunk, spec.n_jobs)
+            ]
+        groups = self._runner.design_groups()
+        slices = max(1, -(-spec.n_jobs // len(groups)))
+        return [
+            TrialBlock.encode(spec, trial_slice, scheme_names=tuple(group))
+            for group in groups
+            for trial_slice in slice_evenly(chunk, slices)
+        ]
 
 
 def run_campaign(
@@ -207,8 +290,9 @@ def run_campaign(
     store: Optional[CheckpointStore] = None,
     progress: Optional[ProgressCallback] = None,
     pool: Optional[PersistentPool] = None,
+    stats_sink: Optional[CampaignStats] = None,
 ) -> CampaignResult:
     """Convenience wrapper: build an orchestrator and run it."""
     return CampaignOrchestrator(
-        spec, store=store, progress=progress, pool=pool
+        spec, store=store, progress=progress, pool=pool, stats_sink=stats_sink
     ).run()

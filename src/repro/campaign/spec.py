@@ -97,10 +97,18 @@ class CampaignSpec:
     jitter:
         Release-offset randomisation model.
     backend:
-        Simulation backend, ``"fast"`` (event-compressed, default) or
-        ``"tick"`` (the slow oracle).  Deliberately *not* part of the
-        checkpoint fingerprint: the differential suite pins both backends
-        bit-identical, so a campaign may be resumed under either.
+        Simulation backend: ``"fast"`` (event-compressed, default),
+        ``"batch"`` (trial-vectorized lockstep, falls back per trial to
+        the event-compressed engine outside its envelope) or ``"tick"``
+        (the slow oracle).  Deliberately *not* part of the checkpoint
+        fingerprint: the differential suite pins all backends
+        bit-identical, so a campaign may be resumed under any of them.
+    dedup:
+        Simulate once per *distinct* integrated design per trial and fan
+        the outcome out to every aliasing scheme (default on).  A pure
+        execution knob -- the dedup fan-out is byte-identical to the
+        per-scheme loop by construction -- so it is never fingerprinted;
+        it exists so benchmarks and tests can pin that equality.
     scheduler / protocol / overheads:
         The platform-model selection (:mod:`repro.platform`), one canonical
         string per registry axis.  Unlike ``backend``, all three *are*
@@ -121,6 +129,7 @@ class CampaignSpec:
     latest_injection_fraction: float = 0.5
     jitter: JitterModel = field(default_factory=JitterModel.none)
     backend: str = "fast"
+    dedup: bool = True
     n_jobs: int = 1
     chunk_size: int = 8
     checkpoint_path: Optional[str] = None
@@ -156,10 +165,10 @@ class CampaignSpec:
     def fingerprint(self) -> Dict[str, object]:
         """The fields that determine each trial's record.
 
-        Execution knobs (``backend``, ``n_jobs``, ``chunk_size``,
-        ``checkpoint_path``) are excluded: a checkpoint may be resumed with
-        a different worker count, chunking *or backend* without changing a
-        single byte of the result stream.  ``num_trials`` is excluded too:
+        Execution knobs (``backend``, ``dedup``, ``n_jobs``,
+        ``chunk_size``, ``checkpoint_path``) are excluded: a checkpoint may
+        be resumed with a different worker count, chunking, backend *or
+        dedup setting* without changing a single byte of the result stream.  ``num_trials`` is excluded too:
         trial seeds are prefix-stable (see :func:`build_trial_specs`), so
         rerunning against the same checkpoint with a larger ``--trials``
         *extends* the campaign -- already-paid trials are reused, only the

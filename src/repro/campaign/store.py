@@ -9,9 +9,10 @@ codec mixin the result-backend registry composes with any backend;
 class, byte format unchanged.
 
 The fingerprint deliberately excludes the execution knobs *including the
-simulation backend*: the differential suite pins the fast and tick backends
-bit-identical, so a campaign checkpoint written under one backend may be
-finished under the other without changing the result stream.  ``num_trials``
+simulation backend and design dedup*: the differential suites pin the
+tick, fast and batch backends bit-identical, so a campaign checkpoint
+written under any (backend, dedup) combination may be finished under any
+other without changing the result stream.  ``num_trials``
 is excluded too -- trial seeds are prefix-stable, so growing ``--trials``
 extends an existing checkpoint instead of invalidating it.
 """

@@ -9,6 +9,20 @@ release jitter from its derived seed, simulate every scheme's design over
 the observation window with the configured backend, and replay the attacks
 against each trace.
 
+Cross-scheme design dedup
+-------------------------
+Several schemes routinely integrate to the *same* design on a given
+workload (on the rover, every HYDRA-C re-partitioning variant that keeps
+the legacy RT split reproduces HYDRA-C's design exactly).  A trial's
+outcome is a pure function of ``(design, platform, horizon, jitter,
+attacks)`` -- the scheme name never enters the simulator or the detection
+replay -- so :class:`CampaignRunner` canonicalizes every design
+(placement + periods + policy; the platform model is campaign-global),
+simulates once per *distinct* design per trial, and fans the outcome back
+out to every aliasing scheme.  Results are byte-identical to the
+per-scheme loop by construction; ``spec.dedup`` (an execution knob, never
+fingerprinted) exists so benchmarks and tests can pin that equality.
+
 :class:`TrialRecord` is the JSON-round-trippable unit the checkpoint store
 persists -- everything the aggregation layer needs (per-attack detection
 latencies, context switches, migrations, preemptions per scheme), nothing
@@ -17,8 +31,8 @@ it does not (no traces).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass, fields
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,10 +49,58 @@ from repro.rta import RtaContext
 from repro.schemes import REGISTRY, SharedPhases
 from repro.security.attacks import generate_attacks
 from repro.security.detection import evaluate_detection
+from repro.sim.batched import BatchTrialInput, simulate_trials_batched
 from repro.sim.engine import SimulationConfig
 from repro.sim.fast import resolve_backend
 
-__all__ = ["SchemeTrialOutcome", "TrialRecord", "CampaignRunner"]
+__all__ = [
+    "CampaignStats",
+    "SchemeTrialOutcome",
+    "TrialRecord",
+    "CampaignRunner",
+]
+
+
+@dataclass
+class CampaignStats:
+    """Counters of campaign fast-path activity (observability only).
+
+    Mirrors :class:`repro.rta.context.KernelStats`: plain int counters, a
+    dict snapshot as the cross-process aggregation format, and a forgiving
+    ``merge`` so sinks recorded by older workers still aggregate.
+    ``hydra-c campaign --stats`` prints the aggregate over every evaluated
+    chunk, summed across ``PersistentPool`` workers.
+    """
+
+    #: Scheme-trial evaluations answered by another scheme's identical
+    #: design (one simulation fanned out to N aliases counts N-1 hits).
+    design_dedup_hits: int = 0
+    #: Design-trial simulations executed by the lockstep batched engine.
+    batched_trials: int = 0
+    #: Design-trial simulations the batch backend handed to the
+    #: event-compressed engine (outside the vectorizable envelope).
+    fallback_trials: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict snapshot (the cross-process aggregation format)."""
+        return {field.name: getattr(self, field.name) for field in fields(self)}
+
+    def merge(self, other: Mapping[str, int]) -> None:
+        """Accumulate another runner's (or worker's) counters into this."""
+        for field in fields(self):
+            setattr(
+                self,
+                field.name,
+                getattr(self, field.name) + int(other.get(field.name, 0)),
+            )
+
+    def summary_line(self) -> str:
+        """The one-line report behind ``hydra-c campaign --stats``."""
+        return (
+            f"campaign: {self.design_dedup_hits} design-dedup hits, "
+            f"{self.batched_trials} batched / "
+            f"{self.fallback_trials} fallback design-trials"
+        )
 
 
 @dataclass(frozen=True)
@@ -158,6 +220,9 @@ class CampaignRunner:
                     f"(metadata: {design.metadata})"
                 )
             self._designs[name] = design
+        self._design_keys = {
+            name: _design_key(design) for name, design in self._designs.items()
+        }
 
     @property
     def spec(self) -> CampaignSpec:
@@ -167,8 +232,67 @@ class CampaignRunner:
     def designs(self):
         return dict(self._designs)
 
+    def design_groups(
+        self, schemes: Optional[Sequence[str]] = None
+    ) -> List[List[str]]:
+        """Scheme names grouped by canonically equal design.
+
+        Groups (and the names inside them) appear in spec order; the first
+        name of each group is the representative whose design is
+        simulated.  With ``spec.dedup`` off, every scheme is its own
+        group.
+        """
+        selected = list(self._designs if schemes is None else schemes)
+        if not self._spec.dedup:
+            return [[name] for name in selected]
+        groups: Dict[object, List[str]] = {}
+        for name in selected:
+            groups.setdefault(self._design_keys[name], []).append(name)
+        return list(groups.values())
+
     def run_trial(self, trial: TrialSpec) -> TrialRecord:
         """Evaluate one trial under every scheme (paired randomness)."""
+        return self.run_trials([trial])[0]
+
+    def run_trials(
+        self,
+        trials: Sequence[TrialSpec],
+        schemes: Optional[Sequence[str]] = None,
+        stats: Optional[CampaignStats] = None,
+    ) -> List[TrialRecord]:
+        """Evaluate a block of trials, one simulation per distinct design.
+
+        *schemes* restricts evaluation to a subset of the spec's schemes
+        (used by the orchestrator's per-design-group worker slicing); the
+        returned records then carry outcomes for that subset only, in the
+        given order.  *stats* accumulates fast-path counters in place.
+        """
+        selected = tuple(self._designs if schemes is None else schemes)
+        inputs = [self._trial_inputs(trial) for trial in trials]
+        outcome_maps: List[Dict[str, SchemeTrialOutcome]] = [
+            {} for _ in trials
+        ]
+        for group in self.design_groups(selected):
+            design = self._designs[group[0]]
+            outcomes = self._simulate_design(design, inputs, stats)
+            for index in range(len(trials)):
+                for name in group:
+                    outcome_maps[index][name] = outcomes[index]
+            if stats is not None:
+                stats.design_dedup_hits += (len(group) - 1) * len(trials)
+        return [
+            TrialRecord(
+                trial_index=trial.trial_index,
+                seed=trial.seed,
+                # Reporting order (and the checkpoint byte format) follows
+                # the scheme selection, not the dedup grouping.
+                outcomes={name: outcome_maps[index][name] for name in selected},
+            )
+            for index, trial in enumerate(trials)
+        ]
+
+    def _trial_inputs(self, trial: TrialSpec) -> BatchTrialInput:
+        """Draw one trial's randomness (attacks first, then jitter)."""
         spec = self._spec
         rng = np.random.default_rng(trial.seed)
         scenario = generate_attacks(
@@ -186,22 +310,102 @@ class CampaignRunner:
                 task.name: int(rng.integers(0, spec.jitter.max_offset + 1))
                 for task in self._taskset.all_tasks
             }
-        config = SimulationConfig(
-            horizon=spec.horizon,
-            release_jitter=jitter,
-            platform=spec.platform_model,
-        )
+        return BatchTrialInput(scenario=scenario, release_jitter=jitter)
 
-        outcomes: Dict[str, SchemeTrialOutcome] = {}
-        for name, design in self._designs.items():
-            trace = self._simulator_cls.from_design(design, config).run()
-            detections = evaluate_detection(trace, self._monitors, scenario)
-            outcomes[name] = SchemeTrialOutcome(
-                latencies=tuple(result.latency for result in detections),
-                context_switches=trace.context_switches,
-                migrations=trace.migrations,
-                preemptions=trace.preemptions,
+    def _simulate_design(
+        self,
+        design,
+        inputs: Sequence[BatchTrialInput],
+        stats: Optional[CampaignStats],
+    ) -> List[SchemeTrialOutcome]:
+        """One design's outcomes for every trial of the block."""
+        spec = self._spec
+        if spec.backend == "batch":
+            batch = simulate_trials_batched(
+                design,
+                self._monitors,
+                inputs,
+                spec.horizon,
+                platform=spec.platform_model,
             )
-        return TrialRecord(
-            trial_index=trial.trial_index, seed=trial.seed, outcomes=outcomes
+            if stats is not None:
+                stats.batched_trials += batch.batched_trials
+                stats.fallback_trials += batch.fallback_trials
+            return [
+                SchemeTrialOutcome(
+                    latencies=result.latencies,
+                    context_switches=result.context_switches,
+                    migrations=result.migrations,
+                    preemptions=result.preemptions,
+                )
+                for result in batch.results
+            ]
+        outcomes: List[SchemeTrialOutcome] = []
+        for trial_input in inputs:
+            config = SimulationConfig(
+                horizon=spec.horizon,
+                release_jitter=trial_input.release_jitter,
+                platform=spec.platform_model,
+            )
+            trace = self._simulator_cls.from_design(design, config).run()
+            detections = evaluate_detection(
+                trace, self._monitors, trial_input.scenario
+            )
+            outcomes.append(
+                SchemeTrialOutcome(
+                    latencies=tuple(result.latency for result in detections),
+                    context_switches=trace.context_switches,
+                    migrations=trace.migrations,
+                    preemptions=trace.preemptions,
+                )
+            )
+        return outcomes
+
+
+def _design_key(design) -> Tuple:
+    """Canonical form of everything about a design the simulator and the
+    detection replay can observe.
+
+    Policy, core count, every task's runtime parameters (assigned security
+    periods included), the resource-claim sections (a lock-using platform
+    model branches on them) and both allocations.  Scheme name, response
+    times and metadata never enter the simulation, so designs equal under
+    this key produce byte-identical trial outcomes for any trial and any
+    platform model.
+    """
+    taskset = design.taskset
+    rt_tasks = tuple(
+        (task.name, task.wcet, task.period, task.deadline, task.priority)
+        for task in taskset.rt_tasks
+    )
+    security_tasks = tuple(
+        (
+            task.name,
+            task.wcet,
+            task.effective_period,
+            task.priority,
+            tuple(
+                (claim.resource, claim.start, claim.duration)
+                for claim in task.claims
+            ),
         )
+        for task in taskset.security_tasks
+    )
+    rt_allocation = (
+        tuple(sorted(dict(design.rt_allocation.as_dict()).items()))
+        if design.rt_allocation is not None
+        else None
+    )
+    security_allocation = (
+        tuple(sorted(dict(design.security_allocation.as_dict()).items()))
+        if design.security_allocation is not None
+        else None
+    )
+    return (
+        design.policy.value,
+        design.platform.num_cores,
+        rt_tasks,
+        security_tasks,
+        rt_allocation,
+        security_allocation,
+    )

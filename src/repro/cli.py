@@ -13,13 +13,18 @@ Usage (installed as the ``hydra-c`` console script, also runnable as
                                  # Monte Carlo attack campaign on the rover
     hydra-c schemes              # list every registered integration scheme
     hydra-c kernels              # list the fixed-point kernel backends
+    hydra-c backends             # list the simulation backends
     hydra-c serve --socket /tmp/hydra.sock   # online admission daemon
     hydra-c query --socket /tmp/hydra.sock '{"op":"ping"}'
 
 ``campaign`` runs the Monte Carlo extension of the Fig. 5 security
-evaluation on the event-compressed simulation backend: paired attack
-trials across any set of registered schemes, resumable at chunk
-granularity, aggregated into detection-latency distributions.
+evaluation: paired attack trials across any set of registered schemes,
+resumable at chunk granularity, aggregated into detection-latency
+distributions.  ``--backend`` picks the simulation backend (``fast``
+event-compressed default, ``batch`` trial-vectorized, ``tick`` the slow
+oracle; all bit-identical, see ``hydra-c backends``), ``--no-dedup``
+disables the cross-scheme design dedup (a pure execution knob), and
+``--stats`` prints the campaign fast-path counters after the report.
 
 ``sweep`` runs the batched design-space sweep once and derives every
 synthetic figure from it; with ``--checkpoint`` the run is chunked into a
@@ -52,6 +57,7 @@ from typing import Optional, Sequence
 from repro.campaign import (
     CampaignProgress,
     CampaignSpec,
+    CampaignStats,
     JitterModel,
     format_campaign,
     run_campaign,
@@ -211,9 +217,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--backend",
-        choices=("fast", "tick"),
         default="fast",
-        help="simulation backend (bit-identical; 'tick' is the slow oracle)",
+        metavar="NAME",
+        help=(
+            "simulation backend: 'fast' (event-compressed), 'batch' "
+            "(trial-vectorized) or 'tick' (the slow oracle); bit-identical "
+            "results either way, see 'hydra-c backends'"
+        ),
+    )
+    campaign.add_argument(
+        "--no-dedup",
+        action="store_true",
+        help=(
+            "simulate every scheme separately even when several schemes "
+            "integrated to the same design (results are identical; this "
+            "knob exists for benchmarking the dedup fast path)"
+        ),
+    )
+    campaign.add_argument(
+        "--stats",
+        action="store_true",
+        help=(
+            "after the report, print the campaign fast-path counters "
+            "(design-dedup hits, batched vs fallback design-trials) "
+            "to stderr"
+        ),
     )
     campaign.add_argument(
         "--jitter",
@@ -257,6 +285,11 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser(
         "kernels",
         help="list the fixed-point kernel backends importable on this machine",
+    )
+
+    subparsers.add_parser(
+        "backends",
+        help="list the simulation backends selectable via campaign --backend",
     )
 
     serve = subparsers.add_parser(
@@ -480,6 +513,41 @@ def _format_kernels_table() -> str:
     return "\n".join(lines)
 
 
+def _format_backends_table() -> str:
+    """Render the simulation-backend registry as a text table."""
+    from repro.sim import SIMULATOR_BACKENDS
+
+    descriptions = {
+        "tick": "tick-accurate oracle (slow; the frozen reference)",
+        "fast": "event-compressed (jumps between scheduling events)",
+        "batch": (
+            "trial-vectorized lockstep over campaign trial batches "
+            "(falls back to 'fast' outside its envelope)"
+        ),
+    }
+    rows = [
+        (
+            name,
+            f"{cls.__module__}.{cls.__name__}",
+            descriptions.get(name, "-"),
+        )
+        for name, cls in SIMULATOR_BACKENDS.items()
+    ]
+    headers = ("backend", "class", "description")
+    widths = [
+        max(len(headers[column]), *(len(row[column]) for row in rows))
+        for column in range(len(headers))
+    ]
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths))
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
 def _campaign_spec(args: argparse.Namespace) -> CampaignSpec:
     jitter = (
         JitterModel.uniform(args.jitter) if args.jitter else JitterModel.none()
@@ -491,6 +559,7 @@ def _campaign_spec(args: argparse.Namespace) -> CampaignSpec:
         seed=args.seed,
         jitter=jitter,
         backend=args.backend,
+        dedup=not args.no_dedup,
         n_jobs=args.jobs,
         chunk_size=args.chunk_size,
         checkpoint_path=args.checkpoint,
@@ -517,7 +586,10 @@ def _campaign_progress_printer(progress: CampaignProgress) -> None:
 def _run_campaign(args: argparse.Namespace) -> str:
     spec = _campaign_spec(args)
     progress = None if args.quiet else _campaign_progress_printer
-    result = run_campaign(spec, progress=progress)
+    stats = CampaignStats() if args.stats else None
+    result = run_campaign(spec, progress=progress, stats_sink=stats)
+    if stats is not None:
+        print(stats.summary_line(), file=sys.stderr)
     return format_campaign(result)
 
 
@@ -648,6 +720,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(_format_schemes_table())
         elif args.command == "kernels":
             print(_format_kernels_table())
+        elif args.command == "backends":
+            print(_format_backends_table())
         elif args.command == "serve":
             return _run_serve(args)
         elif args.command == "query":

@@ -155,9 +155,14 @@ class PlatformRuntime:
             if target is None:
                 continue
             holder = held.get(target)
-            if holder is not None and holder != job.job_id:
-                blocked[job.job_id] = True
-                self._donate(holder, model.sort_key(job))
+            if holder is not None:
+                # Already granted (to this job or another): the ceiling
+                # test only guards *acquisitions* -- a job inside its own
+                # section must never be re-blocked by ceilings raised after
+                # it acquired.
+                if holder != job.job_id:
+                    blocked[job.job_id] = True
+                    self._donate(holder, model.sort_key(job))
                 continue
             if self._ceiling_check:
                 blockers = self._ceiling_blockers(job)

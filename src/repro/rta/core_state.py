@@ -306,6 +306,20 @@ class CoreState:
 
     # -- quick accepts ---------------------------------------------------------
 
+    def _blocking_term(self, view: TaskView) -> int:
+        """The blocking term the exact solve would fold into *view* (ticks).
+
+        Zero whenever the context carries no terms at all (protocol
+        ``none``, or a lock-using protocol over a claim-free task set) *or*
+        this particular task's term is zero -- the accept-only shortcuts
+        key on the terms actually in play, not on the protocol selection,
+        so claim-annotated task sets under the default protocol keep the
+        full fast path.
+        """
+        if not getattr(self._context, "has_blocking", False):
+            return 0
+        return self._context.blocking_of(view.name)
+
     def _ll_accepts(self, view: TaskView, position: int) -> bool:
         """Whole-core Liu & Layland quick-accept for *view* at *position*.
 
@@ -316,9 +330,13 @@ class CoreState:
         """
         if not self._context.quick_accept:
             return False
-        if getattr(self._context, "has_blocking", False):
-            # The LL bound knows nothing of blocking terms; accept-only
-            # soundness no longer holds, so force the exact fixed point.
+        if self._blocking_term(view) or any(
+            self._blocking_term(entry) for entry in self._entries
+        ):
+            # The LL bound knows nothing of blocking terms, and a pass
+            # vouches for *every* task on the core; any non-zero term on
+            # the core breaks accept-only soundness, so force the exact
+            # fixed point.  All-zero terms leave LL sound.
             return False
         if not (self._implicit_deadlines and view.deadline == view.period):
             return False
@@ -346,9 +364,11 @@ class CoreState:
         """Per-task Bini upper-bound quick-accept (exact WCRT <= bound)."""
         if not self._context.quick_accept:
             return False
-        if getattr(self._context, "has_blocking", False):
-            # Blocking-blind bound: no longer an upper bound on the
-            # blocking-inflated response.
+        if self._blocking_term(view):
+            # Blocking-blind bound: no longer an upper bound on *view*'s
+            # blocking-inflated response.  Higher-priority tasks' terms are
+            # irrelevant here -- a term only inflates its own task's solve
+            # -- so only the candidate's own term disqualifies the bound.
             return False
         bound = response_time_upper_bound(view.wcet, prefix)
         if bound is not None and bound <= view.deadline:

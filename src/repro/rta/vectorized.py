@@ -389,24 +389,45 @@ def partition_column(
     order.
     """
     # Resource-protocol blocking terms are outside the vectorized filters'
-    # model (the LL/Bini/demand screens are blocking-blind); when any
-    # context carries them, route the whole column through the scalar
-    # kernel path, whose exact solves fold the terms in.
+    # model (the LL/Bini/demand screens are blocking-blind).  Only the
+    # task sets whose *RT tasks* actually carry a non-zero term need the
+    # scalar kernel path (whose exact solves fold the terms in); the rest
+    # of the column -- protocol `none`, claim-free sets, or sets whose
+    # claims all sit on security tasks -- keeps the vectorized screen.
     for taskset, context in zip(tasksets, contexts):
         if hasattr(context, "prime_blocking"):
             context.prime_blocking(taskset)
-    if any(getattr(context, "has_blocking", False) for context in contexts):
+    needs_scalar = [
+        getattr(context, "has_blocking", False)
+        and any(context.blocking_of(task.name) for task in taskset.rt_tasks)
+        for taskset, context in zip(tasksets, contexts)
+    ]
+    if any(needs_scalar):
         from repro.partitioning.heuristics import partition_rt_tasks
 
-        scalar_results: List[Optional[Allocation]] = []
-        for taskset, context in zip(tasksets, contexts):
+        results_by_index: List[Optional[Allocation]] = [None] * len(tasksets)
+        vector_indices = [
+            index for index, scalar in enumerate(needs_scalar) if not scalar
+        ]
+        if vector_indices:
+            vector_results = partition_column(
+                [tasksets[index] for index in vector_indices],
+                platform,
+                [contexts[index] for index in vector_indices],
+                strategy,
+            )
+            for index, result in zip(vector_indices, vector_results):
+                results_by_index[index] = result
+        for index, scalar in enumerate(needs_scalar):
+            if not scalar:
+                continue
             try:
-                scalar_results.append(
-                    partition_rt_tasks(taskset, platform, strategy, context)
+                results_by_index[index] = partition_rt_tasks(
+                    tasksets[index], platform, strategy, contexts[index]
                 )
             except AllocationError:
-                scalar_results.append(None)
-        return scalar_results
+                results_by_index[index] = None
+        return results_by_index
 
     num_sets = len(tasksets)
     num_cores = platform.num_cores

@@ -17,13 +17,18 @@ per-job execution slices, completion times, deadline misses, context-switch
 and migration counts -- everything the security evaluation
 (:mod:`repro.security`) and the Fig. 5 experiment need.
 
-Two interchangeable backends execute a design:
+Three interchangeable backends execute a design:
 
 * ``"tick"`` -- the original tick-accurate engine
   (:class:`~repro.sim.engine.Simulator`), frozen as the slow oracle;
 * ``"fast"`` -- the event-compressed engine
   (:class:`~repro.sim.fast.EventCompressedSimulator`), which jumps between
-  scheduling events and produces bit-identical traces.
+  scheduling events and produces bit-identical traces;
+* ``"batch"`` -- the trial-vectorized engine
+  (:class:`~repro.sim.batched.TrialBatchedSimulator`), which additionally
+  advances whole *batches* of campaign trials of one fixed design in NumPy
+  lockstep (:func:`~repro.sim.batched.simulate_trials_batched`), falling
+  back per trial to the event-compressed engine outside its envelope.
 
 ``resolve_backend(name)`` maps a backend name to its simulator class.
 """
@@ -35,6 +40,16 @@ from repro.sim.fast import (
     resolve_backend,
     simulate_design_fast,
 )
+
+# Registers the "batch" backend in SIMULATOR_BACKENDS as an import side
+# effect; must come after repro.sim.fast.
+from repro.sim.batched import (
+    BatchSimulationResult,
+    BatchTrialInput,
+    BatchTrialResult,
+    TrialBatchedSimulator,
+    simulate_trials_batched,
+)
 from repro.sim.schedulers import (
     GlobalFixedPriorityScheduler,
     PartitionedScheduler,
@@ -45,6 +60,9 @@ from repro.sim.schedulers import (
 from repro.sim.trace import ExecutionSlice, JobRecord, SimulationTrace
 
 __all__ = [
+    "BatchSimulationResult",
+    "BatchTrialInput",
+    "BatchTrialResult",
     "EventCompressedSimulator",
     "ExecutionSlice",
     "GlobalFixedPriorityScheduler",
@@ -56,8 +74,10 @@ __all__ = [
     "SimulationConfig",
     "SimulationTrace",
     "Simulator",
+    "TrialBatchedSimulator",
     "make_scheduler",
     "resolve_backend",
     "simulate_design",
     "simulate_design_fast",
+    "simulate_trials_batched",
 ]

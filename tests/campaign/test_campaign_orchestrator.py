@@ -13,6 +13,7 @@ from repro.campaign import (
     CampaignResultStore,
     CampaignRunner,
     CampaignSpec,
+    CampaignStats,
     JitterModel,
     build_trial_specs,
     format_campaign,
@@ -44,8 +45,25 @@ class TestDeterminism:
     def test_backend_invariance(self):
         fast = run_campaign(small_spec(backend="fast"))
         tick = run_campaign(small_spec(backend="tick"))
+        batch = run_campaign(small_spec(backend="batch"))
         assert tuple(fast.records) == tuple(tick.records)
+        assert tuple(batch.records) == tuple(tick.records)
         assert format_campaign(fast) == format_campaign(tick)
+        assert format_campaign(batch) == format_campaign(tick)
+
+    def test_dedup_invariance(self):
+        """Design dedup is a pure execution knob: fanned-out outcomes are
+        the per-scheme loop's outcomes, byte for byte, on every backend."""
+        schemes = ("HYDRA-C", "HYDRA-C-WF", "HYDRA")
+        reference = run_campaign(
+            small_spec(schemes=schemes, backend="tick", dedup=False)
+        )
+        for backend in ("tick", "fast", "batch"):
+            deduped = run_campaign(
+                small_spec(schemes=schemes, backend=backend, dedup=True)
+            )
+            assert tuple(deduped.records) == tuple(reference.records)
+            assert format_campaign(deduped) == format_campaign(reference)
 
     def test_n_jobs_invariance(self):
         serial = run_campaign(small_spec(n_jobs=1))
@@ -87,6 +105,24 @@ class TestResume:
         crossed.write_bytes(b"".join(lines[:3]))
         run_campaign(tick_spec, store=CampaignResultStore(crossed, tick_spec))
         assert crossed.read_bytes() == reference.read_bytes()
+
+    def test_resume_across_every_backend_and_dedup_setting(self, tmp_path):
+        """A checkpoint is backend- and dedup-agnostic: any (backend,
+        dedup) combination finishes any other's partial checkpoint without
+        changing a byte."""
+        reference = tmp_path / "reference.jsonl"
+        ref_spec = small_spec(num_trials=6, backend="tick", dedup=False)
+        run_campaign(ref_spec, store=CampaignResultStore(reference, ref_spec))
+        seed = tmp_path / "seed.jsonl"
+        run_campaign(ref_spec, store=CampaignResultStore(seed, ref_spec))
+        partial = seed.read_bytes().splitlines(keepends=True)[:3]
+        for backend in ("tick", "fast", "batch"):
+            for dedup in (False, True):
+                crossed = tmp_path / f"{backend}-{dedup}.jsonl"
+                crossed.write_bytes(b"".join(partial))
+                spec = small_spec(num_trials=6, backend=backend, dedup=dedup)
+                run_campaign(spec, store=CampaignResultStore(crossed, spec))
+                assert crossed.read_bytes() == reference.read_bytes()
 
     def test_fully_complete_checkpoint_runs_no_chunks(self, tmp_path):
         spec = small_spec()
@@ -181,6 +217,69 @@ class TestProgressAndAggregates:
         result = run_campaign(small_spec(num_trials=1))
         with pytest.raises(KeyError):
             result.distribution("GLOBAL-TMax")
+
+
+class TestFastPathCounters:
+    """Design dedup + batched-trial accounting (``--stats``)."""
+
+    ALIASED = ("HYDRA-C", "HYDRA-C-WF", "HYDRA-C-GC", "HYDRA")
+
+    def test_design_groups_alias_identical_designs(self):
+        """On the rover every HYDRA-C re-partitioning variant reproduces
+        HYDRA-C's design, so the three collapse into one group."""
+        runner = CampaignRunner(small_spec(schemes=self.ALIASED))
+        groups = sorted(runner.design_groups(), key=len, reverse=True)
+        assert groups == [["HYDRA-C", "HYDRA-C-WF", "HYDRA-C-GC"], ["HYDRA"]]
+
+    def test_dedup_off_keeps_singleton_groups(self):
+        runner = CampaignRunner(small_spec(schemes=self.ALIASED, dedup=False))
+        assert runner.design_groups() == [[name] for name in self.ALIASED]
+
+    def test_serial_stats_count_dedup_hits_and_batched_trials(self):
+        stats = CampaignStats()
+        run_campaign(
+            small_spec(schemes=self.ALIASED, num_trials=4, backend="batch"),
+            stats_sink=stats,
+        )
+        # 2 design groups over 4 schemes: 2 aliases answered per trial.
+        assert stats.design_dedup_hits == 2 * 4
+        # 2 distinct designs simulated per trial, all on the rover (inside
+        # the lockstep envelope: no fallbacks).
+        assert stats.batched_trials == 2 * 4
+        assert stats.fallback_trials == 0
+
+    def test_fast_backend_counts_no_batched_trials(self):
+        stats = CampaignStats()
+        run_campaign(
+            small_spec(schemes=self.ALIASED, num_trials=2), stats_sink=stats
+        )
+        assert stats.design_dedup_hits == 2 * 2
+        assert stats.batched_trials == 0
+        assert stats.fallback_trials == 0
+
+    def test_parallel_stats_aggregate_across_workers(self):
+        spec = small_spec(schemes=self.ALIASED, num_trials=6, backend="batch")
+        serial_stats = CampaignStats()
+        serial = run_campaign(spec, stats_sink=serial_stats)
+        parallel_spec = small_spec(
+            schemes=self.ALIASED, num_trials=6, backend="batch", n_jobs=2
+        )
+        parallel_stats = CampaignStats()
+        parallel = run_campaign(parallel_spec, stats_sink=parallel_stats)
+        assert tuple(parallel.records) == tuple(serial.records)
+        assert parallel_stats.design_dedup_hits == serial_stats.design_dedup_hits
+        assert (
+            parallel_stats.batched_trials + parallel_stats.fallback_trials
+            == serial_stats.batched_trials + serial_stats.fallback_trials
+        )
+
+    def test_stats_merge_is_forgiving(self):
+        stats = CampaignStats(design_dedup_hits=1)
+        stats.merge({"design_dedup_hits": 2, "batched_trials": 3})
+        stats.merge({})  # an older worker knowing no counters at all
+        assert stats.design_dedup_hits == 3
+        assert stats.batched_trials == 3
+        assert "3 batched" in stats.summary_line()
 
 
 class TestRunnerSetup:

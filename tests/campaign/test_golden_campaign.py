@@ -53,6 +53,16 @@ def test_golden_campaign_pin_backend_independent():
     )
 
 
+@pytest.mark.slow
+def test_golden_campaign_pin_batch_backend():
+    """The trial-batched backend (with design dedup, its default campaign
+    configuration) reproduces the committed pin byte for byte."""
+    result = run_campaign(CampaignSpec(backend="batch", **GOLDEN_SPEC))
+    assert format_campaign(result) + "\n" == GOLDEN_PATH.read_text(
+        encoding="utf-8"
+    )
+
+
 if __name__ == "__main__":  # pragma: no cover - regeneration helper
     GOLDEN_PATH.write_text(regenerate(), encoding="utf-8")
     print(f"wrote {GOLDEN_PATH}")

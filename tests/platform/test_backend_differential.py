@@ -298,6 +298,69 @@ class TestRoverPlatformGrid:
             traces[protocol] = tick
         assert traces["none"] != traces["pip"]
 
+    def test_pcp_holder_is_not_reblocked_by_a_later_acquisition(self):
+        """Regression: the PCP ceiling test guards *acquisitions* only.
+
+        A job already inside its own critical section used to be re-marked
+        blocked by ``begin_round`` when another job acquired a resource
+        whose ceiling outranks it after the section started.  The tick
+        engine re-decides every tick, so it stalled the holder
+        mid-section; the fast engine (re-deciding only at events) did not
+        -- the backends diverged (hypothesis: taskset seed 36511 under
+        rm/pcp/const:2,3).  The holder must keep running and both
+        backends must agree.
+        """
+        taskset = TaskSet.create(
+            [
+                RealTimeTask(
+                    name="rt0", wcet=13, period=63,
+                    claims=(ResourceClaim("R0", start=9, duration=4),),
+                ),
+                RealTimeTask(
+                    name="rt1", wcet=9, period=339,
+                    claims=(
+                        ResourceClaim("R0", start=1, duration=3),
+                        ResourceClaim("R1", start=4, duration=4),
+                    ),
+                ),
+                RealTimeTask(
+                    name="rt2", wcet=22, period=123,
+                    claims=(
+                        ResourceClaim("R1", start=7, duration=4),
+                        ResourceClaim("R0", start=12, duration=2),
+                    ),
+                ),
+            ],
+            [
+                SecurityTask(
+                    name="sec0", wcet=54, max_period=335, coverage_units=8,
+                    claims=(
+                        ResourceClaim("R0", start=23, duration=1),
+                        ResourceClaim("R1", start=48, duration=1),
+                    ),
+                ),
+            ],
+        )
+        config = SimulationConfig(
+            horizon=13,
+            fail_on_rt_deadline_miss=False,
+            platform=PlatformModel.parse("rm", "pcp", "const:2,3"),
+        )
+        tick, fast = both_traces(
+            taskset,
+            3,
+            "global",
+            config,
+            rt_allocation={"rt0": 1, "rt1": 2, "rt2": 1},
+            security_allocation={"sec0": 2},
+        )
+        assert tick == fast
+        # rt2 enters its R1 section at progress 7 and must keep its core
+        # through the horizon even though rt0 (whose R0 ceiling outranks
+        # rt2) acquires R0 mid-section.
+        rt2_end = max(s.end for s in tick.slices if s.task_name == "rt2")
+        assert rt2_end == 13
+
     def test_overheads_actually_charge(self):
         """Sanity guard: a 2-tick switch cost lengthens occupancy."""
         study = RoverCaseStudy()

@@ -96,6 +96,19 @@ class TestEdfPipGoldenPin:
             encoding="utf-8"
         )
 
+    @pytest.mark.slow
+    def test_pin_survives_the_batch_backends_fallback(self):
+        """Under the batch backend a non-default platform is outside the
+        lockstep envelope, so every trial transparently falls back to the
+        event-compressed engine -- the pin still reproduces byte for
+        byte."""
+        result = run_campaign(
+            CampaignSpec(backend="batch", **EDF_PIP_PLATFORM, **GOLDEN_SPEC)
+        )
+        assert format_campaign(result) + "\n" == EDF_PIP_GOLDEN_PATH.read_text(
+            encoding="utf-8"
+        )
+
     def test_pin_differs_from_the_default_campaign(self):
         """The two pins must not be byte-identical -- if they were, the
         non-default platform would be silently inert."""

@@ -19,9 +19,13 @@ from repro.generation.taskset_generator import (
     TasksetGenerationConfig,
     TasksetGenerator,
 )
-from repro.model import Platform
+from repro.model import Platform, RealTimeTask, SecurityTask, TaskSet
+from repro.model.tasks import ResourceClaim
 from repro.partitioning.heuristics import FitStrategy, partition_rt_tasks
+from repro.platform import PlatformModel
 from repro.rta import RtaContext, TaskView
+from repro.rta.vectorized import partition_column
+from repro.rover.case_study import rover_taskset
 from repro.schedulability.uniprocessor import (
     UniprocessorTask,
     core_is_schedulable,
@@ -111,6 +115,165 @@ class TestShortcutsNeverFlipAdmission:
         assert fired_sets > 0
         assert context.stats.ll_accepts > 0
         assert context.stats.quick_accepts > 0
+
+
+def run_stream_with_blocking(views, quick_accept, blocking):
+    """Like :func:`run_stream` with per-task blocking terms installed."""
+    context = RtaContext(2, quick_accept=quick_accept)
+    context._blocking = dict(blocking)
+    state = context.core_state()
+    verdicts = []
+    for v in views:
+        admission = state.admit(v)
+        verdicts.append(admission.admitted)
+        if admission.admitted:
+            state = admission.state
+        else:
+            break
+    return verdicts, context
+
+
+class TestBlockingAwareShortcuts:
+    """The shortcut disable keys on the blocking terms actually in play.
+
+    A lock-using protocol over a claim-annotated task set used to disable
+    the LL/Bini quick-accepts and the vectorized screen wholesale.  The
+    disable now keys on each task's *own* term being non-zero (plus, for
+    the whole-core LL accept, any term on the core), so the common cases
+    -- protocol ``none`` with claims, ``pip``/``pcp`` with claim-free task
+    sets, and claims confined to security tasks -- keep the full fast
+    path, while verdicts stay flip-free whenever terms really are in play.
+    """
+
+    @given(
+        admission_streams(),
+        st.dictionaries(
+            st.integers(min_value=0, max_value=7).map(lambda i: f"t{i}"),
+            st.integers(min_value=1, max_value=30),
+            max_size=4,
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_no_flip_with_blocking_terms_in_play(self, views, blocking):
+        """Per-task keying can never flip an admission stream's verdicts."""
+        with_shortcuts, _ = run_stream_with_blocking(
+            views, quick_accept=True, blocking=blocking
+        )
+        without, _ = run_stream_with_blocking(
+            views, quick_accept=False, blocking=blocking
+        )
+        assert with_shortcuts == without
+
+    def test_zero_term_candidates_keep_the_shortcuts(self):
+        """Terms on *other* cores' tasks must not starve the fast path: a
+        stream whose entries all have zero terms quick-accepts exactly as
+        if no blocking existed (the installed terms name absent tasks)."""
+        views = [
+            TaskView(name=f"t{i}", wcet=1, period=10 + i, deadline=10 + i,
+                     key=(10 + i, f"t{i}"))
+            for i in range(3)
+        ]
+        clean, clean_context = run_stream_with_blocking(
+            views, quick_accept=True, blocking={}
+        )
+        keyed, keyed_context = run_stream_with_blocking(
+            views, quick_accept=True, blocking={"someone-else": 25}
+        )
+        assert clean == keyed == [True, True, True]
+        assert keyed_context.stats.ll_accepts == clean_context.stats.ll_accepts
+        assert keyed_context.stats.ll_accepts > 0
+
+    def test_candidate_own_term_disables_its_bound_accept(self):
+        """A candidate carrying a term takes the exact fixed point (its
+        blocking-blind bound is unsound for it), yet the verdict matches
+        the shortcut-free run."""
+        views = [
+            TaskView(name=f"t{i}", wcet=2, period=20 + i, deadline=20 + i,
+                     key=(20 + i, f"t{i}"))
+            for i in range(3)
+        ]
+        blocking = {"t1": 5}
+        keyed, keyed_context = run_stream_with_blocking(
+            views, quick_accept=True, blocking=blocking
+        )
+        exact, _ = run_stream_with_blocking(
+            views, quick_accept=False, blocking=blocking
+        )
+        assert keyed == exact
+        clean, clean_context = run_stream_with_blocking(
+            views, quick_accept=True, blocking={}
+        )
+        assert keyed_context.stats.ll_accepts < clean_context.stats.ll_accepts
+
+    def test_rover_under_pip_keeps_rt_partitioning_shortcuts(self):
+        """The PR 8 regression case: the rover's claims sit on its security
+        tasks only, so under ``pip`` the RT partitioning must still take
+        the quick-accepts (RT terms are provably zero)."""
+        taskset = rover_taskset()
+        platform = Platform.dual_core()
+        context = RtaContext(
+            platform, platform_model=PlatformModel.parse("rm", "pip", "zero")
+        )
+        context.prime_blocking(taskset)
+        assert context.has_blocking  # pip really is in play...
+        allocation = partition_rt_tasks(taskset, platform, rta_context=context)
+        # ...yet the zero-term RT tasks keep the fast path.
+        assert context.stats.quick_accepts + context.stats.ll_accepts > 0
+        baseline = partition_rt_tasks(
+            taskset, platform, rta_context=RtaContext(platform)
+        )
+        assert allocation.mapping == baseline.mapping
+
+    def test_protocol_none_with_claims_has_no_terms_at_all(self):
+        """Claims under the default protocol never reach the context."""
+        context = RtaContext(
+            2, platform_model=PlatformModel.parse("rm", "none", "zero")
+        )
+        context.prime_blocking(rover_taskset())
+        assert not context.has_blocking
+
+    def test_partition_column_splits_mixed_blocking_columns(self):
+        """A column mixing term-carrying and term-free task sets routes
+        each set to the right path and reproduces the scalar packing."""
+        claimed = TaskSet.create(
+            [
+                RealTimeTask(
+                    name="rt-a", wcet=40, period=200,
+                    claims=(ResourceClaim("bus", start=0, duration=10),),
+                ),
+                RealTimeTask(
+                    name="rt-b", wcet=60, period=400,
+                    claims=(ResourceClaim("bus", start=5, duration=20),),
+                ),
+            ],
+            [],
+        )
+        clean = TaskSet.create(
+            [
+                RealTimeTask(name="rt-c", wcet=30, period=150),
+                RealTimeTask(name="rt-d", wcet=50, period=300),
+            ],
+            [],
+        )
+        platform = Platform.dual_core()
+        pip = PlatformModel.parse("rm", "pip", "zero")
+        tasksets = [claimed, clean, claimed]
+        contexts = [RtaContext(platform, platform_model=pip) for _ in tasksets]
+        lockstep = partition_column(tasksets, platform, contexts)
+        for taskset, result in zip(tasksets, lockstep):
+            scalar_context = RtaContext(platform, platform_model=pip)
+            scalar_context.prime_blocking(taskset)
+            try:
+                scalar = partition_rt_tasks(
+                    taskset, platform, rta_context=scalar_context
+                )
+            except AllocationError:
+                scalar = None
+            if scalar is None:
+                assert result is None
+            else:
+                assert result is not None
+                assert result.mapping == scalar.mapping
 
 
 class TestBoundSoundness:

@@ -83,9 +83,19 @@ class TestParser:
         assert args.checkpoint is None
         assert args.chunk_size == 8
 
-    def test_campaign_rejects_unknown_backend(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["campaign", "--backend", "warp"])
+    def test_campaign_rejects_unknown_backend(self, capsys):
+        """--backend is validated against the simulator registry at spec
+        build (not argparse choices, so new backends list themselves):
+        unknown names keep the one-line error style."""
+        args = build_parser().parse_args(["campaign", "--backend", "warp"])
+        assert args.backend == "warp"  # parse accepts; validation is later
+        exit_code = main(["campaign", "--backend", "warp", "--trials", "1"])
+        assert exit_code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "warp" in captured.err
+        assert "batch" in captured.err  # available backends are listed
+        assert "Traceback" not in captured.err
 
 
 class TestMain:
